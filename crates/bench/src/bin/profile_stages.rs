@@ -1,0 +1,42 @@
+//! Stage-by-stage timing of the full-scale pipeline (diagnostic tool).
+use icn_cluster::{agglomerate_condensed, Condensed, Linkage};
+use icn_core::{filter_dead_rows, rsca};
+use icn_forest::{ForestConfig, RandomForest, TrainSet};
+use icn_synth::{Dataset, SynthConfig};
+use std::time::Instant;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let t0 = Instant::now();
+    let ds = Dataset::generate(SynthConfig::paper().with_scale(scale));
+    eprintln!("generate: {:?} ({} antennas)", t0.elapsed(), ds.num_antennas());
+
+    let t = Instant::now();
+    let (live, _) = filter_dead_rows(&ds.indoor_totals);
+    let features = rsca(&live);
+    eprintln!("rsca: {:?}", t.elapsed());
+
+    let t = Instant::now();
+    let cond = Condensed::from_rows(&features, Linkage::Ward.base_metric());
+    eprintln!("condensed: {:?}", t.elapsed());
+
+    let t = Instant::now();
+    let history = agglomerate_condensed(&cond, Linkage::Ward);
+    eprintln!("agglomerate: {:?}", t.elapsed());
+
+    let t = Instant::now();
+    let labels = history.cut(9);
+    eprintln!("cut: {:?}", t.elapsed());
+
+    let t = Instant::now();
+    let ts = TrainSet::new(features.clone(), labels.clone());
+    let forest = RandomForest::fit(&ts, &ForestConfig::default());
+    eprintln!("forest fit: {:?} (oob {:?})", t.elapsed(), forest.oob_accuracy);
+    let depth: usize = forest.trees.iter().map(|t| t.depth()).max().unwrap();
+    let leaves: usize = forest.trees.iter().map(|t| t.num_leaves()).sum::<usize>() / forest.trees.len();
+    eprintln!("forest stats: max depth {depth}, avg leaves {leaves}");
+
+    let t = Instant::now();
+    let phi = icn_shap::forest_shap(&forest, features.row(0));
+    eprintln!("one-sample forest_shap: {:?} (|phi| {})", t.elapsed(), phi.len());
+}

@@ -1,0 +1,115 @@
+//! Shared harness code for the figure/table reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper. They share a common CLI (`--scale <f64>` to shrink the antenna
+//! population, `--seed <u64>`, `--sweep` to enable the Figure 2 sweep) and
+//! common dataset/study runners.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use icn_core::{IcnStudy, StudyConfig};
+use icn_synth::{Dataset, SynthConfig};
+
+/// Parsed harness options.
+#[derive(Clone, Copy, Debug)]
+pub struct HarnessOpts {
+    /// Population scale (1.0 = the paper's 4,762 antennas).
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Run the (slow) Figure 2 sweep.
+    pub sweep: bool,
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        HarnessOpts {
+            scale: 1.0,
+            seed: SynthConfig::default().seed,
+            sweep: false,
+        }
+    }
+}
+
+/// Parses `--scale`, `--seed` and `--sweep` from `std::env::args`.
+pub fn parse_opts() -> HarnessOpts {
+    let args: Vec<String> = std::env::args().collect();
+    let mut opts = HarnessOpts::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    opts.scale = v;
+                }
+                i += 2;
+            }
+            "--seed" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    opts.seed = v;
+                }
+                i += 2;
+            }
+            "--sweep" => {
+                opts.sweep = true;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    opts
+}
+
+/// Generates the dataset for the harness options.
+pub fn dataset(opts: &HarnessOpts) -> Dataset {
+    Dataset::generate(
+        SynthConfig::paper()
+            .with_scale(opts.scale)
+            .with_seed(opts.seed),
+    )
+}
+
+/// Runs the full study (with or without the k-sweep).
+pub fn study(ds: &Dataset, opts: &HarnessOpts) -> IcnStudy {
+    let config = StudyConfig {
+        run_k_sweep: opts.sweep,
+        ..StudyConfig::paper()
+    };
+    IcnStudy::run(ds, config)
+}
+
+/// Prints the standard harness banner.
+pub fn banner(what: &str, ds: &Dataset) {
+    println!(
+        "=== {what} ===\n(scale {:.3}: {} indoor antennas, {} services, {} outdoor)\n",
+        ds.config.scale,
+        ds.num_antennas(),
+        ds.num_services(),
+        ds.outdoor.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_scale() {
+        let o = HarnessOpts::default();
+        assert_eq!(o.scale, 1.0);
+        assert!(!o.sweep);
+    }
+
+    #[test]
+    fn small_dataset_and_study_roundtrip() {
+        let opts = HarnessOpts {
+            scale: 0.04,
+            ..HarnessOpts::default()
+        };
+        let ds = dataset(&opts);
+        assert!(ds.num_antennas() > 50);
+        let st = study(&ds, &opts);
+        assert_eq!(st.cluster_sizes().len(), 9);
+    }
+}

@@ -1,0 +1,148 @@
+//! Linkage criteria and Lance–Williams updates.
+//!
+//! Agglomerative clustering repeatedly merges the two closest clusters;
+//! "closest" is defined by the linkage criterion. The paper uses **Ward's
+//! criterion** (minimise the increase in total intra-cluster variance); we
+//! also implement single, complete and average linkage for the ablation
+//! bench B2. All four admit a Lance–Williams recurrence, so a merge can
+//! update cluster-to-cluster distances in O(active clusters) without
+//! touching the original feature vectors.
+//!
+//! Convention: Ward operates on **squared Euclidean** point distances and
+//! its inter-cluster distances stay in that squared space; dendrogram
+//! heights for Ward are reported as the square root (the SciPy convention),
+//! which keeps heights comparable with the other linkages.
+
+use icn_stats::Metric;
+
+/// Linkage criterion for agglomerative clustering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Linkage {
+    /// Ward's minimum-variance criterion (the paper's choice).
+    Ward,
+    /// Nearest-member distance.
+    Single,
+    /// Farthest-member distance.
+    Complete,
+    /// Unweighted average member distance (UPGMA).
+    Average,
+}
+
+impl Linkage {
+    /// The point-to-point metric this linkage's recurrence assumes.
+    pub fn base_metric(&self) -> Metric {
+        match self {
+            Linkage::Ward => Metric::SqEuclidean,
+            _ => Metric::Euclidean,
+        }
+    }
+
+    /// Lance–Williams update: distance between the merged cluster `i ∪ j`
+    /// and another cluster `k`, given the pre-merge distances and cluster
+    /// sizes.
+    #[inline]
+    pub fn update(
+        &self,
+        d_ik: f64,
+        d_jk: f64,
+        d_ij: f64,
+        n_i: f64,
+        n_j: f64,
+        n_k: f64,
+    ) -> f64 {
+        match self {
+            Linkage::Ward => {
+                let t = n_i + n_j + n_k;
+                ((n_i + n_k) * d_ik + (n_j + n_k) * d_jk - n_k * d_ij) / t
+            }
+            Linkage::Single => d_ik.min(d_jk),
+            Linkage::Complete => d_ik.max(d_jk),
+            Linkage::Average => (n_i * d_ik + n_j * d_jk) / (n_i + n_j),
+        }
+    }
+
+    /// Maps an internal inter-cluster distance to a dendrogram height.
+    /// Ward distances live in squared space; heights take the square root.
+    #[inline]
+    pub fn to_height(&self, d: f64) -> f64 {
+        match self {
+            Linkage::Ward => d.max(0.0).sqrt(),
+            _ => d,
+        }
+    }
+
+    /// Name for bench output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Linkage::Ward => "ward",
+            Linkage::Single => "single",
+            Linkage::Complete => "complete",
+            Linkage::Average => "average",
+        }
+    }
+
+    /// All linkages, for ablation sweeps.
+    pub const ALL: [Linkage; 4] = [
+        Linkage::Ward,
+        Linkage::Single,
+        Linkage::Complete,
+        Linkage::Average,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_and_complete_are_min_max() {
+        assert_eq!(Linkage::Single.update(2.0, 5.0, 1.0, 1.0, 1.0, 1.0), 2.0);
+        assert_eq!(Linkage::Complete.update(2.0, 5.0, 1.0, 1.0, 1.0, 1.0), 5.0);
+    }
+
+    #[test]
+    fn average_weights_by_size() {
+        // |i|=3, |j|=1: average = (3*2 + 1*6)/4 = 3.
+        assert_eq!(Linkage::Average.update(2.0, 6.0, 0.0, 3.0, 1.0, 2.0), 3.0);
+    }
+
+    #[test]
+    fn ward_singleton_merge_formula() {
+        // Merging two singletons i, j and measuring to singleton k:
+        // d(ij,k) = (2 d_ik + 2 d_jk - d_ij) / 3.
+        let d = Linkage::Ward.update(4.0, 9.0, 1.0, 1.0, 1.0, 1.0);
+        assert!((d - (2.0 * 4.0 + 2.0 * 9.0 - 1.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ward_matches_centroid_variance_identity() {
+        // For singleton clusters at positions a=0, b=2 (1-D), k at 10:
+        // squared distances d_ik=100, d_jk=64, d_ij=4.
+        // Merged cluster {0,2} has centroid 1, size 2; Ward distance to k
+        // is (n_ij*n_k/(n_ij+n_k)) * ||c_ij - c_k||^2 * 2? — check against
+        // the LW recurrence value directly:
+        let lw = Linkage::Ward.update(100.0, 64.0, 4.0, 1.0, 1.0, 1.0);
+        // Direct ESS increase formula: (2*1/(2+1)) * ||1-10||^2 * ... the
+        // LW recurrence for Ward on squared Euclidean gives
+        // 2*(n_u n_v/(n_u+n_v)) * ||c_u - c_v||^2 with the convention that
+        // point "distances" are squared Euclidean. For u={0,2}, v={10}:
+        // 2*(2*1/3)*81 = 108. And LW: (2*100 + 2*64 - 4)/3 = 360/3 = 120?
+        // No: (n_i+n_k)d_ik = 2*100=200, (n_j+n_k)d_jk = 2*64=128,
+        // -n_k d_ij = -4; total 324/3 = 108. Confirms the identity.
+        assert!((lw - 108.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ward_height_is_sqrt() {
+        assert_eq!(Linkage::Ward.to_height(9.0), 3.0);
+        assert_eq!(Linkage::Average.to_height(9.0), 9.0);
+        // Numerical noise below zero is clamped.
+        assert_eq!(Linkage::Ward.to_height(-1e-18), 0.0);
+    }
+
+    #[test]
+    fn base_metrics() {
+        assert_eq!(Linkage::Ward.base_metric(), Metric::SqEuclidean);
+        assert_eq!(Linkage::Single.base_metric(), Metric::Euclidean);
+    }
+}

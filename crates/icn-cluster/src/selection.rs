@@ -1,0 +1,201 @@
+//! Cluster-count selection (the Figure 2 sweep).
+//!
+//! The paper selects k by sweeping the agglomerative cut over a range of
+//! cluster counts, computing the Silhouette score and Dunn index at each k,
+//! and looking for "a high value ... followed by an abrupt drop, which
+//! suggests a substantial deterioration of the intra- and inter-clustering
+//! quality" (Section 4.2.1). Figure 2 shows such drops at k = 6 and k = 9;
+//! the paper picks k = 9 as the steepest combined drop. This module
+//! implements the sweep and the drop-detection criterion.
+
+use crate::agglomerative::MergeHistory;
+use crate::condensed::Condensed;
+use crate::dunn::dunn_index;
+use crate::silhouette::silhouette_score;
+
+/// Quality indices at one candidate k.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KQuality {
+    /// Candidate number of clusters.
+    pub k: usize,
+    /// Mean silhouette coefficient.
+    pub silhouette: f64,
+    /// Dunn index.
+    pub dunn: f64,
+}
+
+/// Sweeps cuts of `history` over `k_range` (inclusive) against the
+/// distances in `cond` (which must be over the same observations, in any
+/// metric — the paper's geometry is Euclidean).
+pub fn sweep_k(
+    history: &MergeHistory,
+    cond: &Condensed,
+    k_range: std::ops::RangeInclusive<usize>,
+) -> Vec<KQuality> {
+    let (lo, hi) = (*k_range.start(), *k_range.end());
+    assert!(lo >= 2, "sweep_k: k must start at ≥ 2");
+    assert!(hi <= history.n, "sweep_k: k exceeds number of observations");
+    (lo..=hi)
+        .map(|k| {
+            let labels = history.cut(k);
+            KQuality {
+                k,
+                silhouette: silhouette_score(cond, &labels),
+                dunn: dunn_index(cond, &labels),
+            }
+        })
+        .collect()
+}
+
+/// One detected drop: quality at k is high, and moving to k + 1 loses a
+/// substantial fraction of it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Drop {
+    /// The k *before* the deterioration — the candidate "optimal" count.
+    pub k: usize,
+    /// Combined (averaged, normalised) relative drop magnitude in `[0, 1]`.
+    pub magnitude: f64,
+}
+
+/// Detects the paper's stopping criterion: ks whose silhouette **and** Dunn
+/// both fall by at least `min_rel_drop` (relative) at k + 1. Returns drops
+/// sorted by decreasing magnitude; the paper picks the steepest.
+pub fn detect_drops(sweep: &[KQuality], min_rel_drop: f64) -> Vec<Drop> {
+    assert!(
+        (0.0..1.0).contains(&min_rel_drop),
+        "detect_drops: min_rel_drop out of [0,1)"
+    );
+    let mut drops = Vec::new();
+    for w in sweep.windows(2) {
+        let (cur, next) = (w[0], w[1]);
+        let rel = |a: f64, b: f64| -> f64 {
+            if !(a.is_finite()) || a <= 0.0 {
+                0.0
+            } else {
+                ((a - b) / a).max(0.0)
+            }
+        };
+        let ds = rel(cur.silhouette, next.silhouette);
+        let dd = rel(cur.dunn, next.dunn);
+        if ds >= min_rel_drop && dd >= min_rel_drop {
+            drops.push(Drop {
+                k: cur.k,
+                magnitude: 0.5 * (ds + dd),
+            });
+        }
+    }
+    drops.sort_by(|a, b| b.magnitude.partial_cmp(&a.magnitude).expect("finite"));
+    drops
+}
+
+/// The paper's selection: the steepest combined drop, or — if no drop
+/// clears the threshold — the k with the best silhouette.
+pub fn select_k(sweep: &[KQuality], min_rel_drop: f64) -> usize {
+    assert!(!sweep.is_empty(), "select_k: empty sweep");
+    if let Some(d) = detect_drops(sweep, min_rel_drop).first() {
+        return d.k;
+    }
+    sweep
+        .iter()
+        .max_by(|a, b| a.silhouette.partial_cmp(&b.silhouette).expect("finite"))
+        .expect("non-empty sweep")
+        .k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agglomerative::agglomerate;
+    use crate::linkage::Linkage;
+    use icn_stats::{Matrix, Metric, Rng};
+
+    /// 4 well-separated blobs: quality should peak at k = 4 then drop.
+    fn four_blobs() -> Matrix {
+        let mut rng = Rng::seed_from(61);
+        let centers = [(0.0, 0.0), (12.0, 0.0), (0.0, 12.0), (12.0, 12.0)];
+        let mut rows = Vec::new();
+        for &(x, y) in &centers {
+            for _ in 0..12 {
+                rows.push(vec![rng.normal(x, 0.5), rng.normal(y, 0.5)]);
+            }
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn sweep_covers_requested_range() {
+        let m = four_blobs();
+        let h = agglomerate(&m, Linkage::Ward);
+        let cond = Condensed::from_rows(&m, Metric::Euclidean);
+        let sweep = sweep_k(&h, &cond, 2..=8);
+        assert_eq!(sweep.len(), 7);
+        assert_eq!(sweep[0].k, 2);
+        assert_eq!(sweep.last().unwrap().k, 8);
+    }
+
+    #[test]
+    fn four_blobs_selects_k4() {
+        let m = four_blobs();
+        let h = agglomerate(&m, Linkage::Ward);
+        let cond = Condensed::from_rows(&m, Metric::Euclidean);
+        let sweep = sweep_k(&h, &cond, 2..=8);
+        assert_eq!(select_k(&sweep, 0.1), 4);
+        // And the drop is detected at k=4 with the largest magnitude.
+        let drops = detect_drops(&sweep, 0.1);
+        assert!(!drops.is_empty());
+        assert_eq!(drops[0].k, 4);
+    }
+
+    #[test]
+    fn silhouette_maximal_at_true_k() {
+        let m = four_blobs();
+        let h = agglomerate(&m, Linkage::Ward);
+        let cond = Condensed::from_rows(&m, Metric::Euclidean);
+        let sweep = sweep_k(&h, &cond, 2..=8);
+        let best = sweep
+            .iter()
+            .max_by(|a, b| a.silhouette.partial_cmp(&b.silhouette).unwrap())
+            .unwrap();
+        assert_eq!(best.k, 4);
+    }
+
+    #[test]
+    fn no_drop_falls_back_to_best_silhouette() {
+        let sweep = vec![
+            KQuality { k: 2, silhouette: 0.3, dunn: 0.2 },
+            KQuality { k: 3, silhouette: 0.5, dunn: 0.3 },
+            KQuality { k: 4, silhouette: 0.45, dunn: 0.31 },
+        ];
+        // k=3→4 silhouette drops 10% but dunn rises ⇒ no combined drop.
+        assert!(detect_drops(&sweep, 0.05).is_empty());
+        assert_eq!(select_k(&sweep, 0.05), 3);
+    }
+
+    #[test]
+    fn drop_needs_both_indices() {
+        let sweep = vec![
+            KQuality { k: 2, silhouette: 0.8, dunn: 0.5 },
+            KQuality { k: 3, silhouette: 0.4, dunn: 0.6 }, // silhouette-only
+            KQuality { k: 4, silhouette: 0.39, dunn: 0.1 }, // both drop
+        ];
+        let drops = detect_drops(&sweep, 0.02);
+        assert_eq!(drops.len(), 1);
+        assert_eq!(drops[0].k, 3);
+    }
+
+    #[test]
+    fn infinite_dunn_does_not_poison() {
+        let sweep = vec![
+            KQuality { k: 2, silhouette: 0.9, dunn: f64::INFINITY },
+            KQuality { k: 3, silhouette: 0.2, dunn: 1.0 },
+        ];
+        // Infinite current dunn → relative drop treated as 0.
+        assert!(detect_drops(&sweep, 0.1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sweep")]
+    fn empty_sweep_panics() {
+        select_k(&[], 0.1);
+    }
+}

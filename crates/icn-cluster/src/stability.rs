@@ -1,0 +1,154 @@
+//! Bootstrap cluster-stability analysis.
+//!
+//! The paper claims the nine utilisation profiles are *inherent* to ICN
+//! traffic, not artefacts of one sample. The standard way to check such a
+//! claim is bootstrap stability (Hennig 2007 style): re-cluster resampled
+//! subsets of the antennas and measure how consistently pairs of antennas
+//! end up together. A planted structure survives resampling; a spurious
+//! partition does not. The ablation suite uses this to corroborate the
+//! k = 9 choice.
+
+use crate::agglomerative::agglomerate;
+use crate::linkage::Linkage;
+use crate::validation::adjusted_rand_index;
+use icn_stats::{Matrix, Rng};
+
+/// Result of a bootstrap stability run.
+#[derive(Clone, Debug)]
+pub struct StabilityResult {
+    /// ARI between the full-data labelling (restricted to each subsample)
+    /// and the subsample's own clustering, per replicate.
+    pub replicate_ari: Vec<f64>,
+}
+
+impl StabilityResult {
+    /// Mean replicate ARI — the headline stability score in `[−1, 1]`
+    /// (≥ 0.8 is conventionally "stable").
+    pub fn mean_ari(&self) -> f64 {
+        self.replicate_ari.iter().sum::<f64>() / self.replicate_ari.len() as f64
+    }
+
+    /// Minimum replicate ARI (worst case over resamples).
+    pub fn min_ari(&self) -> f64 {
+        self.replicate_ari
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Runs `replicates` subsampling rounds: each draws `fraction` of the rows
+/// without replacement, clusters them at `k` under `linkage`, and compares
+/// against the reference labelling restricted to the drawn rows.
+///
+/// # Panics
+/// If `fraction` is not in `(0, 1]`, `replicates == 0`, or the subsample
+/// would be smaller than `k`.
+pub fn bootstrap_stability(
+    data: &Matrix,
+    reference_labels: &[usize],
+    k: usize,
+    linkage: Linkage,
+    fraction: f64,
+    replicates: usize,
+    seed: u64,
+) -> StabilityResult {
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "bootstrap_stability: fraction out of (0, 1]"
+    );
+    assert!(replicates > 0, "bootstrap_stability: zero replicates");
+    assert_eq!(
+        data.rows(),
+        reference_labels.len(),
+        "bootstrap_stability: label mismatch"
+    );
+    let n = data.rows();
+    let m = ((n as f64) * fraction).round() as usize;
+    assert!(m >= k, "bootstrap_stability: subsample smaller than k");
+
+    let mut rng = Rng::seed_from(seed);
+    let replicate_ari = (0..replicates)
+        .map(|_| {
+            let rows = rng.sample_indices(n, m);
+            let sub = data.select_rows(&rows);
+            let sub_labels = agglomerate(&sub, linkage).cut(k);
+            let ref_sub: Vec<usize> = rows.iter().map(|&r| reference_labels[r]).collect();
+            adjusted_rand_index(&sub_labels, &ref_sub)
+        })
+        .collect();
+    StabilityResult { replicate_ari }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Well-separated blobs → stable; uniform noise → unstable.
+    fn blobs(n_per: usize, sep: f64, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = Rng::seed_from(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..3 {
+            for _ in 0..n_per {
+                rows.push(vec![
+                    rng.normal(c as f64 * sep, 0.5),
+                    rng.normal(0.0, 0.5),
+                ]);
+                labels.push(c);
+            }
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn planted_structure_is_stable() {
+        let (m, _) = blobs(25, 10.0, 1);
+        let reference = agglomerate(&m, Linkage::Ward).cut(3);
+        let r = bootstrap_stability(&m, &reference, 3, Linkage::Ward, 0.7, 10, 42);
+        assert_eq!(r.replicate_ari.len(), 10);
+        assert!(r.mean_ari() > 0.95, "mean {}", r.mean_ari());
+        assert!(r.min_ari() > 0.8, "min {}", r.min_ari());
+    }
+
+    #[test]
+    fn noise_partition_is_unstable() {
+        // Pure uniform noise: any k=3 partition is arbitrary, so the
+        // subsample clusterings disagree with the reference.
+        let mut rng = Rng::seed_from(9);
+        let rows: Vec<Vec<f64>> = (0..90)
+            .map(|_| vec![rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)])
+            .collect();
+        let m = Matrix::from_rows(&rows);
+        let reference = agglomerate(&m, Linkage::Ward).cut(3);
+        let r = bootstrap_stability(&m, &reference, 3, Linkage::Ward, 0.7, 10, 42);
+        assert!(r.mean_ari() < 0.7, "mean {}", r.mean_ari());
+    }
+
+    #[test]
+    fn stability_separates_real_from_spurious_k() {
+        // With 3 true blobs, k=3 is far more stable than k=7.
+        let (m, _) = blobs(25, 8.0, 3);
+        let ref3 = agglomerate(&m, Linkage::Ward).cut(3);
+        let ref7 = agglomerate(&m, Linkage::Ward).cut(7);
+        let s3 = bootstrap_stability(&m, &ref3, 3, Linkage::Ward, 0.7, 8, 7).mean_ari();
+        let s7 = bootstrap_stability(&m, &ref7, 7, Linkage::Ward, 0.7, 8, 7).mean_ari();
+        assert!(s3 > s7 + 0.15, "k=3 {s3} vs k=7 {s7}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (m, _) = blobs(15, 6.0, 5);
+        let reference = agglomerate(&m, Linkage::Ward).cut(3);
+        let a = bootstrap_stability(&m, &reference, 3, Linkage::Ward, 0.8, 5, 11);
+        let b = bootstrap_stability(&m, &reference, 3, Linkage::Ward, 0.8, 5, 11);
+        assert_eq!(a.replicate_ari, b.replicate_ari);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction out of")]
+    fn bad_fraction_panics() {
+        let (m, labels) = blobs(10, 5.0, 1);
+        bootstrap_stability(&m, &labels, 3, Linkage::Ward, 1.5, 2, 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Study configuration.
+
+use icn_cluster::Linkage;
+use icn_forest::ForestConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the end-to-end study pipeline.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct StudyConfig {
+    /// Number of clusters for the primary cut (the paper selects 9).
+    pub k: usize,
+    /// Coarse cut discussed qualitatively by the paper (6).
+    pub k_coarse: usize,
+    /// Range of k swept for the Figure 2 quality indices.
+    pub k_sweep_lo: usize,
+    /// Upper end of the sweep (inclusive).
+    pub k_sweep_hi: usize,
+    /// Minimum relative drop in both indices for the stopping criterion.
+    pub min_rel_drop: f64,
+    /// Number of surrogate forest trees (the paper uses 100).
+    pub n_trees: usize,
+    /// Surrogate training seed.
+    pub seed: u64,
+    /// Whether to run the Figure 2 sweep (slowest step; the cut at `k`
+    /// works without it).
+    pub run_k_sweep: bool,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            k: 9,
+            k_coarse: 6,
+            k_sweep_lo: 2,
+            k_sweep_hi: 15,
+            min_rel_drop: 0.05,
+            n_trees: 100,
+            seed: 0x1C9_5EED,
+            run_k_sweep: true,
+        }
+    }
+}
+
+impl StudyConfig {
+    /// Paper-faithful configuration.
+    pub fn paper() -> Self {
+        StudyConfig::default()
+    }
+
+    /// Faster configuration for tests: fewer trees, no sweep.
+    pub fn fast() -> Self {
+        StudyConfig {
+            n_trees: 30,
+            run_k_sweep: false,
+            ..StudyConfig::default()
+        }
+    }
+
+    /// Linkage used by the study (fixed to Ward, as in the paper; the
+    /// ablation bench varies it directly through `icn-cluster`).
+    pub fn linkage(&self) -> Linkage {
+        Linkage::Ward
+    }
+
+    /// The surrogate forest configuration.
+    pub fn forest_config(&self) -> ForestConfig {
+        ForestConfig {
+            n_trees: self.n_trees,
+            seed: self.seed,
+            ..ForestConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = StudyConfig::paper();
+        assert_eq!(c.k, 9);
+        assert_eq!(c.k_coarse, 6);
+        assert_eq!(c.n_trees, 100);
+        assert!(c.run_k_sweep);
+    }
+
+    #[test]
+    fn fast_disables_sweep() {
+        let c = StudyConfig::fast();
+        assert!(!c.run_k_sweep);
+        assert!(c.n_trees < 100);
+    }
+
+    #[test]
+    fn forest_config_propagates() {
+        let c = StudyConfig { n_trees: 7, seed: 3, ..StudyConfig::fast() };
+        let f = c.forest_config();
+        assert_eq!(f.n_trees, 7);
+        assert_eq!(f.seed, 3);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = StudyConfig::fast();
+        let s = serde_json::to_string(&c).unwrap();
+        let back: StudyConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.k, c.k);
+        assert_eq!(back.run_k_sweep, c.run_k_sweep);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error types for the fallible pipeline API.
+//!
+//! The substrates treat programmer errors (shape mismatches, out-of-range
+//! indices) as panics, in the spirit of simple robust systems code. Data
+//! problems, however, are *expected* in a measurement pipeline — silent
+//! antennas, empty feeds, non-finite values from upstream — so the
+//! top-level [`crate::IcnStudy::try_run`] entry point reports them as
+//! values.
+
+use std::fmt;
+
+/// A data-level failure of the study pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StudyError {
+    /// The dataset contains no antennas at all.
+    EmptyDataset,
+    /// Fewer live (non-silent) antennas than clusters requested.
+    TooFewAntennas {
+        /// Live antennas found.
+        live: usize,
+        /// Clusters requested.
+        k: usize,
+    },
+    /// The traffic matrix contains NaN or infinite entries.
+    NonFiniteTraffic,
+    /// The traffic matrix carries no traffic at all.
+    NoTraffic,
+    /// Invalid study configuration.
+    BadConfig(String),
+}
+
+impl fmt::Display for StudyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StudyError::EmptyDataset => write!(f, "dataset contains no antennas"),
+            StudyError::TooFewAntennas { live, k } => write!(
+                f,
+                "only {live} live antennas but k = {k} clusters requested"
+            ),
+            StudyError::NonFiniteTraffic => {
+                write!(f, "traffic matrix contains NaN/infinite entries")
+            }
+            StudyError::NoTraffic => write!(f, "traffic matrix carries no traffic"),
+            StudyError::BadConfig(msg) => write!(f, "invalid study configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StudyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StudyError::TooFewAntennas { live: 3, k: 9 };
+        let msg = e.to_string();
+        assert!(msg.contains('3') && msg.contains('9'));
+        assert!(StudyError::EmptyDataset.to_string().contains("no antennas"));
+        assert!(StudyError::BadConfig("k = 0".into()).to_string().contains("k = 0"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&StudyError::NoTraffic);
+    }
+}

@@ -1,0 +1,224 @@
+//! Cluster ↔ environment correlation (Section 5.2.2, Figures 6–8).
+//!
+//! Once the clusters exist and the environments are mined from antenna
+//! names, the paper quantifies their relation three ways: the Sankey flows
+//! of Figure 6 (cluster → environment mass), the per-cluster environment
+//! composition of Figure 7, the per-environment cluster distribution of
+//! Figure 8, plus the Paris-share statements sprinkled through the prose
+//! ("more than 92 % of cluster 0/4 antennas are in Paris", ...). This
+//! module computes all of them from a labelling and antenna metadata.
+
+use icn_synth::{Antenna, Environment};
+
+/// A cluster→environment flow for the Sankey diagram.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Flow {
+    /// Source cluster.
+    pub cluster: usize,
+    /// Destination environment.
+    pub environment: Environment,
+    /// Number of antennas on this edge.
+    pub count: usize,
+}
+
+/// Cross-tabulation of clusters against environments with derived views.
+#[derive(Clone, Debug)]
+pub struct EnvCrosstab {
+    /// `counts[cluster][env_index]` using [`Environment::ALL`] order.
+    pub counts: Vec<Vec<usize>>,
+    /// Antennas per cluster.
+    pub cluster_sizes: Vec<usize>,
+    /// Antennas per environment.
+    pub env_sizes: Vec<usize>,
+    /// Fraction of each cluster's antennas located in Paris.
+    pub paris_share: Vec<f64>,
+}
+
+impl EnvCrosstab {
+    /// Builds the crosstab from per-antenna labels and metadata.
+    ///
+    /// # Panics
+    /// If lengths mismatch.
+    pub fn build(antennas: &[Antenna], labels: &[usize], k: usize) -> EnvCrosstab {
+        assert_eq!(antennas.len(), labels.len(), "EnvCrosstab: length mismatch");
+        let ne = Environment::ALL.len();
+        let mut counts = vec![vec![0usize; ne]; k];
+        let mut cluster_sizes = vec![0usize; k];
+        let mut env_sizes = vec![0usize; ne];
+        let mut paris = vec![0usize; k];
+        for (a, &l) in antennas.iter().zip(labels) {
+            assert!(l < k, "EnvCrosstab: label out of range");
+            let e = env_index(a.environment);
+            counts[l][e] += 1;
+            cluster_sizes[l] += 1;
+            env_sizes[e] += 1;
+            if a.is_paris() {
+                paris[l] += 1;
+            }
+        }
+        let paris_share = paris
+            .iter()
+            .zip(&cluster_sizes)
+            .map(|(&p, &s)| if s > 0 { p as f64 / s as f64 } else { 0.0 })
+            .collect();
+        EnvCrosstab {
+            counts,
+            cluster_sizes,
+            env_sizes,
+            paris_share,
+        }
+    }
+
+    /// Figure 7 view: the environment composition of one cluster
+    /// (fractions summing to 1 over [`Environment::ALL`]).
+    pub fn cluster_composition(&self, cluster: usize) -> Vec<f64> {
+        let size = self.cluster_sizes[cluster].max(1) as f64;
+        self.counts[cluster].iter().map(|&c| c as f64 / size).collect()
+    }
+
+    /// Figure 8 view: the cluster distribution of one environment
+    /// (fractions summing to 1 over clusters).
+    pub fn env_distribution(&self, env: Environment) -> Vec<f64> {
+        let e = env_index(env);
+        let size = self.env_sizes[e].max(1) as f64;
+        self.counts.iter().map(|row| row[e] as f64 / size).collect()
+    }
+
+    /// Figure 6 view: all non-zero flows, heaviest first.
+    pub fn flows(&self) -> Vec<Flow> {
+        let mut flows = Vec::new();
+        for (c, row) in self.counts.iter().enumerate() {
+            for (e, &count) in row.iter().enumerate() {
+                if count > 0 {
+                    flows.push(Flow {
+                        cluster: c,
+                        environment: Environment::ALL[e],
+                        count,
+                    });
+                }
+            }
+        }
+        flows.sort_by_key(|f| std::cmp::Reverse(f.count));
+        flows
+    }
+
+    /// The environment holding the largest share of a cluster, with that
+    /// share — e.g. (Workspaces, 0.7+) for the paper's cluster 3.
+    pub fn dominant_environment(&self, cluster: usize) -> (Environment, f64) {
+        let comp = self.cluster_composition(cluster);
+        let best = icn_stats::rank::argmax(&comp);
+        (Environment::ALL[best], comp[best])
+    }
+
+    /// The cluster holding the largest share of an environment, with that
+    /// share — e.g. (cluster 1, ~0.9) for airports.
+    pub fn dominant_cluster(&self, env: Environment) -> (usize, f64) {
+        let dist = self.env_distribution(env);
+        let best = icn_stats::rank::argmax(&dist);
+        (best, dist[best])
+    }
+}
+
+/// Index of an environment in [`Environment::ALL`].
+pub fn env_index(env: Environment) -> usize {
+    Environment::ALL
+        .iter()
+        .position(|&e| e == env)
+        .expect("environment in ALL")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icn_synth::{antennas::generate_antennas, Archetype};
+    use icn_stats::Rng;
+
+    fn setup() -> (Vec<Antenna>, Vec<usize>) {
+        let mut rng = Rng::seed_from(13);
+        let ants = generate_antennas(0.08, &mut rng);
+        // Use planted archetypes as a stand-in labelling.
+        let labels: Vec<usize> = ants.iter().map(|a| a.archetype.id()).collect();
+        (ants, labels)
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let (ants, labels) = setup();
+        let ct = EnvCrosstab::build(&ants, &labels, 9);
+        let total: usize = ct.cluster_sizes.iter().sum();
+        assert_eq!(total, ants.len());
+        let total_env: usize = ct.env_sizes.iter().sum();
+        assert_eq!(total_env, ants.len());
+        let total_cells: usize = ct.counts.iter().flatten().sum();
+        assert_eq!(total_cells, ants.len());
+    }
+
+    #[test]
+    fn compositions_are_distributions() {
+        let (ants, labels) = setup();
+        let ct = EnvCrosstab::build(&ants, &labels, 9);
+        for c in 0..9 {
+            if ct.cluster_sizes[c] == 0 {
+                continue;
+            }
+            let s: f64 = ct.cluster_composition(c).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "cluster {c}");
+        }
+        for env in Environment::ALL {
+            let s: f64 = ct.env_distribution(env).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "{env:?}");
+        }
+    }
+
+    #[test]
+    fn orange_clusters_are_transit_only() {
+        // Planted truth: clusters 0/4/7 live in metro/train environments.
+        let (ants, labels) = setup();
+        let ct = EnvCrosstab::build(&ants, &labels, 9);
+        for c in [0usize, 7] {
+            let comp = ct.cluster_composition(c);
+            let transit = comp[env_index(Environment::Metro)]
+                + comp[env_index(Environment::TrainStation)];
+            assert!(transit > 0.95, "cluster {c}: transit share {transit}");
+        }
+    }
+
+    #[test]
+    fn workspace_dominates_cluster3() {
+        let (ants, labels) = setup();
+        let ct = EnvCrosstab::build(&ants, &labels, 9);
+        let (env, share) = ct.dominant_environment(Archetype::Workspace.id());
+        assert_eq!(env, Environment::Workspace);
+        assert!(share > 0.5, "share {share}");
+    }
+
+    #[test]
+    fn paris_shares_match_construction() {
+        let (ants, labels) = setup();
+        let ct = EnvCrosstab::build(&ants, &labels, 9);
+        // Cluster 0 (Paris metro) is all-Paris; cluster 7 all-provincial.
+        assert!(ct.paris_share[0] > 0.99);
+        assert!(ct.paris_share[7] < 0.01);
+    }
+
+    #[test]
+    fn flows_cover_population_and_sorted() {
+        let (ants, labels) = setup();
+        let ct = EnvCrosstab::build(&ants, &labels, 9);
+        let flows = ct.flows();
+        let total: usize = flows.iter().map(|f| f.count).sum();
+        assert_eq!(total, ants.len());
+        for w in flows.windows(2) {
+            assert!(w[0].count >= w[1].count);
+        }
+    }
+
+    #[test]
+    fn dominant_cluster_for_airports_is_general_use() {
+        let (ants, labels) = setup();
+        let ct = EnvCrosstab::build(&ants, &labels, 9);
+        let (c, share) = ct.dominant_cluster(Environment::Airport);
+        assert_eq!(c, Archetype::GeneralUse.id());
+        assert!(share > 0.7);
+    }
+}

@@ -1,0 +1,323 @@
+//! The end-to-end study pipeline.
+//!
+//! [`IcnStudy::run`] executes the paper's whole analysis on a dataset:
+//!
+//! 1. filter dead antennas and compute RSCA (Section 4.1);
+//! 2. agglomerative Ward clustering, optional Figure 2 k-sweep, cut at
+//!    k = 9 plus the coarse k = 6 view (Section 4.2);
+//! 3. train the random-forest surrogate on the cluster labels
+//!    (Section 5.1.2) and extract the per-cluster SHAP explanations
+//!    (Figure 5);
+//! 4. mine environments from antenna names and build the
+//!    cluster ↔ environment crosstab (Section 5.2, Figures 6–8);
+//! 5. classify the outdoor antennas through the surrogate (Section 5.3,
+//!    Figure 9).
+//!
+//! Temporal analysis (Section 6) is exposed separately via
+//! [`crate::temporal`] because it synthesises hourly series on demand.
+
+use crate::compare::{classify_outdoor, OutdoorComparison};
+use crate::config::StudyConfig;
+use crate::insights::EnvCrosstab;
+use crate::profiles::{cluster_profiles, ClusterProfile};
+use crate::rca::{filter_dead_rows, rsca};
+use icn_cluster::{
+    agglomerate_condensed, sweep_k, Condensed, Dendrogram, KQuality, Linkage, MergeHistory,
+};
+use icn_forest::{RandomForest, TrainSet};
+use icn_shap::ClassExplanation;
+use icn_stats::{Matrix, Metric};
+use icn_synth::Dataset;
+
+/// All artefacts of one study run.
+pub struct IcnStudy {
+    /// Configuration used.
+    pub config: StudyConfig,
+    /// Row indices of the totals matrix that survived dead-row filtering.
+    pub live_rows: Vec<usize>,
+    /// RSCA feature matrix of the live antennas (N × M).
+    pub rsca: Matrix,
+    /// Full agglomerative merge history.
+    pub history: MergeHistory,
+    /// Navigable dendrogram (Figure 3).
+    pub dendrogram: Dendrogram,
+    /// Figure 2 sweep results (empty when `run_k_sweep` is off).
+    pub k_sweep: Vec<KQuality>,
+    /// Primary labels at `config.k` (per live antenna).
+    pub labels: Vec<usize>,
+    /// Coarse labels at `config.k_coarse`.
+    pub labels_coarse: Vec<usize>,
+    /// Map fine cluster → coarse cluster (the k = 9 → 6 consolidation).
+    pub consolidation: Vec<usize>,
+    /// Per-cluster mean-RSCA profiles (Figure 4).
+    pub profiles: Vec<ClusterProfile>,
+    /// The trained surrogate forest.
+    pub surrogate: RandomForest,
+    /// Surrogate accuracy against the clustering labels.
+    pub surrogate_accuracy: f64,
+    /// Surrogate out-of-bag accuracy.
+    pub surrogate_oob: Option<f64>,
+    /// Per-cluster SHAP explanations (Figure 5).
+    pub explanations: Vec<ClassExplanation>,
+    /// Cluster ↔ environment crosstab (Figures 6–8).
+    pub crosstab: EnvCrosstab,
+    /// Outdoor classification (Figure 9).
+    pub outdoor: OutdoorComparison,
+}
+
+impl IcnStudy {
+    /// Fallible entry point: validates the dataset and configuration
+    /// before running, reporting data problems as [`crate::StudyError`]
+    /// values instead of panics. Prefer this in library consumers; the
+    /// panicking [`IcnStudy::run`] is the convenience for examples and
+    /// harnesses that control their inputs.
+    pub fn try_run(
+        dataset: &Dataset,
+        config: StudyConfig,
+    ) -> Result<IcnStudy, crate::StudyError> {
+        use crate::StudyError;
+        if dataset.num_antennas() == 0 {
+            return Err(StudyError::EmptyDataset);
+        }
+        if config.k < 2 {
+            return Err(StudyError::BadConfig(format!("k = {} must be ≥ 2", config.k)));
+        }
+        if config.k_coarse < 1 || config.k_coarse > config.k {
+            return Err(StudyError::BadConfig(format!(
+                "k_coarse = {} must be in 1..=k ({})",
+                config.k_coarse, config.k
+            )));
+        }
+        if config.n_trees == 0 {
+            return Err(StudyError::BadConfig("n_trees = 0".into()));
+        }
+        if dataset.indoor_totals.has_non_finite() {
+            return Err(StudyError::NonFiniteTraffic);
+        }
+        if dataset.indoor_totals.total() <= 0.0 {
+            return Err(StudyError::NoTraffic);
+        }
+        let live = dataset
+            .indoor_totals
+            .row_sums()
+            .iter()
+            .filter(|&&s| s > 0.0)
+            .count();
+        if live < config.k {
+            return Err(StudyError::TooFewAntennas { live, k: config.k });
+        }
+        Ok(IcnStudy::run(dataset, config))
+    }
+
+    /// Runs the full pipeline on a dataset.
+    pub fn run(dataset: &Dataset, config: StudyConfig) -> IcnStudy {
+        // 1. Transform.
+        let (t_live, live_rows) = filter_dead_rows(&dataset.indoor_totals);
+        let rsca_m = rsca(&t_live);
+
+        // 2. Cluster.
+        let cond = Condensed::from_rows(&rsca_m, Linkage::Ward.base_metric());
+        let history = agglomerate_condensed(&cond, Linkage::Ward);
+        let dendrogram = Dendrogram::from_history(&history);
+        let k_sweep = if config.run_k_sweep {
+            // Quality indices use Euclidean geometry (not the squared
+            // distances Ward works in).
+            let cond_eucl = Condensed::from_rows(&rsca_m, Metric::Euclidean);
+            sweep_k(
+                &history,
+                &cond_eucl,
+                config.k_sweep_lo..=config.k_sweep_hi.min(history.n - 1),
+            )
+        } else {
+            Vec::new()
+        };
+        let labels = history.cut(config.k);
+        let labels_coarse = history.cut(config.k_coarse);
+        let consolidation = dendrogram.consolidation(config.k, config.k_coarse);
+        let profiles = cluster_profiles(&rsca_m, &labels, config.k);
+
+        // 3. Surrogate + SHAP.
+        let ts = TrainSet::new(rsca_m.clone(), labels.clone());
+        let surrogate = RandomForest::fit(&ts, &config.forest_config());
+        let surrogate_accuracy = surrogate.accuracy(&ts);
+        let surrogate_oob = surrogate.oob_accuracy;
+        // One batched SHAP pass shares the per-sample tree walks across
+        // all k classes (9x cheaper than explaining class by class).
+        let shap_per_class = icn_shap::forest_shap_batch(&surrogate, &rsca_m);
+        let explanations: Vec<ClassExplanation> = shap_per_class
+            .iter()
+            .enumerate()
+            .map(|(c, shap)| icn_shap::explain_class(shap, &rsca_m, &labels, c))
+            .collect();
+
+        // 4. Environments.
+        let live_antennas: Vec<icn_synth::Antenna> = live_rows
+            .iter()
+            .map(|&i| dataset.antennas[i].clone())
+            .collect();
+        let crosstab = EnvCrosstab::build(&live_antennas, &labels, config.k);
+
+        // 5. Outdoor.
+        let outdoor = classify_outdoor(&dataset.outdoor_totals, &t_live, &surrogate);
+
+        IcnStudy {
+            config,
+            live_rows,
+            rsca: rsca_m,
+            history,
+            dendrogram,
+            k_sweep,
+            labels,
+            labels_coarse,
+            consolidation,
+            profiles,
+            surrogate,
+            surrogate_accuracy,
+            surrogate_oob,
+            explanations,
+            crosstab,
+            outdoor,
+        }
+    }
+
+    /// Number of live antennas analysed.
+    pub fn num_antennas(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Size of each primary cluster.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.config.k];
+        for &l in &self.labels {
+            sizes[l] += 1;
+        }
+        sizes
+    }
+
+    /// Matches discovered clusters to planted archetypes by majority vote:
+    /// `map[discovered_cluster] = archetype_id`. Validation-only helper.
+    pub fn cluster_to_archetype(&self, dataset: &Dataset) -> Vec<usize> {
+        let planted = dataset.planted_labels();
+        let mut votes = vec![vec![0usize; 9]; self.config.k];
+        for (pos, &row) in self.live_rows.iter().enumerate() {
+            votes[self.labels[pos]][planted[row]] += 1;
+        }
+        votes
+            .into_iter()
+            .map(|v| icn_stats::rank::argmax(&v.iter().map(|&x| x as f64).collect::<Vec<_>>()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icn_cluster::adjusted_rand_index;
+    use icn_synth::SynthConfig;
+
+    fn run_small() -> (Dataset, IcnStudy) {
+        let d = Dataset::generate(SynthConfig::small());
+        let s = IcnStudy::run(&d, StudyConfig::fast());
+        (d, s)
+    }
+
+    #[test]
+    fn pipeline_produces_k_clusters() {
+        let (_, s) = run_small();
+        let sizes = s.cluster_sizes();
+        assert_eq!(sizes.len(), 9);
+        assert!(sizes.iter().all(|&x| x > 0), "sizes {sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), s.num_antennas());
+    }
+
+    #[test]
+    fn clustering_recovers_planted_archetypes() {
+        let (d, s) = run_small();
+        let planted: Vec<usize> = s
+            .live_rows
+            .iter()
+            .map(|&i| d.planted_labels()[i])
+            .collect();
+        let ari = adjusted_rand_index(&s.labels, &planted);
+        assert!(ari > 0.6, "ARI {ari}");
+    }
+
+    #[test]
+    fn surrogate_is_faithful() {
+        let (_, s) = run_small();
+        assert!(s.surrogate_accuracy > 0.95, "acc {}", s.surrogate_accuracy);
+        if let Some(oob) = s.surrogate_oob {
+            assert!(oob > 0.7, "oob {oob}");
+        }
+    }
+
+    #[test]
+    fn explanations_cover_all_clusters() {
+        let (_, s) = run_small();
+        assert_eq!(s.explanations.len(), 9);
+        for (c, ex) in s.explanations.iter().enumerate() {
+            assert_eq!(ex.class, c);
+            assert_eq!(ex.influences.len(), 73);
+        }
+    }
+
+    #[test]
+    fn consolidation_maps_fine_to_coarse() {
+        let (_, s) = run_small();
+        assert_eq!(s.consolidation.len(), 9);
+        assert!(s.consolidation.iter().all(|&c| c < 6));
+    }
+
+    #[test]
+    fn outdoor_distribution_is_concentrated() {
+        let (_, s) = run_small();
+        let d = &s.outdoor.distribution;
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let (_, share) = s.outdoor.dominant;
+        assert!(share > 0.4, "dominant share {share}");
+    }
+
+    #[test]
+    fn try_run_validates_inputs() {
+        use crate::StudyError;
+        let d = Dataset::generate(SynthConfig::small().with_scale(0.02));
+        // Valid inputs succeed.
+        assert!(IcnStudy::try_run(&d, StudyConfig::fast()).is_ok());
+        // Bad k.
+        let bad_k = StudyConfig { k: 1, ..StudyConfig::fast() };
+        assert!(matches!(
+            IcnStudy::try_run(&d, bad_k),
+            Err(StudyError::BadConfig(_))
+        ));
+        // Coarse above fine.
+        let bad_coarse = StudyConfig { k_coarse: 99, ..StudyConfig::fast() };
+        assert!(matches!(
+            IcnStudy::try_run(&d, bad_coarse),
+            Err(StudyError::BadConfig(_))
+        ));
+        // NaN traffic.
+        let mut poisoned = d.clone();
+        poisoned.indoor_totals.set(0, 0, f64::NAN);
+        assert_eq!(
+            IcnStudy::try_run(&poisoned, StudyConfig::fast()).err(),
+            Some(StudyError::NonFiniteTraffic)
+        );
+        // All-dead matrix.
+        let mut silent = d.clone();
+        silent.indoor_totals.map_inplace(|_| 0.0);
+        assert_eq!(
+            IcnStudy::try_run(&silent, StudyConfig::fast()).err(),
+            Some(StudyError::NoTraffic)
+        );
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let d = Dataset::generate(SynthConfig::small());
+        let a = IcnStudy::run(&d, StudyConfig::fast());
+        let b = IcnStudy::run(&d, StudyConfig::fast());
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.outdoor.predicted, b.outdoor.predicted);
+        assert_eq!(a.surrogate_accuracy, b.surrogate_accuracy);
+    }
+}

@@ -1,0 +1,167 @@
+//! Feature importances: Gini (mean decrease in impurity) and permutation.
+//!
+//! SHAP is the paper's primary explanation device; these two classical
+//! importances serve as the "second opinion" ablation (B5/roadmap in
+//! DESIGN.md) — they agree with SHAP on which services dominate a cluster
+//! but cannot attribute direction (over- vs under-utilisation).
+
+use crate::data::{gini, TrainSet};
+use crate::forest::RandomForest;
+use crate::tree::DecisionTree;
+use icn_stats::Rng;
+
+/// Mean-decrease-in-impurity importance of one tree, unnormalised.
+fn tree_gini_importance(tree: &DecisionTree) -> Vec<f64> {
+    let mut imp = vec![0.0f64; tree.n_features];
+    for node in &tree.nodes {
+        if node.is_leaf() {
+            continue;
+        }
+        let l = &tree.nodes[node.left];
+        let r = &tree.nodes[node.right];
+        let g_self = gini_of(&node.distribution);
+        let g_l = gini_of(&l.distribution);
+        let g_r = gini_of(&r.distribution);
+        let decrease = node.cover * g_self - l.cover * g_l - r.cover * g_r;
+        imp[node.feature] += decrease.max(0.0);
+    }
+    imp
+}
+
+fn gini_of(distribution: &[f64]) -> f64 {
+    // distribution is already normalised; reuse gini on the proportions.
+    gini(distribution)
+}
+
+/// Gini importance of a forest, normalised to sum to 1 (all-zero if the
+/// forest is a single stump).
+pub fn gini_importance(forest: &RandomForest) -> Vec<f64> {
+    let mut total = vec![0.0f64; forest.n_features];
+    for tree in &forest.trees {
+        for (t, v) in total.iter_mut().zip(tree_gini_importance(tree)) {
+            *t += v;
+        }
+    }
+    let s: f64 = total.iter().sum();
+    if s > 0.0 {
+        for t in &mut total {
+            *t /= s;
+        }
+    }
+    total
+}
+
+/// Permutation importance: accuracy drop when one feature column is
+/// shuffled. `repeats` shuffles are averaged per feature.
+pub fn permutation_importance(
+    forest: &RandomForest,
+    ts: &TrainSet,
+    repeats: usize,
+    rng: &mut Rng,
+) -> Vec<f64> {
+    assert!(repeats >= 1, "permutation_importance: zero repeats");
+    let baseline = forest.accuracy(ts);
+    let n = ts.len();
+    let mut out = vec![0.0f64; ts.num_features()];
+    let mut shuffled = ts.clone();
+    for f in 0..ts.num_features() {
+        let mut drop_sum = 0.0;
+        for _ in 0..repeats {
+            // Shuffle column f.
+            let mut col: Vec<f64> = (0..n).map(|i| ts.x.get(i, f)).collect();
+            rng.shuffle(&mut col);
+            for i in 0..n {
+                shuffled.x.set(i, f, col[i]);
+            }
+            drop_sum += baseline - forest.accuracy(&shuffled);
+        }
+        // Restore the column.
+        for i in 0..n {
+            shuffled.x.set(i, f, ts.x.get(i, f));
+        }
+        out[f] = drop_sum / repeats as f64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::ForestConfig;
+    use icn_stats::Matrix;
+
+    /// Class is determined entirely by feature 0; feature 1 is noise.
+    fn one_informative_feature(seed: u64) -> TrainSet {
+        let mut rng = Rng::seed_from(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..120 {
+            let x0 = rng.uniform(0.0, 1.0);
+            let x1 = rng.uniform(0.0, 1.0);
+            rows.push(vec![x0, x1]);
+            labels.push(usize::from(x0 > 0.5));
+        }
+        TrainSet::new(Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn gini_importance_finds_informative_feature() {
+        let ts = one_informative_feature(1);
+        let forest = RandomForest::fit(
+            &ts,
+            &ForestConfig {
+                n_trees: 20,
+                ..ForestConfig::default()
+            },
+        );
+        let imp = gini_importance(&forest);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[0] > 0.8, "imp {imp:?}");
+    }
+
+    #[test]
+    fn permutation_importance_finds_informative_feature() {
+        let ts = one_informative_feature(2);
+        let forest = RandomForest::fit(
+            &ts,
+            &ForestConfig {
+                n_trees: 20,
+                ..ForestConfig::default()
+            },
+        );
+        let mut rng = Rng::seed_from(3);
+        let imp = permutation_importance(&forest, &ts, 3, &mut rng);
+        assert!(imp[0] > 0.2, "imp {imp:?}");
+        assert!(imp[1] < 0.05, "imp {imp:?}");
+    }
+
+    #[test]
+    fn importances_nonnegative_gini() {
+        let ts = one_informative_feature(4);
+        let forest = RandomForest::fit(
+            &ts,
+            &ForestConfig {
+                n_trees: 10,
+                ..ForestConfig::default()
+            },
+        );
+        assert!(gini_importance(&forest).iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn stump_forest_zero_importance() {
+        // One constant feature → single-leaf trees → all-zero importance.
+        let ts = TrainSet::new(
+            Matrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0]]),
+            vec![0, 1, 0],
+        );
+        let forest = RandomForest::fit(
+            &ts,
+            &ForestConfig {
+                n_trees: 5,
+                ..ForestConfig::default()
+            },
+        );
+        assert_eq!(gini_importance(&forest), vec![0.0]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # icn-forest — supervised-learning substrate
+//!
+//! A from-scratch random forest, the surrogate classifier of Section 5.1.2
+//! of the paper: trained on the clustering labels, it both generalises the
+//! unsupervised result to unseen antennas (the outdoor comparison of
+//! Section 5.3 classifies ~20k outdoor antennas through it) and provides a
+//! tree ensemble that `icn-shap`'s TreeSHAP implementation can explain.
+//!
+//! * [`data`] — labelled training sets, bootstrap sampling, Gini impurity.
+//! * [`tree`] — CART decision trees with public flat node layout (cover +
+//!   class distribution per node, as TreeSHAP requires).
+//! * [`forest`] — bagging, √M feature subsampling, soft voting, OOB error,
+//!   deterministic parallel training.
+//! * [`importance`] — Gini and permutation importances (the classical
+//!   second opinion next to SHAP).
+//! * [`metrics`] — accuracy, confusion matrices, macro-F1 for the
+//!   surrogate-fidelity experiment.
+//! * [`crossval`] — stratified k-fold cross-validation, the sturdier
+//!   generalisation estimate next to OOB error (B4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crossval;
+pub mod data;
+pub mod forest;
+pub mod importance;
+pub mod metrics;
+pub mod tree;
+
+pub use crossval::{cross_validate, stratified_folds, CvResult};
+pub use data::{gini, TrainSet};
+pub use forest::{ForestConfig, RandomForest};
+pub use importance::{gini_importance, permutation_importance};
+pub use metrics::{accuracy, class_scores, confusion_matrix, macro_f1, ClassScore};
+pub use tree::{DecisionTree, MaxFeatures, Node, TreeConfig};

@@ -1,0 +1,38 @@
+//! # icn-probe — measurement-plane substrate
+//!
+//! The paper's dataset is produced by "passive measurement probes" on the
+//! Gi/SGi/Gn interfaces of a nationwide Evolved Packet Core: every TCP/UDP
+//! session is geo-referenced to a BTS via the GTP-C User Location
+//! Information field, attributed to a mobile service by DPI classifiers,
+//! and aggregated hourly (Section 3; the Ethics appendix adds that
+//! identifiers are deleted on aggregation). This crate rebuilds that
+//! collection path against the synthetic population, so the totals matrix
+//! can be produced *the way the operator produced theirs* — including the
+//! failure modes (malformed ULIs, DPI confusion, unclassified flows) and
+//! the privacy suppression step:
+//!
+//! * [`flows`] — IP-session synthesis: Poisson session counts, heavy-tailed
+//!   sizes, down/uplink split and TCP/UDP mix per service category.
+//! * [`uli`] — ULI (TAC + ECI) numbering plan, wire encoding, resolution
+//!   back to antennas, corruption detection.
+//! * [`dpi`] — the service classifier with a category-structured confusion
+//!   model and an unclassified fraction.
+//! * [`aggregate`] — the hourly (antenna, service, hour) cube, k-anonymity
+//!   suppression, and folding into the totals matrix.
+//! * [`campaign`] — end-to-end orchestration with conservation tests
+//!   against the direct generator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod campaign;
+pub mod dpi;
+pub mod flows;
+pub mod uli;
+
+pub use aggregate::HourlyCube;
+pub use campaign::{run_campaign, CampaignConfig, CampaignResult};
+pub use dpi::{DpiClassifier, DpiConfig, DpiLabel};
+pub use flows::{sessions_for_cell_hour, Protocol, SessionRecord};
+pub use uli::{antenna_for_uli, decode, encode, uli_for_antenna, Uli};

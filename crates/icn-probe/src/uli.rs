@@ -1,0 +1,116 @@
+//! User Location Information (ULI) geo-referencing.
+//!
+//! Section 3 of the paper: each IP session is "geo-referenced at the level
+//! of Base Transceiver Station (BTS), by exploiting the User Location
+//! Information (ULI) field present in the PDP Contexts and EPS Bearers over
+//! the GPRS Tunneling Protocol control plane (GTP-C)". We model the ULI as
+//! a `(tracking area code, E-UTRAN cell id)` pair with a deterministic
+//! mapping to antenna ids, an encoder/decoder, and a corruption model for
+//! malformed control-plane records (which real probes do see and must
+//! discard).
+
+/// A decoded ULI: tracking area + cell identity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Uli {
+    /// Tracking Area Code (16-bit in LTE).
+    pub tac: u16,
+    /// E-UTRAN Cell Identity (28-bit; we use the low 28 bits of a u32).
+    pub eci: u32,
+}
+
+/// Cells per tracking area in our synthetic numbering plan.
+const CELLS_PER_TA: usize = 256;
+
+/// Maps an antenna id to its ULI. The plan packs antennas into tracking
+/// areas of `CELLS_PER_TA` (256) cells; the ECI low byte enumerates the cell
+/// within the area.
+pub fn uli_for_antenna(antenna_id: usize) -> Uli {
+    let tac = (antenna_id / CELLS_PER_TA) as u16;
+    let within = (antenna_id % CELLS_PER_TA) as u32;
+    // eNodeB id in the high bits, cell id in the low byte.
+    let eci = ((tac as u32) << 8 | within) & 0x0FFF_FFFF;
+    Uli { tac, eci }
+}
+
+/// Recovers the antenna id from a ULI, if the ULI belongs to the plan and
+/// `n_antennas` bounds the valid id space.
+pub fn antenna_for_uli(uli: Uli, n_antennas: usize) -> Option<usize> {
+    let within = (uli.eci & 0xFF) as usize;
+    let enb = (uli.eci >> 8) as u16;
+    if enb != uli.tac {
+        return None; // inconsistent TAC/ECI — malformed record
+    }
+    let id = uli.tac as usize * CELLS_PER_TA + within;
+    if id < n_antennas {
+        Some(id)
+    } else {
+        None
+    }
+}
+
+/// Serialises a ULI into the 6-byte wire layout we use (2-byte TAC +
+/// 4-byte ECI, both big-endian).
+pub fn encode(uli: Uli) -> [u8; 6] {
+    let mut out = [0u8; 6];
+    out[..2].copy_from_slice(&uli.tac.to_be_bytes());
+    out[2..].copy_from_slice(&uli.eci.to_be_bytes());
+    out
+}
+
+/// Parses the 6-byte layout back. Returns `None` if the ECI has bits above
+/// its 28-bit range (corrupted record).
+pub fn decode(bytes: &[u8; 6]) -> Option<Uli> {
+    let tac = u16::from_be_bytes([bytes[0], bytes[1]]);
+    let eci = u32::from_be_bytes([bytes[2], bytes[3], bytes[4], bytes[5]]);
+    if eci > 0x0FFF_FFFF {
+        return None;
+    }
+    Some(Uli { tac, eci })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn antenna_round_trip() {
+        for id in [0usize, 1, 255, 256, 4761, 10_000] {
+            let uli = uli_for_antenna(id);
+            assert_eq!(antenna_for_uli(uli, 20_000), Some(id), "id {id}");
+        }
+    }
+
+    #[test]
+    fn out_of_population_is_none() {
+        let uli = uli_for_antenna(5000);
+        assert_eq!(antenna_for_uli(uli, 4762), None);
+    }
+
+    #[test]
+    fn inconsistent_tac_rejected() {
+        let mut uli = uli_for_antenna(300);
+        uli.tac = 0; // now ECI says eNodeB 1 but TAC says 0
+        assert_eq!(antenna_for_uli(uli, 4762), None);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let uli = uli_for_antenna(1234);
+        let bytes = encode(uli);
+        assert_eq!(decode(&bytes), Some(uli));
+    }
+
+    #[test]
+    fn corrupted_eci_rejected() {
+        let mut bytes = encode(uli_for_antenna(7));
+        bytes[2] = 0xFF; // set bits above the 28-bit ECI range
+        assert_eq!(decode(&bytes), None);
+    }
+
+    #[test]
+    fn distinct_antennas_distinct_ulis() {
+        use std::collections::HashSet;
+        let ulis: HashSet<Uli> = (0..5000).map(uli_for_antenna).collect();
+        assert_eq!(ulis.len(), 5000);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for the measurement-plane substrate.
+
+use icn_probe::{
+    antenna_for_uli, decode, encode, sessions_for_cell_hour, uli_for_antenna, DpiClassifier,
+    DpiConfig, DpiLabel,
+};
+use icn_stats::Rng;
+use icn_synth::services::catalog;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn uli_round_trip(id in 0usize..100_000) {
+        let uli = uli_for_antenna(id);
+        prop_assert_eq!(antenna_for_uli(uli, 200_000), Some(id));
+        prop_assert_eq!(decode(&encode(uli)), Some(uli));
+    }
+
+    #[test]
+    fn uli_rejects_foreign_population(id in 5_000usize..100_000) {
+        let uli = uli_for_antenna(id);
+        prop_assert_eq!(antenna_for_uli(uli, 4_762), None);
+    }
+
+    #[test]
+    fn session_bytes_conserved(
+        seed in any::<u64>(),
+        svc_idx in 0usize..73,
+        volume in 0.1f64..5_000.0,
+    ) {
+        let services = catalog();
+        let mut rng = Rng::seed_from(seed);
+        let recs = sessions_for_cell_hour(7, svc_idx, &services[svc_idx], 3, volume, &mut rng);
+        prop_assert!(!recs.is_empty());
+        let total_mb: f64 = recs.iter().map(|r| r.bytes_total() as f64 / 1e6).sum();
+        // Byte rounding across n sessions loses at most ~n bytes.
+        prop_assert!((total_mb - volume).abs() < 0.01 + recs.len() as f64 * 1e-6,
+            "total {} vs {}", total_mb, volume);
+        for r in &recs {
+            prop_assert_eq!(r.hour, 3);
+            prop_assert!(r.bytes_total() > 0);
+        }
+    }
+
+    #[test]
+    fn classifier_rates_bounded(
+        seed in any::<u64>(),
+        confusion in 0.0f64..1.0,
+        unclassified in 0.0f64..0.5,
+    ) {
+        let services = catalog();
+        let dpi = DpiClassifier::new(
+            &services,
+            DpiConfig {
+                confusion_rate: confusion,
+                within_category: 0.8,
+                unclassified_rate: unclassified,
+            },
+        );
+        let mut rng = Rng::seed_from(seed);
+        for truth in (0..73).step_by(11) {
+            match dpi.classify(truth, &mut rng) {
+                DpiLabel::Service(s) => prop_assert!(s < 73),
+                DpiLabel::Unclassified => {}
+            }
+        }
+    }
+
+    #[test]
+    fn zero_confusion_is_identity(seed in any::<u64>()) {
+        let services = catalog();
+        let dpi = DpiClassifier::new(&services, DpiConfig::perfect());
+        let mut rng = Rng::seed_from(seed);
+        for truth in 0..73 {
+            prop_assert_eq!(dpi.classify(truth, &mut rng), DpiLabel::Service(truth));
+        }
+    }
+}

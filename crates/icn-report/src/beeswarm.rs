@@ -1,0 +1,95 @@
+//! Text beeswarm summaries (Figure 5).
+//!
+//! The paper's beeswarm plots show per-cluster SHAP distributions; in the
+//! terminal we render each cluster's ranked service list with the mean
+//! |SHAP| as a bar and an over-/under-utilisation marker derived from the
+//! SHAP↔feature-value correlation (the colour axis of the original plots).
+
+use icn_shap::{ClassExplanation, Direction};
+use std::fmt::Write as _;
+
+/// Renders the top-`k` influences of one cluster explanation.
+///
+/// `service_names[f]` labels feature `f`.
+pub fn render(ex: &ClassExplanation, service_names: &[&str], k: usize, max_bar: usize) -> String {
+    assert!(max_bar > 0, "render: zero bar width");
+    let top = ex.top(k);
+    let max_val = top
+        .first()
+        .map(|i| i.mean_abs_shap)
+        .unwrap_or(0.0)
+        .max(1e-12);
+    let mut out = String::new();
+    let _ = writeln!(out, "cluster {} — top {} services by mean |SHAP|:", ex.class, top.len());
+    for inf in top {
+        let bar = ((inf.mean_abs_shap / max_val) * max_bar as f64).round().max(1.0) as usize;
+        let marker = match inf.direction {
+            Direction::OverUtilized => "OVER ",
+            Direction::UnderUtilized => "UNDER",
+            Direction::Neutral => "  ·  ",
+        };
+        let name = service_names.get(inf.feature).copied().unwrap_or("?");
+        let _ = writeln!(
+            out,
+            "{name:<26} {marker} {:>8.5} {}",
+            inf.mean_abs_shap,
+            "*".repeat(bar)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icn_shap::FeatureInfluence;
+
+    fn fake_explanation() -> ClassExplanation {
+        ClassExplanation {
+            class: 3,
+            influences: vec![
+                FeatureInfluence {
+                    feature: 1,
+                    mean_abs_shap: 0.2,
+                    shap_value_correlation: 0.9,
+                    mean_shap_on_members: 0.1,
+                    direction: Direction::OverUtilized,
+                },
+                FeatureInfluence {
+                    feature: 0,
+                    mean_abs_shap: 0.05,
+                    shap_value_correlation: -0.8,
+                    mean_shap_on_members: 0.02,
+                    direction: Direction::UnderUtilized,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_markers_and_order() {
+        let ex = fake_explanation();
+        let s = render(&ex, &["Spotify", "Teams"], 25, 20);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains("cluster 3"));
+        assert!(lines[1].starts_with("Teams"));
+        assert!(lines[1].contains("OVER"));
+        assert!(lines[2].starts_with("Spotify"));
+        assert!(lines[2].contains("UNDER"));
+    }
+
+    #[test]
+    fn truncates_to_k() {
+        let ex = fake_explanation();
+        let s = render(&ex, &["a", "b"], 1, 10);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("top 1 services"));
+    }
+
+    #[test]
+    fn unknown_feature_name_safe() {
+        let ex = fake_explanation();
+        let s = render(&ex, &[], 2, 10);
+        assert!(s.contains('?'));
+    }
+}

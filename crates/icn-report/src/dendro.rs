@@ -1,0 +1,119 @@
+//! Text dendrogram rendering (Figure 3).
+//!
+//! The full 4,762-leaf dendrogram is unreadable in text, so — like the
+//! paper's figure, which annotates the cluster structure — we render the
+//! *top* of the hierarchy: the tree over the k cluster roots, with each
+//! root annotated by its size, plus the distance thresholds for the k = 6
+//! and k = 9 cuts.
+
+use icn_cluster::Dendrogram;
+use std::fmt::Write as _;
+
+/// Renders the hierarchy over the cluster roots at `k`, one line per node,
+/// indented by depth, heights annotated. Cluster roots are labelled with
+/// their cut label (size order) and member count.
+pub fn render_top(dendro: &Dendrogram, k: usize) -> String {
+    let roots = dendro.roots_at_k(k);
+    let labels = dendro.cut(k);
+    // Map each root to its cut label via its first leaf.
+    let root_label = |root: usize| -> usize {
+        let leaf = dendro.leaves_under(root)[0];
+        labels[leaf]
+    };
+    let n = dendro.num_leaves();
+    let mut out = String::new();
+    let (lo, hi) = cut_band_from_dendrogram(dendro, k);
+    let _ = writeln!(
+        out,
+        "dendrogram top (k={k}; cut threshold between heights {:.4} and {:.4})",
+        lo, hi
+    );
+
+    // Recursive print from the overall root, stopping at cluster roots.
+    fn rec(
+        d: &Dendrogram,
+        node: usize,
+        depth: usize,
+        roots: &[usize],
+        root_label: &dyn Fn(usize) -> usize,
+        n: usize,
+        out: &mut String,
+    ) {
+        let indent = "  ".repeat(depth);
+        if roots.contains(&node) {
+            let size = if node < n {
+                1
+            } else {
+                d.nodes()[node - n].size
+            };
+            let _ = writeln!(out, "{indent}cluster {} ({} antennas)", root_label(node), size);
+            return;
+        }
+        let nd = d.nodes()[node - n];
+        let _ = writeln!(out, "{indent}+- merge @ {:.4}", nd.height);
+        rec(d, nd.left, depth + 1, roots, root_label, n, out);
+        rec(d, nd.right, depth + 1, roots, root_label, n, out);
+    }
+    rec(dendro, dendro.root(), 0, &roots, &root_label, n, &mut out);
+    out
+}
+
+/// The height band within which cutting yields exactly `k` clusters.
+fn cut_band_from_dendrogram(dendro: &Dendrogram, k: usize) -> (f64, f64) {
+    let n = dendro.num_leaves();
+    let heights: Vec<f64> = dendro.nodes().iter().map(|nd| nd.height).collect();
+    let lo = if n > k { heights[n - k - 1] } else { 0.0 };
+    let hi = if k >= 2 { heights[n - k] } else { f64::INFINITY };
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icn_cluster::{agglomerate, Linkage};
+    use icn_stats::{Matrix, Rng};
+
+    fn dendro() -> Dendrogram {
+        let mut rng = Rng::seed_from(77);
+        let mut rows = Vec::new();
+        for c in 0..3 {
+            for _ in 0..8 {
+                rows.push(vec![rng.normal(c as f64 * 10.0, 0.5), rng.normal(0.0, 0.5)]);
+            }
+        }
+        let m = Matrix::from_rows(&rows);
+        Dendrogram::from_history(&agglomerate(&m, Linkage::Ward))
+    }
+
+    #[test]
+    fn renders_k_cluster_lines() {
+        let d = dendro();
+        let s = render_top(&d, 3);
+        let cluster_lines = s.lines().filter(|l| l.contains("cluster ")).count();
+        assert_eq!(cluster_lines, 3);
+        assert!(s.contains("antennas)"));
+    }
+
+    #[test]
+    fn sizes_sum_to_leaves() {
+        let d = dendro();
+        let s = render_top(&d, 3);
+        let total: usize = s
+            .lines()
+            .filter_map(|l| {
+                let open = l.find('(')?;
+                let close = l.find(" antennas")?;
+                l[open + 1..close].parse::<usize>().ok()
+            })
+            .sum();
+        assert_eq!(total, d.num_leaves());
+    }
+
+    #[test]
+    fn header_mentions_thresholds() {
+        let d = dendro();
+        let s = render_top(&d, 2);
+        assert!(s.starts_with("dendrogram top (k=2"));
+        assert!(s.contains("cut threshold"));
+    }
+}

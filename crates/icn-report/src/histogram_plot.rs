@@ -1,0 +1,64 @@
+//! Text histogram rendering (Figure 1).
+
+use icn_stats::Histogram;
+use std::fmt::Write as _;
+
+/// Renders a histogram as horizontal bars, one line per bin, with bin
+/// edges, counts and a proportional bar. `max_bar` caps the bar width.
+pub fn render(h: &Histogram, title: &str, max_bar: usize) -> String {
+    assert!(max_bar > 0, "render: zero bar width");
+    let mut out = String::new();
+    let _ = writeln!(out, "{title} (n={}):", h.total());
+    let max_count = h.counts().iter().copied().max().unwrap_or(0).max(1);
+    for i in 0..h.bins() {
+        let (lo, hi) = h.edges(i);
+        let c = h.counts()[i];
+        let bar_len = (c as f64 / max_count as f64 * max_bar as f64).round() as usize;
+        let _ = writeln!(
+            out,
+            "[{lo:8.3}, {hi:8.3})  {c:>7}  {}",
+            "#".repeat(bar_len)
+        );
+    }
+    if h.underflow() > 0 || h.overflow() > 0 {
+        let _ = writeln!(
+            out,
+            "(underflow: {}, overflow: {})",
+            h.underflow(),
+            h.overflow()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_bins_and_title() {
+        let h = Histogram::of(&[0.1, 0.2, 0.9], 0.0, 1.0, 2);
+        let s = render(&h, "demo", 10);
+        assert!(s.starts_with("demo (n=3):"));
+        assert_eq!(s.lines().count(), 3);
+        // The fuller first bin has the longer bar.
+        let lines: Vec<&str> = s.lines().collect();
+        let bar = |l: &str| l.chars().filter(|&c| c == '#').count();
+        assert!(bar(lines[1]) > bar(lines[2]));
+    }
+
+    #[test]
+    fn outliers_reported() {
+        let h = Histogram::of(&[-5.0, 0.5, 9.0], 0.0, 1.0, 2);
+        let s = render(&h, "x", 5);
+        assert!(s.contains("underflow: 1"));
+        assert!(s.contains("overflow: 1"));
+    }
+
+    #[test]
+    fn empty_histogram_safe() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        let s = render(&h, "empty", 5);
+        assert!(s.contains("(n=0)"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Text Sankey rendering (Figure 6).
+//!
+//! A terminal stand-in for the paper's Sankey diagram: one line per
+//! cluster→environment flow, with a proportional band of `=` characters,
+//! heaviest flows first.
+
+use icn_core::Flow;
+use std::fmt::Write as _;
+
+/// Renders flows as proportional bands. `min_count` hides tiny edges
+/// (like the figure, which cannot show hairline flows); `max_band` caps
+/// the band width.
+pub fn render(flows: &[Flow], min_count: usize, max_band: usize) -> String {
+    assert!(max_band > 0, "render: zero band width");
+    let max_count = flows.iter().map(|f| f.count).max().unwrap_or(1).max(1);
+    let mut out = String::new();
+    let mut hidden = 0usize;
+    for f in flows {
+        if f.count < min_count {
+            hidden += f.count;
+            continue;
+        }
+        let band = ((f.count as f64 / max_count as f64) * max_band as f64)
+            .round()
+            .max(1.0) as usize;
+        let _ = writeln!(
+            out,
+            "cluster {} {}> {}  ({})",
+            f.cluster,
+            "=".repeat(band),
+            f.environment.label(),
+            f.count
+        );
+    }
+    if hidden > 0 {
+        let _ = writeln!(out, "(+ {hidden} antennas in flows below threshold)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icn_synth::Environment;
+
+    fn flows() -> Vec<Flow> {
+        vec![
+            Flow { cluster: 0, environment: Environment::Metro, count: 100 },
+            Flow { cluster: 3, environment: Environment::Workspace, count: 50 },
+            Flow { cluster: 1, environment: Environment::Hotel, count: 2 },
+        ]
+    }
+
+    #[test]
+    fn bands_proportional() {
+        let s = render(&flows(), 0, 20);
+        let band = |needle: &str| {
+            s.lines()
+                .find(|l| l.contains(needle))
+                .unwrap()
+                .chars()
+                .filter(|&c| c == '=')
+                .count()
+        };
+        assert_eq!(band("Metro"), 20);
+        assert_eq!(band("Workspaces"), 10);
+        assert!(band("Hotels") >= 1);
+    }
+
+    #[test]
+    fn threshold_hides_and_reports() {
+        let s = render(&flows(), 10, 20);
+        assert!(!s.contains("Hotels"));
+        assert!(s.contains("below threshold"));
+    }
+
+    #[test]
+    fn empty_flows_empty_output() {
+        assert_eq!(render(&[], 0, 10), "");
+    }
+}

@@ -1,0 +1,224 @@
+//! KernelSHAP — model-agnostic Shapley estimation.
+//!
+//! The paper's Section 5.1.1 contrasts model-agnostic Kernel SHAP ("can be
+//! used to interpret any ML model") with the faster tree-specific method.
+//! We implement it as the B5 ablation's second opinion: sample binary
+//! coalitions `z ∈ {0,1}^M`, evaluate the model with absent features
+//! imputed from background data, weight each coalition by the Shapley
+//! kernel `(M−1) / (C(M,|z|) · |z| · (M−|z|))`, and fit a weighted linear
+//! model whose coefficients estimate the Shapley values. The efficiency
+//! constraint (`Σφ = f(x) − E[f]`) is enforced by eliminating one
+//! coefficient.
+
+use icn_stats::{Matrix, Rng};
+
+use crate::linalg::weighted_least_squares;
+
+/// A black-box scalar model: maps a feature vector to one output (e.g. the
+/// probability of one class).
+pub trait ScalarModel {
+    /// Evaluates the model on one sample.
+    fn eval(&self, x: &[f64]) -> f64;
+}
+
+impl<F: Fn(&[f64]) -> f64> ScalarModel for F {
+    fn eval(&self, x: &[f64]) -> f64 {
+        self(x)
+    }
+}
+
+/// Configuration for a KernelSHAP run.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelShapConfig {
+    /// Number of sampled coalitions (besides the all-present/all-absent
+    /// anchors). More samples → lower variance.
+    pub n_samples: usize,
+    /// Number of background rows used to impute absent features.
+    pub max_background: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KernelShapConfig {
+    fn default() -> Self {
+        KernelShapConfig {
+            n_samples: 2048,
+            max_background: 32,
+            seed: 0x5A11,
+        }
+    }
+}
+
+/// Estimates Shapley values of `model` at `x`, imputing absent features
+/// from rows of `background`. Returns `(phi, base)` where `base = E[f]`
+/// over the background and `Σφ + base ≈ f(x)`.
+pub fn kernel_shap(
+    model: &dyn ScalarModel,
+    x: &[f64],
+    background: &Matrix,
+    cfg: &KernelShapConfig,
+) -> (Vec<f64>, f64) {
+    let m = x.len();
+    assert!(m >= 2, "kernel_shap: need at least 2 features");
+    assert_eq!(background.cols(), m, "kernel_shap: background shape mismatch");
+    assert!(background.rows() > 0, "kernel_shap: empty background");
+    let mut rng = Rng::seed_from(cfg.seed);
+
+    // Background subset.
+    let bg_rows: Vec<usize> = if background.rows() <= cfg.max_background {
+        (0..background.rows()).collect()
+    } else {
+        rng.sample_indices(background.rows(), cfg.max_background)
+    };
+
+    // f with a coalition mask: absent features replaced by each background
+    // row in turn, outputs averaged.
+    let eval_mask = |mask: &[bool], rng_buf: &mut Vec<f64>| -> f64 {
+        let mut acc = 0.0;
+        for &b in &bg_rows {
+            rng_buf.clear();
+            rng_buf.extend(
+                mask.iter()
+                    .enumerate()
+                    .map(|(j, &keep)| if keep { x[j] } else { background.get(b, j) }),
+            );
+            acc += model.eval(rng_buf);
+        }
+        acc / bg_rows.len() as f64
+    };
+
+    let mut buf = Vec::with_capacity(m);
+    let fx = eval_mask(&vec![true; m], &mut buf);
+    let base = eval_mask(&vec![false; m], &mut buf);
+
+    // Sample coalitions with sizes weighted by the Shapley kernel's
+    // marginal over |z| (∝ (M−1)/(s(M−s))), then uniform subsets of that
+    // size. The per-row regression weight is then constant, which is
+    // equivalent and better conditioned.
+    let mut size_weights: Vec<f64> = (1..m)
+        .map(|s| (m as f64 - 1.0) / ((s * (m - s)) as f64))
+        .collect();
+    let sw_total: f64 = size_weights.iter().sum();
+    for w in &mut size_weights {
+        *w /= sw_total;
+    }
+
+    let mut designs: Vec<Vec<f64>> = Vec::with_capacity(cfg.n_samples);
+    let mut targets: Vec<f64> = Vec::with_capacity(cfg.n_samples);
+    let mut weights: Vec<f64> = Vec::with_capacity(cfg.n_samples);
+    let mut mask = vec![false; m];
+    for _ in 0..cfg.n_samples {
+        let s = 1 + rng.categorical(&size_weights);
+        mask.iter_mut().for_each(|v| *v = false);
+        for idx in rng.sample_indices(m, s) {
+            mask[idx] = true;
+        }
+        let y = eval_mask(&mask, &mut buf);
+        // Efficiency constraint eliminates phi_{m-1}:
+        // y - base - z_{m-1} (fx - base) = Σ_{j<m-1} (z_j - z_{m-1}) φ_j.
+        let z_last = f64::from(mask[m - 1]);
+        let row: Vec<f64> = (0..m - 1).map(|j| f64::from(mask[j]) - z_last).collect();
+        designs.push(row);
+        targets.push(y - base - z_last * (fx - base));
+        weights.push(1.0);
+    }
+
+    let beta = weighted_least_squares(&designs, &targets, &weights)
+        .unwrap_or_else(|| vec![0.0; m - 1]);
+    let mut phi = beta;
+    let sum_rest: f64 = phi.iter().sum();
+    phi.push(fx - base - sum_rest);
+    (phi, base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linear model: Shapley values have the closed form
+    /// `phi_j = w_j (x_j − mean(background_j))`.
+    #[test]
+    fn linear_model_closed_form() {
+        let w = [2.0, -1.0, 0.5];
+        let model = move |x: &[f64]| w.iter().zip(x).map(|(a, b)| a * b).sum::<f64>();
+        let background = Matrix::from_rows(&[
+            vec![0.0, 0.0, 0.0],
+            vec![1.0, 1.0, 1.0],
+        ]);
+        let x = [2.0, 3.0, -1.0];
+        let cfg = KernelShapConfig {
+            n_samples: 4000,
+            ..KernelShapConfig::default()
+        };
+        let (phi, base) = kernel_shap(&model, &x, &background, &cfg);
+        let bg_mean = [0.5, 0.5, 0.5];
+        for j in 0..3 {
+            let expect = w[j] * (x[j] - bg_mean[j]);
+            assert!(
+                (phi[j] - expect).abs() < 0.05,
+                "phi[{j}] = {} expect {expect}",
+                phi[j]
+            );
+        }
+        let fx = model(&x);
+        assert!((phi.iter().sum::<f64>() + base - fx).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_holds_exactly_by_construction() {
+        let model = |x: &[f64]| x[0] * x[1] + x.get(2).copied().unwrap_or(0.0);
+        let background = Matrix::from_rows(&[vec![0.0, 0.0, 0.0]]);
+        let x = [1.0, 2.0, 3.0];
+        let (phi, base) = kernel_shap(&model, &x, &background, &KernelShapConfig::default());
+        let fx = model(&x);
+        assert!((phi.iter().sum::<f64>() + base - fx).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetric_features_get_equal_credit() {
+        // f = x0 + x1, identical coordinates ⇒ equal Shapley values.
+        let model = |x: &[f64]| x[0] + x[1];
+        let background = Matrix::from_rows(&[vec![0.0, 0.0]]);
+        let (phi, _) = kernel_shap(
+            &model,
+            &[1.0, 1.0],
+            &background,
+            &KernelShapConfig {
+                n_samples: 1000,
+                ..Default::default()
+            },
+        );
+        assert!((phi[0] - phi[1]).abs() < 0.05, "phi {phi:?}");
+        assert!((phi[0] - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn dummy_feature_gets_zero() {
+        let model = |x: &[f64]| 5.0 * x[0];
+        let background = Matrix::from_rows(&[vec![0.0, 7.0], vec![0.0, -3.0]]);
+        let (phi, _) = kernel_shap(
+            &model,
+            &[1.0, 100.0],
+            &background,
+            &KernelShapConfig {
+                n_samples: 1000,
+                ..Default::default()
+            },
+        );
+        assert!(phi[1].abs() < 0.05, "phi {phi:?}");
+        assert!((phi[0] - 5.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let model = |x: &[f64]| x[0] * x[1];
+        let background = Matrix::from_rows(&[vec![0.5, 0.5]]);
+        let cfg = KernelShapConfig {
+            n_samples: 300,
+            ..Default::default()
+        };
+        let (a, _) = kernel_shap(&model, &[1.0, 2.0], &background, &cfg);
+        let (b, _) = kernel_shap(&model, &[1.0, 2.0], &background, &cfg);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,34 @@
+//! # icn-shap — explainable-ML substrate
+//!
+//! From-scratch Shapley-additive-explanation machinery for the paper's
+//! Section 5.1: the clustering result is made interpretable by training a
+//! random-forest surrogate (`icn-forest`) and attributing each antenna's
+//! predicted cluster to its per-service RSCA features.
+//!
+//! * [`treeshap`] — the polynomial-time, path-dependent TreeSHAP algorithm
+//!   for single trees and forests, exact for the tree's conditional
+//!   expectation and validated against brute force.
+//! * [`exact`] — the 2^M Shapley definition (Eq. 4 of the paper) for small
+//!   feature counts; the oracle the fast algorithm is tested against.
+//! * [`kernelshap`] — model-agnostic Kernel SHAP: coalition sampling with
+//!   Shapley-kernel weights and a constrained weighted-least-squares fit.
+//! * [`linalg`] — the small dense WLS solver backing KernelSHAP.
+//! * [`explain`] — the Figure 5 statistics: per-cluster mean-|SHAP| service
+//!   rankings with over-/under-utilisation directions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod explain;
+pub mod kernelshap;
+pub mod linalg;
+pub mod treeshap;
+
+pub use exact::{exact_tree_shap, tree_expectation};
+pub use explain::{explain_class, explain_forest_class, ClassExplanation, Direction, FeatureInfluence};
+pub use kernelshap::{kernel_shap, KernelShapConfig, ScalarModel};
+pub use treeshap::{
+    base_value, forest_base_value, forest_shap, forest_shap_batch, forest_shap_class_matrix,
+    tree_shap,
+};

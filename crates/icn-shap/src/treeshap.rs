@@ -1,0 +1,451 @@
+//! TreeSHAP — polynomial-time exact Shapley values for decision trees.
+//!
+//! The paper uses the TreeShap model-specific approximation "employed for
+//! tree-based ML algorithms such as random forests" because it is
+//! "dramatically faster" than model-agnostic estimation (Section 5.1.1).
+//! This is the path-dependent algorithm of Lundberg et al.: a single
+//! recursive descent per tree maintains, for every unique feature on the
+//! current root-to-node path, the proportion of feature-subsets in which
+//! the path is followed with the feature present (`one_fraction`) or absent
+//! (`zero_fraction`), together with subset-cardinality weights. At a leaf,
+//! unwinding each path feature yields its exact Shapley contribution.
+//!
+//! Complexity is O(L·D²) per tree and sample (L leaves, D depth) instead of
+//! the 2^M enumeration of [`crate::exact`], against which the unit tests
+//! verify exact agreement.
+
+use icn_forest::{DecisionTree, RandomForest};
+use icn_stats::Matrix;
+use rayon::prelude::*;
+
+/// One element of the feature path maintained during the descent.
+#[derive(Clone, Copy, Debug)]
+struct PathElem {
+    /// Feature index (usize::MAX for the dummy first element).
+    feature: usize,
+    /// Fraction of "absent" subsets flowing down this branch.
+    zero_fraction: f64,
+    /// 1.0 if `x` follows this branch, else 0.0.
+    one_fraction: f64,
+    /// Permutation-weight accumulator per path cardinality.
+    weight: f64,
+}
+
+/// Extends the path with a new feature split.
+fn extend(path: &mut Vec<PathElem>, zero_fraction: f64, one_fraction: f64, feature: usize) {
+    let l = path.len();
+    path.push(PathElem {
+        feature,
+        zero_fraction,
+        one_fraction,
+        weight: if l == 0 { 1.0 } else { 0.0 },
+    });
+    // Update cardinality weights from the back.
+    for i in (0..l).rev() {
+        path[i + 1].weight += one_fraction * path[i].weight * (i + 1) as f64 / (l + 1) as f64;
+        path[i].weight = zero_fraction * path[i].weight * (l - i) as f64 / (l + 1) as f64;
+    }
+}
+
+/// Removes path element `i`, undoing its `extend` contribution.
+fn unwind(path: &mut Vec<PathElem>, i: usize) {
+    let l = path.len() - 1;
+    let one = path[i].one_fraction;
+    let zero = path[i].zero_fraction;
+    let mut n = path[l].weight;
+    if one != 0.0 {
+        for j in (0..l).rev() {
+            let t = path[j].weight;
+            path[j].weight = n * (l + 1) as f64 / ((j + 1) as f64 * one);
+            n = t - path[j].weight * zero * (l - j) as f64 / (l + 1) as f64;
+        }
+    } else {
+        for j in (0..l).rev() {
+            path[j].weight = path[j].weight * (l + 1) as f64 / (zero * (l - j) as f64);
+        }
+    }
+    for j in i..l {
+        path[j].feature = path[j + 1].feature;
+        path[j].zero_fraction = path[j + 1].zero_fraction;
+        path[j].one_fraction = path[j + 1].one_fraction;
+    }
+    path.pop();
+}
+
+/// Sum of weights after (virtually) unwinding element `i` — the permutation
+/// mass attributable to that feature at a leaf. Implemented by unwinding a
+/// scratch copy; O(D) extra per call, O(D²) per leaf, negligible at our
+/// depths.
+fn unwound_weight_sum(path: &[PathElem], i: usize) -> f64 {
+    let mut scratch = path.to_vec();
+    unwind(&mut scratch, i);
+    scratch.iter().map(|e| e.weight).sum()
+}
+
+/// Recursive TreeSHAP descent.
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    tree: &DecisionTree,
+    x: &[f64],
+    phi: &mut [Vec<f64>],
+    node_idx: usize,
+    mut path: Vec<PathElem>,
+    zero_fraction: f64,
+    one_fraction: f64,
+    feature: usize,
+) {
+    extend(&mut path, zero_fraction, one_fraction, feature);
+    let node = &tree.nodes[node_idx];
+
+    if node.is_leaf() {
+        // Attribute to every real feature on the path.
+        for i in 1..path.len() {
+            let w = unwound_weight_sum(&path, i);
+            let el = path[i];
+            let scale = w * (el.one_fraction - el.zero_fraction);
+            let f = el.feature;
+            for (c, &v) in node.distribution.iter().enumerate() {
+                phi[f][c] += scale * v;
+            }
+        }
+        return;
+    }
+
+    let (hot, cold) = if x[node.feature] <= node.threshold {
+        (node.left, node.right)
+    } else {
+        (node.right, node.left)
+    };
+    let hot_zero = tree.nodes[hot].cover / node.cover;
+    let cold_zero = tree.nodes[cold].cover / node.cover;
+    let mut incoming_zero = 1.0;
+    let mut incoming_one = 1.0;
+
+    // If this feature already appeared on the path, undo its earlier entry
+    // and inherit its fractions (a feature's presence decision is made
+    // once).
+    if let Some(k) = path
+        .iter()
+        .enumerate()
+        .skip(1)
+        .find(|(_, e)| e.feature == node.feature)
+        .map(|(k, _)| k)
+    {
+        incoming_zero = path[k].zero_fraction;
+        incoming_one = path[k].one_fraction;
+        unwind(&mut path, k);
+    }
+
+    recurse(
+        tree,
+        x,
+        phi,
+        hot,
+        path.clone(),
+        incoming_zero * hot_zero,
+        incoming_one,
+        node.feature,
+    );
+    recurse(
+        tree,
+        x,
+        phi,
+        cold,
+        path,
+        incoming_zero * cold_zero,
+        0.0,
+        node.feature,
+    );
+}
+
+/// TreeSHAP explanation of one tree for one sample.
+///
+/// Returns `phi[feature][class]`; together with the base value (the root's
+/// cover-weighted expectation, [`base_value`]) these satisfy local accuracy:
+/// `Σ_f phi[f][c] + base[c] = predict_proba(x)[c]`.
+///
+/// ```
+/// use icn_forest::{DecisionTree, TrainSet, TreeConfig};
+/// use icn_shap::{base_value, tree_shap};
+/// use icn_stats::{Matrix, Rng};
+/// let ts = TrainSet::new(
+///     Matrix::from_rows(&[vec![0.0], vec![0.2], vec![0.9], vec![1.0]]),
+///     vec![0, 0, 1, 1],
+/// );
+/// let rows: Vec<usize> = (0..4).collect();
+/// let tree = DecisionTree::fit(&ts, &rows, &TreeConfig::default(), &mut Rng::seed_from(1));
+/// let x = [0.95];
+/// let phi = tree_shap(&tree, &x);
+/// let base = base_value(&tree);
+/// let pred = tree.predict_proba(&x);
+/// for c in 0..2 {
+///     assert!((phi[0][c] + base[c] - pred[c]).abs() < 1e-12); // local accuracy
+/// }
+/// ```
+pub fn tree_shap(tree: &DecisionTree, x: &[f64]) -> Vec<Vec<f64>> {
+    assert_eq!(x.len(), tree.n_features, "tree_shap: feature mismatch");
+    let mut phi = vec![vec![0.0f64; tree.n_classes]; tree.n_features];
+    // Single-node tree: no features to credit.
+    if tree.nodes[0].is_leaf() {
+        return phi;
+    }
+    recurse(
+        tree,
+        x,
+        &mut phi,
+        0,
+        Vec::with_capacity(16),
+        1.0,
+        1.0,
+        usize::MAX,
+    );
+    phi
+}
+
+/// The base (expected) value of a tree: its output with every feature
+/// absent — the cover-weighted average over leaves, which for our trees is
+/// simply the root's class distribution.
+pub fn base_value(tree: &DecisionTree) -> Vec<f64> {
+    crate::exact::tree_expectation(tree, &vec![0.0; tree.n_features], &vec![false; tree.n_features])
+}
+
+/// TreeSHAP explanation of a random forest for one sample: the average of
+/// per-tree explanations (Shapley values are linear in the model).
+/// Returns `phi[feature][class]`.
+pub fn forest_shap(forest: &RandomForest, x: &[f64]) -> Vec<Vec<f64>> {
+    let mut acc = vec![vec![0.0f64; forest.n_classes]; forest.n_features];
+    for tree in &forest.trees {
+        let phi = tree_shap(tree, x);
+        for (a_row, p_row) in acc.iter_mut().zip(&phi) {
+            for (a, &p) in a_row.iter_mut().zip(p_row) {
+                *a += p;
+            }
+        }
+    }
+    let inv = 1.0 / forest.trees.len() as f64;
+    for row in &mut acc {
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+    acc
+}
+
+/// Forest base values: mean of per-tree base values.
+pub fn forest_base_value(forest: &RandomForest) -> Vec<f64> {
+    let mut acc = vec![0.0f64; forest.n_classes];
+    for tree in &forest.trees {
+        for (a, b) in acc.iter_mut().zip(base_value(tree)) {
+            *a += b;
+        }
+    }
+    let inv = 1.0 / forest.trees.len() as f64;
+    acc.iter().map(|v| v * inv).collect()
+}
+
+/// SHAP values of a forest for **one output class** across a batch of
+/// samples: returns a `samples × features` matrix — the shape the Figure 5
+/// beeswarm plots consume. Computed in parallel over samples.
+///
+/// When several classes are needed, prefer [`forest_shap_batch`], which
+/// pays the per-sample tree walks once for all classes.
+pub fn forest_shap_class_matrix(forest: &RandomForest, x: &Matrix, class: usize) -> Matrix {
+    assert!(class < forest.n_classes, "forest_shap_class_matrix: bad class");
+    let mut all = forest_shap_batch(forest, x);
+    all.swap_remove(class)
+}
+
+/// SHAP values of a forest for **all output classes** across a batch of
+/// samples in one parallel pass: returns one `samples × features` matrix
+/// per class. The expensive per-sample tree walks are shared across
+/// classes, so this is ~`n_classes`× cheaper than calling
+/// [`forest_shap_class_matrix`] per class.
+pub fn forest_shap_batch(forest: &RandomForest, x: &Matrix) -> Vec<Matrix> {
+    assert_eq!(x.cols(), forest.n_features, "feature mismatch");
+    let per_sample: Vec<Vec<Vec<f64>>> = (0..x.rows())
+        .into_par_iter()
+        .map(|i| forest_shap(forest, x.row(i)))
+        .collect();
+    (0..forest.n_classes)
+        .map(|c| {
+            let rows: Vec<Vec<f64>> = per_sample
+                .iter()
+                .map(|phi| phi.iter().map(|per_class| per_class[c]).collect())
+                .collect();
+            Matrix::from_rows(&rows)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_tree_shap;
+    use icn_forest::{ForestConfig, TrainSet, TreeConfig};
+    use icn_stats::{Matrix, Rng};
+
+    fn training_set(seed: u64, m: usize, n: usize) -> TrainSet {
+        let mut rng = Rng::seed_from(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let x: Vec<f64> = (0..m).map(|_| rng.uniform(0.0, 1.0)).collect();
+            // Nonlinear 3-class rule over the first three features.
+            let score = x[0] + 0.7 * x[1 % m] - 0.5 * x[2 % m];
+            let label = if score > 0.9 {
+                2
+            } else if score > 0.5 {
+                1
+            } else {
+                0
+            };
+            rows.push(x);
+            labels.push(label);
+        }
+        TrainSet::new(Matrix::from_rows(&rows), labels)
+    }
+
+    fn fit_tree(ts: &TrainSet, seed: u64) -> icn_forest::DecisionTree {
+        let all: Vec<usize> = (0..ts.len()).collect();
+        icn_forest::DecisionTree::fit(ts, &all, &TreeConfig::default(), &mut Rng::seed_from(seed))
+    }
+
+    #[test]
+    fn matches_exact_enumeration() {
+        // The heart of the validation: TreeSHAP == brute-force Shapley.
+        for seed in [1u64, 2, 3] {
+            let ts = training_set(seed, 5, 80);
+            let tree = fit_tree(&ts, seed);
+            for i in (0..ts.len()).step_by(17) {
+                let x = ts.x.row(i);
+                let fast = tree_shap(&tree, x);
+                let (slow, _) = exact_tree_shap(&tree, x);
+                for f in 0..5 {
+                    for c in 0..tree.n_classes {
+                        assert!(
+                            (fast[f][c] - slow[f][c]).abs() < 1e-9,
+                            "seed {seed} sample {i} feature {f} class {c}: {} vs {}",
+                            fast[f][c],
+                            slow[f][c]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_accuracy_single_tree() {
+        let ts = training_set(4, 6, 100);
+        let tree = fit_tree(&ts, 4);
+        let base = base_value(&tree);
+        for i in (0..ts.len()).step_by(13) {
+            let x = ts.x.row(i);
+            let phi = tree_shap(&tree, x);
+            let pred = tree.predict_proba(x);
+            for c in 0..tree.n_classes {
+                let total: f64 = phi.iter().map(|p| p[c]).sum::<f64>() + base[c];
+                assert!(
+                    (total - pred[c]).abs() < 1e-9,
+                    "sample {i} class {c}: {total} vs {}",
+                    pred[c]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn local_accuracy_forest() {
+        let ts = training_set(5, 6, 120);
+        let forest = icn_forest::RandomForest::fit(
+            &ts,
+            &ForestConfig {
+                n_trees: 12,
+                ..ForestConfig::default()
+            },
+        );
+        let base = forest_base_value(&forest);
+        for i in (0..ts.len()).step_by(29) {
+            let x = ts.x.row(i);
+            let phi = forest_shap(&forest, x);
+            let pred = forest.predict_proba(x);
+            for c in 0..forest.n_classes {
+                let total: f64 = phi.iter().map(|p| p[c]).sum::<f64>() + base[c];
+                assert!(
+                    (total - pred[c]).abs() < 1e-9,
+                    "sample {i} class {c}: {total} vs {}",
+                    pred[c]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_feature_on_path_handled() {
+        // Deep tree on a single feature: splits reuse the same feature at
+        // several depths, exercising the unwind-inherit branch.
+        let mut rng = Rng::seed_from(6);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..100 {
+            let v = rng.uniform(0.0, 4.0);
+            rows.push(vec![v]);
+            labels.push((v as usize).min(3));
+        }
+        let ts = TrainSet::new(Matrix::from_rows(&rows), labels);
+        let tree = fit_tree(&ts, 6);
+        assert!(tree.depth() >= 2, "need depth to reuse the feature");
+        let base = base_value(&tree);
+        for x in [[0.5], [1.5], [2.5], [3.5]] {
+            let phi = tree_shap(&tree, &x);
+            let pred = tree.predict_proba(&x);
+            for c in 0..tree.n_classes {
+                let total = phi[0][c] + base[c];
+                assert!((total - pred[c]).abs() < 1e-9, "x {x:?} class {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn stump_tree_returns_zero_phi() {
+        let ts = TrainSet::new(Matrix::from_rows(&[vec![1.0], vec![1.0]]), vec![0, 0]);
+        let tree = fit_tree(&ts, 7);
+        assert!(tree.nodes[0].is_leaf());
+        let phi = tree_shap(&tree, &[1.0]);
+        assert_eq!(phi, vec![vec![0.0]]);
+    }
+
+    #[test]
+    fn class_matrix_shape_and_content() {
+        let ts = training_set(8, 4, 60);
+        let forest = icn_forest::RandomForest::fit(
+            &ts,
+            &ForestConfig {
+                n_trees: 6,
+                ..ForestConfig::default()
+            },
+        );
+        let m = forest_shap_class_matrix(&forest, &ts.x, 1);
+        assert_eq!(m.shape(), (60, 4));
+        // Spot-check one row against the per-sample API.
+        let phi = forest_shap(&forest, ts.x.row(7));
+        for f in 0..4 {
+            assert!((m.get(7, f) - phi[f][1]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn base_value_is_class_prior() {
+        let ts = training_set(9, 4, 200);
+        let tree = fit_tree(&ts, 9);
+        let base = base_value(&tree);
+        // Base = training-class proportions at the root.
+        let mut prior = vec![0.0; tree.n_classes];
+        for &y in &ts.y {
+            prior[y] += 1.0 / ts.len() as f64;
+        }
+        for (b, p) in base.iter().zip(&prior) {
+            assert!((b - p).abs() < 1e-9);
+        }
+    }
+}

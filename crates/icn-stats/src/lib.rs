@@ -1,0 +1,42 @@
+//! # icn-stats — numeric substrate for the ICN reproduction
+//!
+//! Small, dependency-free numerical building blocks shared by every other
+//! crate in the workspace:
+//!
+//! * [`matrix`] — a dense row-major `f64` matrix with row/column views and
+//!   aggregation helpers; the canonical container for the antenna × service
+//!   traffic matrix `T` of the paper (Section 4.1).
+//! * [`rng`] — deterministic pseudo-random generators (SplitMix64 and
+//!   Xoshiro256++) plus the sampling distributions the synthetic measurement
+//!   substrate needs (uniform, normal, log-normal, exponential, Poisson,
+//!   categorical, Dirichlet-like share vectors). Bit-for-bit reproducible for
+//!   a fixed seed on every platform.
+//! * [`summary`] — mean / variance / standard deviation / median / quantiles
+//!   / min / max over slices, with NaN-hostile debug assertions.
+//! * [`histogram`] — fixed-width binning used by Figure 1 of the paper.
+//! * [`distance`] — metric kernels (Euclidean, squared Euclidean, Manhattan,
+//!   Chebyshev, cosine distance) used by the clustering substrate.
+//! * [`normalize`] — min-max, global-max, z-score and row-stochastic
+//!   normalisation (the "normalized traffic" panel of Figure 1).
+//! * [`rank`] — argsort / top-k / rank transforms used for feature
+//!   importance orderings.
+//!
+//! The crate is intentionally free of external dependencies so that numeric
+//! results are stable across toolchains, which the integration tests rely on
+//! for byte-for-byte determinism of the whole study.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distance;
+pub mod histogram;
+pub mod matrix;
+pub mod normalize;
+pub mod rank;
+pub mod rng;
+pub mod summary;
+
+pub use distance::Metric;
+pub use histogram::Histogram;
+pub use matrix::Matrix;
+pub use rng::Rng;

@@ -1,0 +1,89 @@
+//! Generator configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the synthetic measurement campaign.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// Master seed; everything downstream is derived deterministically.
+    pub seed: u64,
+    /// Multiplier on the Table 1 per-environment antenna counts
+    /// (1.0 ⇒ the paper's 4,762 antennas; tests use ≤ 0.1).
+    pub scale: f64,
+    /// Number of outdoor macro antennas generated per indoor antenna
+    /// (the paper analyses ~20k outdoor near 4,762 indoor ⇒ ≈ 4).
+    pub outdoor_per_indoor: usize,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            seed: 0x1C4_2023,
+            scale: 1.0,
+            outdoor_per_indoor: 4,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// Full paper-scale configuration.
+    pub fn paper() -> Self {
+        SynthConfig::default()
+    }
+
+    /// A small configuration for fast tests (~380 antennas).
+    pub fn small() -> Self {
+        SynthConfig {
+            seed: 0x1C4_2023,
+            scale: 0.08,
+            outdoor_per_indoor: 2,
+        }
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the scale.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0, "SynthConfig: non-positive scale");
+        self.scale = scale;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_scale() {
+        let c = SynthConfig::paper();
+        assert_eq!(c.scale, 1.0);
+        assert_eq!(c.outdoor_per_indoor, 4);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = SynthConfig::small().with_seed(9).with_scale(0.2);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.scale, 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive scale")]
+    fn zero_scale_panics() {
+        let _ = SynthConfig::small().with_scale(0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = SynthConfig::small();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SynthConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.seed, c.seed);
+        assert_eq!(back.scale, c.scale);
+    }
+}

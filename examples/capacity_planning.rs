@@ -1,0 +1,175 @@
+//! Capacity planning with environment-aware slices — the Section 7 roadmap.
+//!
+//! The paper argues that ICN resource orchestration "should not target
+//! overall capacity, as in outdoor environments, but must take into account
+//! the most important application usage per indoor environment", proposing
+//! an indoor network-slicing dimension with per-environment tuning (e.g.
+//! content caching). This example builds that planner on top of the study:
+//! for each cluster it derives a slice template (dominant service
+//! categories, peak hours, a caching recommendation) and quantifies the
+//! win over a one-size-fits-all allocation.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use icn_repro::prelude::*;
+use icn_report::Table;
+use std::collections::HashMap;
+
+fn main() {
+    let dataset = Dataset::generate(SynthConfig::small().with_scale(0.2));
+    let study = IcnStudy::run(&dataset, StudyConfig::fast());
+    let window = StudyCalendar::temporal_window();
+
+    let mut slices = Table::new(vec![
+        "cluster",
+        "dominant env",
+        "top categories (by mean RSCA)",
+        "peak hours",
+        "cache candidate",
+    ]);
+
+    let mut per_cluster_peak: Vec<usize> = Vec::new();
+    for profile in &study.profiles {
+        let c = profile.cluster;
+        // Aggregate mean RSCA by service category.
+        let mut by_cat: HashMap<&str, (f64, usize)> = HashMap::new();
+        for (j, svc) in dataset.services.iter().enumerate() {
+            let e = by_cat.entry(svc.category.label()).or_insert((0.0, 0));
+            e.0 += profile.mean_rsca[j];
+            e.1 += 1;
+        }
+        let mut cats: Vec<(&str, f64)> = by_cat
+            .into_iter()
+            .map(|(k, (s, n))| (k, s / n as f64))
+            .collect();
+        cats.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let top_cats: Vec<&str> = cats.iter().take(3).map(|(k, _)| *k).collect();
+
+        // Temporal peak hours from the cluster heatmap.
+        let (members, rows): (Vec<&icn_synth::Antenna>, Vec<&[f64]>) = study
+            .live_rows
+            .iter()
+            .enumerate()
+            .filter(|(pos, _)| study.labels[*pos] == c)
+            .map(|(_, &row)| (&dataset.antennas[row], dataset.indoor_totals.row(row)))
+            .unzip();
+        let hm = cluster_heatmap(&members, &rows, &dataset.services, 65, &window, dataset.root_rng());
+        let mut hour_means = [0.0f64; 24];
+        for day in &hm.values {
+            for (h, v) in day.iter().enumerate() {
+                hour_means[h] += v;
+            }
+        }
+        let peak_hour = icn_stats::rank::argmax(&hour_means);
+        per_cluster_peak.push(peak_hour);
+
+        // Caching: the most over-utilised *streaming-heavy* service.
+        let cache = profile
+            .top_over(10)
+            .into_iter()
+            .find(|&j| dataset.services[j].volume_scale >= 10.0)
+            .map(|j| dataset.services[j].name)
+            .unwrap_or("(none)");
+
+        let (env, _) = study.crosstab.dominant_environment(c);
+        slices.row(vec![
+            c.to_string(),
+            env.label().to_string(),
+            top_cats.join(", "),
+            format!("{:02}:00±2h", peak_hour),
+            cache.to_string(),
+        ]);
+    }
+    println!("per-cluster slice templates:\n{}", slices.render());
+
+    // Quantify the win: peak-hour staggering across clusters means
+    // environment-aware scheduling can reuse capacity that a uniform plan
+    // must provision for everyone simultaneously.
+    let distinct_peaks: std::collections::HashSet<usize> =
+        per_cluster_peak.iter().copied().collect();
+    println!(
+        "peak hours span {} distinct slots across 9 clusters — a uniform plan provisions all \
+         clusters for the same busy hour; environment-aware slices stagger them.",
+        distinct_peaks.len()
+    );
+
+    // Cache effectiveness: fraction of a cluster's traffic covered by its
+    // top-5 over-utilised services vs the global top-5.
+    let global_top: Vec<usize> = {
+        let col_sums = dataset.indoor_totals.col_sums();
+        icn_stats::rank::top_k(&col_sums, 5)
+    };
+    let mut cover = Table::new(vec!["cluster", "cluster-aware top-5", "global top-5"]);
+    for profile in &study.profiles {
+        let c = profile.cluster;
+        let members: Vec<usize> = study
+            .live_rows
+            .iter()
+            .enumerate()
+            .filter(|(pos, _)| study.labels[*pos] == c)
+            .map(|(_, &row)| row)
+            .collect();
+        let mut totals = vec![0.0f64; dataset.num_services()];
+        let mut all = 0.0f64;
+        for &r in &members {
+            for (j, t) in totals.iter_mut().enumerate() {
+                *t += dataset.indoor_totals.get(r, j);
+            }
+            all += dataset.indoor_totals.row_sums()[r];
+        }
+        let aware: Vec<usize> = icn_stats::rank::top_k(&totals, 5);
+        let frac = |set: &[usize]| -> f64 {
+            set.iter().map(|&j| totals[j]).sum::<f64>() / all.max(1e-12)
+        };
+        cover.row(vec![
+            c.to_string(),
+            format!("{:.0}%", 100.0 * frac(&aware)),
+            format!("{:.0}%", 100.0 * frac(&global_top)),
+        ]);
+    }
+    println!(
+        "cache coverage (share of cluster traffic in its cached top-5):\n{}",
+        cover.render()
+    );
+
+    // Energy adaptation (§7: "adaptive power transmission control"):
+    // hours where a cluster's median traffic falls below 10% of its peak
+    // are sleep-mode candidates. Environment-aware scheduling finds far
+    // more such hours for offices/transit than a uniform policy could.
+    let mut energy = Table::new(vec![
+        "cluster",
+        "dominant env",
+        "sleep-candidate hours/week",
+    ]);
+    for c in 0..study.config.k {
+        let (members, rows): (Vec<&icn_synth::Antenna>, Vec<&[f64]>) = study
+            .live_rows
+            .iter()
+            .enumerate()
+            .filter(|(pos, _)| study.labels[*pos] == c)
+            .map(|(_, &row)| (&dataset.antennas[row], dataset.indoor_totals.row(row)))
+            .unzip();
+        if members.is_empty() {
+            continue;
+        }
+        let hm = cluster_heatmap(&members, &rows, &dataset.services, 65, &window, dataset.root_rng());
+        // Count quiet cells over one representative full week (days 5..12
+        // of the window avoid the strike day).
+        let quiet: usize = (5..12)
+            .flat_map(|d| hm.values[d].iter())
+            .filter(|&&v| v < 0.1)
+            .count();
+        let (env, _) = study.crosstab.dominant_environment(c);
+        energy.row(vec![
+            c.to_string(),
+            env.label().to_string(),
+            quiet.to_string(),
+        ]);
+    }
+    println!(
+        "energy adaptation — hours/week below 10% of cluster peak (sleep candidates):\n{}",
+        energy.render()
+    );
+}

@@ -1,0 +1,106 @@
+//! The full nationwide study at paper scale: 4,762 indoor antennas with the
+//! exact Table 1 environment mix, ~19k outdoor antennas, Figure 2 k-sweep,
+//! k = 9 clustering, SHAP interpretation and all headline statistics.
+//!
+//! This is the heavyweight example (minutes in release mode):
+//!
+//! ```sh
+//! cargo run --release --example nationwide_study
+//! ```
+//!
+//! Pass `--scale 0.25` (any positive float) to run a reduced population.
+
+use icn_repro::prelude::*;
+use icn_report::Table;
+
+fn main() {
+    let scale = parse_scale().unwrap_or(1.0);
+    eprintln!("generating dataset at scale {scale} ...");
+    let dataset = Dataset::generate(SynthConfig::paper().with_scale(scale));
+    eprintln!(
+        "dataset ready: {} indoor / {} outdoor antennas",
+        dataset.num_antennas(),
+        dataset.outdoor.len()
+    );
+
+    let config = StudyConfig {
+        // The sweep is the slow part; keep it on to reproduce Figure 2.
+        run_k_sweep: true,
+        ..StudyConfig::paper()
+    };
+    eprintln!("running study (transform, cluster, sweep, surrogate, SHAP) ...");
+    let study = IcnStudy::run(&dataset, config);
+
+    // --- Figure 2: quality indices per k ---
+    let mut sweep = Table::new(vec!["k", "silhouette", "dunn"]);
+    for q in &study.k_sweep {
+        sweep.row(vec![
+            q.k.to_string(),
+            format!("{:.4}", q.silhouette),
+            format!("{:.5}", q.dunn),
+        ]);
+    }
+    println!("Figure 2 — quality indices vs k:\n{}", sweep.render());
+
+    // --- Cluster census with dominant environments ---
+    let mut census = Table::new(vec![
+        "cluster",
+        "antennas",
+        "paris%",
+        "dominant env",
+        "env share",
+    ]);
+    let sizes = study.cluster_sizes();
+    for c in 0..study.config.k {
+        let (env, share) = study.crosstab.dominant_environment(c);
+        census.row(vec![
+            c.to_string(),
+            sizes[c].to_string(),
+            format!("{:.0}%", 100.0 * study.crosstab.paris_share[c]),
+            env.label().to_string(),
+            format!("{:.0}%", 100.0 * share),
+        ]);
+    }
+    println!("cluster census:\n{}", census.render());
+
+    // --- Surrogate fidelity ---
+    println!(
+        "surrogate: train accuracy {:.4}, OOB {:?}",
+        study.surrogate_accuracy, study.surrogate_oob
+    );
+
+    // --- SHAP: the defining services per cluster ---
+    let names: Vec<&str> = dataset.services.iter().map(|s| s.name).collect();
+    for ex in &study.explanations {
+        println!(
+            "{}",
+            icn_report::beeswarm::render(ex, &names, 10, 24)
+        );
+    }
+
+    // --- Outdoor comparison (Figure 9) ---
+    let mut outdoor = Table::new(vec!["cluster", "outdoor share"]);
+    for (c, share) in study.outdoor.distribution.iter().enumerate() {
+        outdoor.row(vec![c.to_string(), format!("{:.1}%", 100.0 * share)]);
+    }
+    println!("Figure 9 — outdoor cluster distribution:\n{}", outdoor.render());
+
+    // --- Recovery vs planted archetypes ---
+    let planted: Vec<usize> = study
+        .live_rows
+        .iter()
+        .map(|&i| dataset.planted_labels()[i])
+        .collect();
+    println!(
+        "validation: ARI {:.3}, NMI {:.3}, purity {:.3}",
+        adjusted_rand_index(&study.labels, &planted),
+        normalized_mutual_info(&study.labels, &planted),
+        purity(&study.labels, &planted),
+    );
+}
+
+fn parse_scale() -> Option<f64> {
+    let args: Vec<String> = std::env::args().collect();
+    let pos = args.iter().position(|a| a == "--scale")?;
+    args.get(pos + 1)?.parse().ok().filter(|s: &f64| *s > 0.0)
+}

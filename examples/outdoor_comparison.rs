@@ -1,0 +1,70 @@
+//! Indoor vs outdoor service-demand comparison (the Section 5.3 scenario).
+//!
+//! Shows that the environment-driven diversity found indoors is absent in
+//! neighbouring outdoor macro cells: outdoor antennas, when classified by
+//! the surrogate trained on indoor clusters, collapse into the general-use
+//! cluster — even for outdoor cells standing next to stadiums or offices.
+//!
+//! ```sh
+//! cargo run --release --example outdoor_comparison
+//! ```
+
+use icn_repro::prelude::*;
+use icn_report::Table;
+
+fn main() {
+    let dataset = Dataset::generate(SynthConfig::small().with_scale(0.2));
+    let study = IcnStudy::run(&dataset, StudyConfig::fast());
+
+    // Indoor versus outdoor cluster distributions, side by side.
+    let indoor_dist = label_distribution(&study.labels, study.config.k);
+    let mut t = Table::new(vec!["cluster", "indoor", "outdoor"]);
+    for c in 0..study.config.k {
+        t.row(vec![
+            c.to_string(),
+            format!("{:.1}%", 100.0 * indoor_dist[c]),
+            format!("{:.1}%", 100.0 * study.outdoor.distribution[c]),
+        ]);
+    }
+    println!("indoor vs outdoor cluster distribution:\n{}", t.render());
+
+    println!(
+        "entropy: indoor {:.2} nats, outdoor {:.2} nats",
+        distribution_entropy(&indoor_dist),
+        distribution_entropy(&study.outdoor.distribution)
+    );
+
+    // Zoom: outdoor antennas adjacent to *stadium* and *workspace* sites —
+    // their neighbours' indoor clusters are distinctive, yet the outdoor
+    // cells still read as general use.
+    let mut near = Table::new(vec!["neighbour env", "n outdoor", "% classified general-use"]);
+    for env in [Environment::Stadium, Environment::Workspace, Environment::Metro] {
+        let mut n = 0usize;
+        let mut general = 0usize;
+        for (o, &pred) in dataset.outdoor.iter().zip(&study.outdoor.predicted) {
+            let neighbor = &dataset.antennas[o.neighbor_indoor_id];
+            if neighbor.environment == env {
+                n += 1;
+                if pred == Archetype::GeneralUse.id() {
+                    general += 1;
+                }
+            }
+        }
+        near.row(vec![
+            env.label().to_string(),
+            n.to_string(),
+            format!("{:.0}%", 100.0 * general as f64 / n.max(1) as f64),
+        ]);
+    }
+    println!(
+        "outdoor cells by neighbouring indoor environment:\n{}",
+        near.render()
+    );
+
+    let (c, share) = study.outdoor.dominant;
+    println!(
+        "=> {:.0}% of outdoor antennas fall into cluster {c} — the paper reports ~70% in its \
+         general-use cluster 1, with transit/stadium/workspace clusters nearly absent.",
+        100.0 * share
+    );
+}

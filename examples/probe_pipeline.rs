@@ -1,0 +1,94 @@
+//! The full collection path: probe → DPI → aggregation → analysis.
+//!
+//! Regenerates the totals matrix the way the operator of the paper's
+//! Section 3 produced theirs — individual TCP/UDP sessions, ULI
+//! geo-referencing, DPI classification with realistic confusion, hourly
+//! aggregation with privacy suppression — then runs the clustering on the
+//! probe-produced matrix and compares against the direct generator.
+//!
+//! ```sh
+//! cargo run --release --example probe_pipeline
+//! ```
+
+use icn_repro::prelude::*;
+use icn_report::Table;
+use icn_synth::Date;
+
+fn main() {
+    let ds = Dataset::generate(SynthConfig::small().with_scale(0.05));
+    let window = StudyCalendar::custom(Date::new(2023, 1, 9), 5);
+    println!(
+        "population: {} antennas, {} services; probing a {}-day window\n",
+        ds.num_antennas(),
+        ds.num_services(),
+        window.num_days()
+    );
+
+    let mut comparison = Table::new(vec![
+        "DPI model",
+        "sessions",
+        "unclassified",
+        "suppressed cells",
+        "ARI vs planted",
+    ]);
+
+    let configs: Vec<(&str, CampaignConfig)> = vec![
+        (
+            "perfect",
+            CampaignConfig {
+                dpi: DpiConfig::perfect(),
+                ..CampaignConfig::default()
+            },
+        ),
+        ("default (3% confusion)", CampaignConfig::default()),
+        (
+            "noisy (15% confusion)",
+            CampaignConfig {
+                dpi: DpiConfig {
+                    confusion_rate: 0.15,
+                    within_category: 0.8,
+                    unclassified_rate: 0.05,
+                },
+                ..CampaignConfig::default()
+            },
+        ),
+        (
+            "k=2 privacy suppression",
+            CampaignConfig {
+                min_sessions_per_cell: 2,
+                ..CampaignConfig::default()
+            },
+        ),
+        (
+            "k=5 privacy suppression (harsh)",
+            CampaignConfig {
+                min_sessions_per_cell: 5,
+                ..CampaignConfig::default()
+            },
+        ),
+    ];
+
+    let planted_all = ds.planted_labels();
+    for (name, cfg) in configs {
+        let result = run_campaign(&ds, &window, &cfg);
+        let (live, live_rows) = filter_dead_rows(&result.totals);
+        let features = rsca(&live);
+        let labels = agglomerate(&features, Linkage::Ward).cut(9);
+        let planted: Vec<usize> = live_rows.iter().map(|&i| planted_all[i]).collect();
+        let ari = adjusted_rand_index(&labels, &planted);
+        comparison.row(vec![
+            name.to_string(),
+            result.sessions.to_string(),
+            result.dropped_unclassified.to_string(),
+            result.suppressed_cells.to_string(),
+            format!("{ari:.3}"),
+        ]);
+    }
+    println!("{}", comparison.render());
+    println!(
+        "the structure survives the realistic collection path (session sampling, DPI \
+         confusion, light suppression); harsh per-hour suppression (k=5) erases the \
+         low-volume services RSCA depends on — exactly why the paper aggregates to \
+         two-month totals before analysis."
+    );
+}

@@ -1,0 +1,312 @@
+//! `icn` — command-line interface to the reproduction.
+//!
+//! ```text
+//! icn generate --scale 0.1 --out data/          # synthesize & export a campaign
+//! icn study    --scale 0.1 [--sweep] [--json]   # run the full pipeline, print findings
+//! icn explain  --scale 0.1 --cluster 3 --top 15 # SHAP explanation of one cluster
+//! icn temporal --scale 0.1 --cluster 0          # Figure 10-style heatmap of one cluster
+//! icn probe    --scale 0.05 --days 3            # Section 3 collection-path simulation
+//! ```
+//!
+//! Flags are parsed by hand (the workspace deliberately avoids extra
+//! dependencies); every subcommand is deterministic in `--seed`.
+
+use icn_repro::prelude::*;
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage_and_exit(None);
+    };
+    let opts = Opts::parse(&args[1..]);
+    match cmd.as_str() {
+        "generate" => cmd_generate(&opts),
+        "study" => cmd_study(&opts),
+        "explain" => cmd_explain(&opts),
+        "temporal" => cmd_temporal(&opts),
+        "probe" => cmd_probe(&opts),
+        "help" | "--help" | "-h" => usage_and_exit(None),
+        other => usage_and_exit(Some(other)),
+    }
+}
+
+/// Common flags.
+struct Opts {
+    scale: f64,
+    seed: u64,
+    sweep: bool,
+    json: bool,
+    cluster: usize,
+    top: usize,
+    days: usize,
+    out: Option<String>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Opts {
+        let mut o = Opts {
+            scale: 0.1,
+            seed: SynthConfig::default().seed,
+            sweep: false,
+            json: false,
+            cluster: 0,
+            top: 10,
+            days: 3,
+            out: None,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let take = |i: usize| -> Option<&String> { args.get(i + 1) };
+            match args[i].as_str() {
+                "--scale" => {
+                    o.scale = take(i).and_then(|v| v.parse().ok()).unwrap_or(o.scale);
+                    i += 2;
+                }
+                "--seed" => {
+                    o.seed = take(i).and_then(|v| v.parse().ok()).unwrap_or(o.seed);
+                    i += 2;
+                }
+                "--cluster" => {
+                    o.cluster = take(i).and_then(|v| v.parse().ok()).unwrap_or(o.cluster);
+                    i += 2;
+                }
+                "--top" => {
+                    o.top = take(i).and_then(|v| v.parse().ok()).unwrap_or(o.top);
+                    i += 2;
+                }
+                "--days" => {
+                    o.days = take(i).and_then(|v| v.parse().ok()).unwrap_or(o.days);
+                    i += 2;
+                }
+                "--out" => {
+                    o.out = take(i).cloned();
+                    i += 2;
+                }
+                "--sweep" => {
+                    o.sweep = true;
+                    i += 1;
+                }
+                "--json" => {
+                    o.json = true;
+                    i += 1;
+                }
+                unknown => {
+                    eprintln!("unknown flag: {unknown}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        o
+    }
+
+    fn dataset(&self) -> Dataset {
+        Dataset::generate(
+            SynthConfig::paper()
+                .with_scale(self.scale)
+                .with_seed(self.seed),
+        )
+    }
+
+    fn study(&self, ds: &Dataset) -> IcnStudy {
+        let config = StudyConfig {
+            run_k_sweep: self.sweep,
+            ..StudyConfig::paper()
+        };
+        match IcnStudy::try_run(ds, config) {
+            Ok(study) => study,
+            Err(e) => {
+                eprintln!("study failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn usage_and_exit(bad: Option<&str>) -> ! {
+    if let Some(b) = bad {
+        eprintln!("unknown command: {b}\n");
+    }
+    eprintln!(
+        "icn — reproduction of 'Characterizing Mobile Service Demands at Indoor \
+         Cellular Networks' (IMC '23)\n\n\
+         USAGE: icn <command> [flags]\n\n\
+         COMMANDS:\n  \
+         generate   synthesize a measurement campaign and export CSV/JSONL\n  \
+         study      run the full analysis pipeline and print the findings\n  \
+         explain    SHAP explanation of one cluster\n  \
+         temporal   Figure 10-style temporal heatmap of one cluster\n  \
+         probe      simulate the Section 3 collection path\n\n\
+         FLAGS:\n  \
+         --scale <f>    population scale, 1.0 = 4,762 antennas (default 0.1)\n  \
+         --seed <u64>   master seed\n  \
+         --sweep        run the Figure 2 k-sweep (study)\n  \
+         --json         machine-readable output (study)\n  \
+         --cluster <n>  cluster id (explain/temporal)\n  \
+         --top <n>      services to list (explain, default 10)\n  \
+         --days <n>     probe window length (probe, default 3)\n  \
+         --out <dir>    export directory (generate)"
+    );
+    std::process::exit(if bad.is_some() { 2 } else { 0 });
+}
+
+fn cmd_generate(o: &Opts) {
+    let ds = o.dataset();
+    let dir = o.out.clone().unwrap_or_else(|| "icn-data".to_string());
+    std::fs::create_dir_all(&dir).expect("create output directory");
+    let csv_path = format!("{dir}/indoor_totals.csv");
+    let jsonl_path = format!("{dir}/antennas.jsonl");
+    std::fs::File::create(&csv_path)
+        .and_then(|mut f| f.write_all(ds.indoor_totals_csv().as_bytes()))
+        .expect("write CSV");
+    std::fs::File::create(&jsonl_path)
+        .and_then(|mut f| f.write_all(ds.antennas_jsonl().as_bytes()))
+        .expect("write JSONL");
+    println!(
+        "wrote {} antennas x {} services:\n  {}\n  {}",
+        ds.num_antennas(),
+        ds.num_services(),
+        csv_path,
+        jsonl_path
+    );
+}
+
+fn cmd_study(o: &Opts) {
+    let ds = o.dataset();
+    let st = o.study(&ds);
+    if o.json {
+        let names: Vec<&str> = ds.services.iter().map(|s| s.name).collect();
+        let clusters: Vec<serde_json::Value> = (0..st.config.k)
+            .map(|c| {
+                let (env, share) = st.crosstab.dominant_environment(c);
+                let top: Vec<&str> = st.explanations[c]
+                    .top(5)
+                    .iter()
+                    .map(|i| names[i.feature])
+                    .collect();
+                serde_json::json!({
+                    "cluster": c,
+                    "size": st.cluster_sizes()[c],
+                    "dominant_environment": env.label(),
+                    "environment_share": share,
+                    "paris_share": st.crosstab.paris_share[c],
+                    "top_shap_services": top,
+                })
+            })
+            .collect();
+        let out = serde_json::json!({
+            "antennas": st.num_antennas(),
+            "k": st.config.k,
+            "surrogate_accuracy": st.surrogate_accuracy,
+            "surrogate_oob": st.surrogate_oob,
+            "outdoor_dominant_cluster": st.outdoor.dominant.0,
+            "outdoor_dominant_share": st.outdoor.dominant.1,
+            "clusters": clusters,
+        });
+        println!("{}", serde_json::to_string_pretty(&out).expect("serialize"));
+        return;
+    }
+    println!(
+        "{} antennas -> {} clusters; surrogate accuracy {:.3} (OOB {:?})",
+        st.num_antennas(),
+        st.config.k,
+        st.surrogate_accuracy,
+        st.surrogate_oob
+    );
+    if !st.k_sweep.is_empty() {
+        for q in &st.k_sweep {
+            println!("k={:<3} silhouette {:.4}  dunn {:.5}", q.k, q.silhouette, q.dunn);
+        }
+    }
+    let names: Vec<&str> = ds.services.iter().map(|s| s.name).collect();
+    for c in 0..st.config.k {
+        let (env, share) = st.crosstab.dominant_environment(c);
+        let top: Vec<&str> = st.explanations[c]
+            .top(3)
+            .iter()
+            .map(|i| names[i.feature])
+            .collect();
+        println!(
+            "cluster {c}: {:>4} antennas, {} ({:.0}%), top services: {}",
+            st.cluster_sizes()[c],
+            env.label(),
+            100.0 * share,
+            top.join(", ")
+        );
+    }
+    let (dom, share) = st.outdoor.dominant;
+    println!(
+        "outdoor: {:.0}% of {} antennas in cluster {dom}",
+        100.0 * share,
+        st.outdoor.predicted.len()
+    );
+}
+
+fn cmd_explain(o: &Opts) {
+    let ds = o.dataset();
+    let st = o.study(&ds);
+    if o.cluster >= st.config.k {
+        eprintln!("cluster {} out of range (k = {})", o.cluster, st.config.k);
+        std::process::exit(2);
+    }
+    let names: Vec<&str> = ds.services.iter().map(|s| s.name).collect();
+    print!(
+        "{}",
+        icn_repro::icn_report::beeswarm::render(&st.explanations[o.cluster], &names, o.top, 28)
+    );
+}
+
+fn cmd_temporal(o: &Opts) {
+    let ds = o.dataset();
+    let st = o.study(&ds);
+    if o.cluster >= st.config.k {
+        eprintln!("cluster {} out of range (k = {})", o.cluster, st.config.k);
+        std::process::exit(2);
+    }
+    let window = StudyCalendar::temporal_window();
+    let (members, rows): (Vec<&icn_repro::icn_synth::Antenna>, Vec<&[f64]>) = st
+        .live_rows
+        .iter()
+        .enumerate()
+        .filter(|(pos, _)| st.labels[*pos] == o.cluster)
+        .map(|(_, &row)| (&ds.antennas[row], ds.indoor_totals.row(row)))
+        .unzip();
+    if members.is_empty() {
+        eprintln!("cluster {} is empty", o.cluster);
+        std::process::exit(1);
+    }
+    let hm = cluster_heatmap(&members, &rows, &ds.services, 65, &window, ds.root_rng());
+    let rhythm = hm.rhythm();
+    println!(
+        "cluster {} — {} antennas; commute {:.2}, weekend {:.2}, strike {:.2}, \
+         burstiness {:.1}, ACF-24 {:.2}",
+        o.cluster,
+        members.len(),
+        hm.commute_ratio(),
+        hm.weekend_ratio(),
+        hm.strike_dip(),
+        hm.burstiness(),
+        rhythm.daily
+    );
+    let labels: Vec<String> = (0..hm.values.len()).map(|d| window.date(d).iso()).collect();
+    print!(
+        "{}",
+        icn_repro::icn_report::heatmap::render_sequential(&hm.values, Some(&labels))
+    );
+}
+
+fn cmd_probe(o: &Opts) {
+    let ds = o.dataset();
+    let window = StudyCalendar::custom(icn_repro::icn_synth::Date::new(2023, 1, 9), o.days);
+    let result = run_campaign(&ds, &window, &CampaignConfig::default());
+    println!(
+        "probed {} antennas over {} days: {} sessions, {} unclassified, {} bad-ULI drops, \
+         {:.1} GB aggregated",
+        ds.num_antennas(),
+        o.days,
+        result.sessions,
+        result.dropped_unclassified,
+        result.dropped_bad_uli,
+        result.totals.total() / 1000.0
+    );
+}

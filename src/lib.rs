@@ -1,0 +1,53 @@
+//! # icn-repro — reproduction of "Characterizing Mobile Service Demands at
+//! Indoor Cellular Networks" (IMC '23)
+//!
+//! Facade crate re-exporting the whole workspace. Typical use:
+//!
+//! ```
+//! use icn_repro::prelude::*;
+//!
+//! // A scaled-down synthetic nationwide measurement campaign...
+//! let dataset = Dataset::generate(SynthConfig::small());
+//! // ...analysed with the paper's full pipeline.
+//! let study = IcnStudy::run(&dataset, StudyConfig::fast());
+//! assert_eq!(study.cluster_sizes().len(), 9);
+//! ```
+//!
+//! See the crate-level docs of the members for details:
+//! [`icn_synth`] (measurement substrate), [`icn_cluster`] (agglomerative
+//! clustering), [`icn_forest`] (random forest), [`icn_shap`] (TreeSHAP /
+//! KernelSHAP), [`icn_core`] (the study pipeline), [`icn_report`]
+//! (terminal figures), [`icn_stats`] (numerics).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use icn_cluster;
+pub use icn_core;
+pub use icn_forest;
+pub use icn_probe;
+pub use icn_report;
+pub use icn_shap;
+pub use icn_stats;
+pub use icn_synth;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use icn_cluster::{
+        adjusted_rand_index, agglomerate, dunn_index, kmeans_best_of, normalized_mutual_info,
+        purity, silhouette_score, Condensed, Dendrogram, Linkage,
+    };
+    pub use icn_core::{
+        classify_outdoor, cluster_heatmap, distribution_entropy, filter_dead_rows,
+        label_distribution, outdoor_rsca, rca, rsca, service_heatmap, EnvCrosstab, IcnStudy,
+        StudyConfig, TemporalHeatmap,
+    };
+    pub use icn_forest::{ForestConfig, RandomForest, TrainSet};
+    pub use icn_probe::{run_campaign, CampaignConfig, DpiConfig};
+    pub use icn_shap::{explain_forest_class, forest_shap, kernel_shap, Direction};
+    pub use icn_stats::{Histogram, Matrix, Metric, Rng};
+    pub use icn_synth::{
+        Archetype, Category, City, Dataset, Date, Environment, Group, Service, StudyCalendar,
+        SynthConfig,
+    };
+}

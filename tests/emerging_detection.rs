@@ -1,0 +1,62 @@
+//! Integration: the paper's §7 forecast — new service profiles create new
+//! clusters that the existing methodology detects without modification.
+
+use icn_repro::prelude::*;
+use icn_synth::emerging::{inject_emerging, EMERGING_LABEL};
+
+#[test]
+fn injected_emerging_profile_is_recovered_as_tenth_cluster() {
+    let base = Dataset::generate(SynthConfig::small());
+    let n_inject = (base.num_antennas() / 20).max(8);
+    let emerging = inject_emerging(&base, n_inject, 0xE317);
+
+    let (t, live_rows) = filter_dead_rows(&emerging.dataset.indoor_totals);
+    let features = rsca(&t);
+    let labels10 = agglomerate(&features, Linkage::Ward).cut(10);
+    let truth: Vec<usize> = live_rows.iter().map(|&i| emerging.labels[i]).collect();
+
+    // Ten-class recovery stays strong.
+    let ari = adjusted_rand_index(&labels10, &truth);
+    assert!(ari > 0.8, "10-class ARI {ari}");
+
+    // The injected antennas concentrate in a single discovered cluster,
+    // and dominate it.
+    let mut capture = [0usize; 10];
+    for (pos, &t_label) in truth.iter().enumerate() {
+        if t_label == EMERGING_LABEL {
+            capture[labels10[pos]] += 1;
+        }
+    }
+    let best = icn_stats::rank::argmax(&capture.iter().map(|&c| c as f64).collect::<Vec<_>>());
+    let captured = capture[best];
+    let cluster_size = labels10.iter().filter(|&&l| l == best).count();
+    assert!(
+        captured as f64 / n_inject as f64 > 0.8,
+        "captured {captured}/{n_inject}"
+    );
+    assert!(
+        captured as f64 / cluster_size as f64 > 0.8,
+        "purity {captured}/{cluster_size}"
+    );
+}
+
+#[test]
+fn without_injection_k10_adds_no_new_structure() {
+    // Control: on the base population, forcing k = 10 just splits an
+    // existing archetype — the extra cluster has no distinct identity
+    // (its members' planted labels already exist elsewhere).
+    let base = Dataset::generate(SynthConfig::small());
+    let (t, live_rows) = filter_dead_rows(&base.indoor_totals);
+    let features = rsca(&t);
+    let history = agglomerate(&features, Linkage::Ward);
+    let planted: Vec<usize> = live_rows
+        .iter()
+        .map(|&i| base.planted_labels()[i])
+        .collect();
+    let ari9 = adjusted_rand_index(&history.cut(9), &planted);
+    let ari10 = adjusted_rand_index(&history.cut(10), &planted);
+    assert!(
+        ari10 <= ari9 + 1e-9,
+        "k=10 must not beat k=9 on 9-archetype truth: {ari10} vs {ari9}"
+    );
+}
