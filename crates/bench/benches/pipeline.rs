@@ -1,44 +1,41 @@
-//! Criterion benches of the end-to-end pipeline (B6 scale sweep): study
-//! runtime vs population size, and the k-sweep (Figure 2) at one scale.
+//! Benches of the end-to-end pipeline (B6 scale sweep): study runtime vs
+//! population size, and the k-sweep (Figure 2) at one scale. Manual
+//! timing loops (`harness = false`).
+//!
+//! ```sh
+//! cargo bench -p icn-bench --bench pipeline
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icn_bench::timing::bench;
 use icn_core::{IcnStudy, StudyConfig};
 use icn_synth::{Dataset, SynthConfig};
 
-fn pipeline_scale_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("b6_pipeline_scale_sweep");
-    g.sample_size(10);
+fn pipeline_scale_sweep() {
+    println!("== b6_pipeline_scale_sweep ==");
     for &scale in &[0.05, 0.1, 0.2] {
         let ds = Dataset::generate(SynthConfig::paper().with_scale(scale));
-        g.bench_with_input(
-            BenchmarkId::from_parameter(ds.num_antennas()),
-            &ds,
-            |b, ds| {
-                b.iter(|| IcnStudy::run(ds, StudyConfig::fast()));
-            },
-        );
-    }
-    g.finish();
-}
-
-fn pipeline_with_sweep(c: &mut Criterion) {
-    let ds = Dataset::generate(SynthConfig::paper().with_scale(0.1));
-    let mut g = c.benchmark_group("fig02_full_study_with_k_sweep");
-    g.sample_size(10);
-    g.bench_function("k_sweep_2_to_15", |b| {
-        b.iter(|| {
-            IcnStudy::run(
-                &ds,
-                StudyConfig {
-                    run_k_sweep: true,
-                    n_trees: 30,
-                    ..StudyConfig::paper()
-                },
-            )
+        bench(&format!("study_{}_antennas", ds.num_antennas()), 5, || {
+            IcnStudy::run(&ds, StudyConfig::fast())
         });
-    });
-    g.finish();
+    }
 }
 
-criterion_group!(benches, pipeline_scale_sweep, pipeline_with_sweep);
-criterion_main!(benches);
+fn pipeline_with_sweep() {
+    let ds = Dataset::generate(SynthConfig::paper().with_scale(0.1));
+    println!("== fig02_full_study_with_k_sweep ==");
+    bench("k_sweep_2_to_15", 5, || {
+        IcnStudy::run(
+            &ds,
+            StudyConfig {
+                run_k_sweep: true,
+                n_trees: 30,
+                ..StudyConfig::paper()
+            },
+        )
+    });
+}
+
+fn main() {
+    pipeline_scale_sweep();
+    pipeline_with_sweep();
+}

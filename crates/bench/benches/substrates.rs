@@ -1,15 +1,18 @@
-//! Criterion performance benches of the substrates behind each experiment.
+//! Performance benches of the substrates behind each experiment
+//! (manual timing loops; `harness = false`).
 //!
 //! Groups are named after the figure/table whose regeneration they time:
 //! the workload generator (Table 1 / all figures), the RCA/RSCA transform
 //! (Figure 1), pairwise distances + Ward clustering + quality indices
 //! (Figures 2–4), the surrogate forest (Figure 5/9), TreeSHAP (Figure 5)
 //! and temporal synthesis (Figures 10–11).
+//!
+//! ```sh
+//! cargo bench -p icn-bench --bench substrates
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use icn_cluster::{
-    agglomerate_condensed, dunn_index, silhouette_score, Condensed, Linkage,
-};
+use icn_bench::timing::bench;
+use icn_cluster::{agglomerate_condensed, dunn_index, silhouette_score, Condensed, Linkage};
 use icn_core::{cluster_heatmap, filter_dead_rows, rsca};
 use icn_forest::{ForestConfig, RandomForest, TrainSet};
 use icn_shap::forest_shap;
@@ -20,42 +23,37 @@ fn bench_dataset(scale: f64) -> Dataset {
     Dataset::generate(SynthConfig::paper().with_scale(scale))
 }
 
-fn gen_workload(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1_workload_generation");
-    g.sample_size(10);
+fn gen_workload() {
+    println!("== table1_workload_generation ==");
     for &scale in &[0.05, 0.1, 0.2] {
-        g.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &s| {
-            b.iter(|| Dataset::generate(SynthConfig::paper().with_scale(s)));
+        bench(&format!("generate_scale_{scale}"), 5, || {
+            Dataset::generate(SynthConfig::paper().with_scale(scale))
         });
     }
-    g.finish();
 }
 
-fn transform(c: &mut Criterion) {
+fn transform() {
     let ds = bench_dataset(0.2);
     let (t, _) = filter_dead_rows(&ds.indoor_totals);
-    let mut g = c.benchmark_group("fig01_rsca_transform");
-    g.bench_function("rsca", |b| b.iter(|| rsca(&t)));
-    g.finish();
+    println!("== fig01_rsca_transform ==");
+    bench("rsca", 20, || rsca(&t));
 }
 
-fn clustering(c: &mut Criterion) {
+fn clustering() {
     let ds = bench_dataset(0.2);
     let (t, _) = filter_dead_rows(&ds.indoor_totals);
     let features = rsca(&t);
-    let mut g = c.benchmark_group("fig03_ward_clustering");
-    g.sample_size(10);
-    g.bench_function("condensed_distances", |b| {
-        b.iter(|| Condensed::from_rows(&features, Metric::SqEuclidean))
+    println!("== fig03_ward_clustering ==");
+    bench("condensed_distances", 5, || {
+        Condensed::from_rows(&features, Metric::SqEuclidean)
     });
     let cond = Condensed::from_rows(&features, Metric::SqEuclidean);
-    g.bench_function("nn_chain_ward", |b| {
-        b.iter(|| agglomerate_condensed(&cond, Linkage::Ward))
+    bench("nn_chain_ward", 5, || {
+        agglomerate_condensed(&cond, Linkage::Ward)
     });
-    g.finish();
 }
 
-fn quality_indices(c: &mut Criterion) {
+fn quality_indices() {
     let ds = bench_dataset(0.2);
     let (t, _) = filter_dead_rows(&ds.indoor_totals);
     let features = rsca(&t);
@@ -63,33 +61,27 @@ fn quality_indices(c: &mut Criterion) {
     let history = agglomerate_condensed(&cond_w, Linkage::Ward);
     let labels = history.cut(9);
     let cond = Condensed::from_rows(&features, Metric::Euclidean);
-    let mut g = c.benchmark_group("fig02_quality_indices");
-    g.sample_size(10);
-    g.bench_function("silhouette_k9", |b| {
-        b.iter(|| silhouette_score(&cond, &labels))
-    });
-    g.bench_function("dunn_k9", |b| b.iter(|| dunn_index(&cond, &labels)));
-    g.finish();
+    println!("== fig02_quality_indices ==");
+    bench("silhouette_k9", 5, || silhouette_score(&cond, &labels));
+    bench("dunn_k9", 5, || dunn_index(&cond, &labels));
 }
 
-fn surrogate(c: &mut Criterion) {
+fn surrogate() {
     let ds = bench_dataset(0.2);
     let (t, _) = filter_dead_rows(&ds.indoor_totals);
     let features = rsca(&t);
     let cond = Condensed::from_rows(&features, Metric::SqEuclidean);
     let labels = agglomerate_condensed(&cond, Linkage::Ward).cut(9);
     let ts = TrainSet::new(features.clone(), labels);
-    let mut g = c.benchmark_group("fig05_surrogate_forest");
-    g.sample_size(10);
-    g.bench_function("fit_100_trees", |b| {
-        b.iter(|| RandomForest::fit(&ts, &ForestConfig::default()))
+    println!("== fig05_surrogate_forest ==");
+    bench("fit_100_trees", 5, || {
+        RandomForest::fit(&ts, &ForestConfig::default())
     });
     let forest = RandomForest::fit(&ts, &ForestConfig::default());
-    g.bench_function("predict_batch", |b| b.iter(|| forest.predict_batch(&ts.x)));
-    g.finish();
+    bench("predict_batch", 5, || forest.predict_batch(&ts.x));
 }
 
-fn treeshap(c: &mut Criterion) {
+fn treeshap() {
     let ds = bench_dataset(0.1);
     let (t, _) = filter_dead_rows(&ds.indoor_totals);
     let features = rsca(&t);
@@ -103,14 +95,13 @@ fn treeshap(c: &mut Criterion) {
             ..ForestConfig::default()
         },
     );
-    let mut g = c.benchmark_group("fig05_treeshap");
-    g.bench_function("one_sample_50_trees_73_features", |b| {
-        b.iter(|| forest_shap(&forest, features.row(0)))
+    println!("== fig05_treeshap ==");
+    bench("one_sample_50_trees_73_features", 10, || {
+        forest_shap(&forest, features.row(0))
     });
-    g.finish();
 }
 
-fn temporal(c: &mut Criterion) {
+fn temporal() {
     let ds = bench_dataset(0.05);
     let window = StudyCalendar::temporal_window();
     // One small cluster's heatmap.
@@ -120,26 +111,19 @@ fn temporal(c: &mut Criterion) {
         .filter(|a| a.archetype == icn_synth::Archetype::Workspace)
         .take(20)
         .collect();
-    let rows: Vec<&[f64]> = members
-        .iter()
-        .map(|a| ds.indoor_totals.row(a.id))
-        .collect();
-    let mut g = c.benchmark_group("fig10_temporal_heatmap");
-    g.sample_size(10);
-    g.bench_function("cluster_heatmap_20_antennas", |b| {
-        b.iter(|| cluster_heatmap(&members, &rows, &ds.services, 65, &window, ds.root_rng()))
+    let rows: Vec<&[f64]> = members.iter().map(|a| ds.indoor_totals.row(a.id)).collect();
+    println!("== fig10_temporal_heatmap ==");
+    bench("cluster_heatmap_20_antennas", 5, || {
+        cluster_heatmap(&members, &rows, &ds.services, 65, &window, ds.root_rng())
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    gen_workload,
-    transform,
-    clustering,
-    quality_indices,
-    surrogate,
-    treeshap,
-    temporal
-);
-criterion_main!(benches);
+fn main() {
+    gen_workload();
+    transform();
+    clustering();
+    quality_indices();
+    surrogate();
+    treeshap();
+    temporal();
+}

@@ -28,10 +28,7 @@ fn main() {
     banner("Ablations B1–B5", &ds);
 
     let (t, live_rows) = filter_dead_rows(&ds.indoor_totals);
-    let planted: Vec<usize> = live_rows
-        .iter()
-        .map(|&i| ds.planted_labels()[i])
-        .collect();
+    let planted: Vec<usize> = live_rows.iter().map(|&i| ds.planted_labels()[i]).collect();
     let features = rsca(&t);
 
     // ---------- B1: transform ablation ----------
@@ -89,7 +86,12 @@ fn main() {
     println!("B4 — surrogate fidelity vs forest size (labels = ward cut):");
     let ts = TrainSet::new(features.clone(), ward_labels.clone());
     let mut b4 = Table::new(vec!["trees", "max depth", "train acc", "OOB acc"]);
-    for (n_trees, depth) in [(10, usize::MAX), (50, usize::MAX), (100, usize::MAX), (100, 4)] {
+    for (n_trees, depth) in [
+        (10, usize::MAX),
+        (50, usize::MAX),
+        (100, usize::MAX),
+        (100, 4),
+    ] {
         let forest = RandomForest::fit(
             &ts,
             &ForestConfig {
@@ -104,9 +106,16 @@ fn main() {
         );
         b4.row(vec![
             n_trees.to_string(),
-            if depth == usize::MAX { "∞".into() } else { depth.to_string() },
+            if depth == usize::MAX {
+                "∞".into()
+            } else {
+                depth.to_string()
+            },
             format!("{:.3}", forest.accuracy(&ts)),
-            format!("{:?}", forest.oob_accuracy.map(|x| (x * 1000.0).round() / 1000.0)),
+            format!(
+                "{:?}",
+                forest.oob_accuracy.map(|x| (x * 1000.0).round() / 1000.0)
+            ),
         ]);
     }
     println!("{}", b4.render());
@@ -115,7 +124,11 @@ fn main() {
     // generalisation check next to OOB (cluster sizes are unbalanced).
     let cv = icn_forest::cross_validate(
         &ts,
-        &ForestConfig { n_trees: 50, seed: 7, ..ForestConfig::default() },
+        &ForestConfig {
+            n_trees: 50,
+            seed: 7,
+            ..ForestConfig::default()
+        },
         5,
         13,
     );
@@ -135,7 +148,13 @@ fn main() {
     for k in [6usize, 9, 12] {
         let reference = agglomerate(&features, Linkage::Ward).cut(k);
         let r = icn_cluster::bootstrap_stability(
-            &features, &reference, k, Linkage::Ward, 0.7, 8, 0xB007,
+            &features,
+            &reference,
+            k,
+            Linkage::Ward,
+            0.7,
+            8,
+            0xB007,
         );
         b2b.row(vec![
             k.to_string(),
@@ -147,8 +166,20 @@ fn main() {
 
     // ---------- B5: SHAP estimator agreement ----------
     println!("B5 — TreeSHAP vs KernelSHAP (one member of each of 3 clusters):");
-    let forest = RandomForest::fit(&ts, &ForestConfig { n_trees: 50, seed: 7, ..Default::default() });
-    let mut b5 = Table::new(vec!["cluster", "sample", "top-feature match", "sign agreement (top5)"]);
+    let forest = RandomForest::fit(
+        &ts,
+        &ForestConfig {
+            n_trees: 50,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    let mut b5 = Table::new(vec![
+        "cluster",
+        "sample",
+        "top-feature match",
+        "sign agreement (top5)",
+    ]);
     for class in 0..3usize {
         let Some(idx) = ward_labels.iter().position(|&l| l == class) else {
             continue;
@@ -174,12 +205,21 @@ fn main() {
         let top5 = icn_stats::rank::top_k(&abs_tree, 5);
         let signs = top5
             .iter()
-            .filter(|&&f| tree_class[f].signum() == kern_phi[f].signum() || kern_phi[f].abs() < 1e-4)
+            .filter(|&&f| {
+                tree_class[f].signum() == kern_phi[f].signum() || kern_phi[f].abs() < 1e-4
+            })
             .count();
         b5.row(vec![
             class.to_string(),
             idx.to_string(),
-            if top_tree == top_kern { "yes".into() } else { format!("{} vs {}", ds.services[top_tree].name, ds.services[top_kern].name) },
+            if top_tree == top_kern {
+                "yes".into()
+            } else {
+                format!(
+                    "{} vs {}",
+                    ds.services[top_tree].name, ds.services[top_kern].name
+                )
+            },
             format!("{signs}/5"),
         ]);
     }

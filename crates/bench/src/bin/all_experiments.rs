@@ -6,12 +6,13 @@
 //! shape against the paper's claims.
 //!
 //! ```sh
-//! cargo run --release -p icn-bench --bin all_experiments [-- --scale 1.0 --sweep]
+//! cargo run --release -p icn-bench --bin all_experiments \
+//!     [-- --scale 1.0 --sweep --metrics-out metrics.json]
 //! ```
 
-use icn_bench::{dataset, parse_opts, study};
+use icn_bench::{dataset, parse_opts, study, write_metrics};
 use icn_cluster::detect_drops;
-use icn_core::{cluster_heatmap, distribution_entropy, label_distribution, rca, filter_dead_rows};
+use icn_core::{cluster_heatmap, distribution_entropy, filter_dead_rows, label_distribution, rca};
 use icn_shap::Direction;
 use icn_synth::{Environment, StudyCalendar};
 
@@ -47,7 +48,11 @@ fn main() {
     println!("\n== fig01 ==");
     let (t_live, _) = filter_dead_rows(&ds.indoor_totals);
     let r = rca(&t_live);
-    let max_rca = r.as_slice().iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let max_rca = r
+        .as_slice()
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
     let frac_below_half = t_live
         .as_slice()
         .iter()
@@ -60,9 +65,13 @@ fn main() {
     );
     println!("max RCA: {max_rca:.2} (unbounded tail; paper sample max 75.88)");
     let rs = &st.rsca;
-    let under = rs.as_slice().iter().filter(|&&v| v < 0.0).count() as f64
-        / rs.as_slice().len() as f64;
-    println!("RSCA balance: {:.1}% under- / {:.1}% over-utilised", 100.0 * under, 100.0 * (1.0 - under));
+    let under =
+        rs.as_slice().iter().filter(|&&v| v < 0.0).count() as f64 / rs.as_slice().len() as f64;
+    println!(
+        "RSCA balance: {:.1}% under- / {:.1}% over-utilised",
+        100.0 * under,
+        100.0 * (1.0 - under)
+    );
 
     // Fig 2.
     println!("\n== fig02 ==");
@@ -70,10 +79,16 @@ fn main() {
         println!("(sweep disabled; run with --sweep)");
     } else {
         for q in &st.k_sweep {
-            println!("k={} silhouette={:.4} dunn={:.5}", q.k, q.silhouette, q.dunn);
+            println!(
+                "k={} silhouette={:.4} dunn={:.5}",
+                q.k, q.silhouette, q.dunn
+            );
         }
         for d in detect_drops(&st.k_sweep, 0.05) {
-            println!("combined drop after k={} (magnitude {:.3})", d.k, d.magnitude);
+            println!(
+                "combined drop after k={} (magnitude {:.3})",
+                d.k, d.magnitude
+            );
         }
     }
 
@@ -100,7 +115,11 @@ fn main() {
         let under: Vec<&str> = p.top_under(3).into_iter().map(|j| names[j]).collect();
         println!(
             "cluster {} (n={}, rms {:.3}): over [{}] under [{}]",
-            p.cluster, p.size, p.rms(), over.join(", "), under.join(", ")
+            p.cluster,
+            p.size,
+            p.rms(),
+            over.join(", "),
+            under.join(", ")
         );
     }
 
@@ -187,4 +206,6 @@ fn main() {
             hm.burstiness()
         );
     }
+
+    write_metrics(&opts, "all_experiments");
 }

@@ -13,9 +13,7 @@
 //! ```
 
 use icn_bench::parse_opts;
-use icn_cluster::{
-    adjusted_rand_index, agglomerate_condensed, sweep_k, Condensed, Linkage,
-};
+use icn_cluster::{adjusted_rand_index, agglomerate_condensed, sweep_k, Condensed, Linkage};
 use icn_core::{filter_dead_rows, rsca};
 use icn_report::Table;
 use icn_stats::Metric;
@@ -24,7 +22,11 @@ use icn_synth::{Dataset, SynthConfig};
 
 fn main() {
     let opts = parse_opts();
-    let base = Dataset::generate(SynthConfig::paper().with_scale(opts.scale).with_seed(opts.seed));
+    let base = Dataset::generate(
+        SynthConfig::paper()
+            .with_scale(opts.scale)
+            .with_seed(opts.seed),
+    );
     // Inject ~4% of the population as emerging antennas.
     let n_inject = (base.num_antennas() / 25).max(8);
     let emerging = inject_emerging(&base, n_inject, 0xE317);

@@ -21,7 +21,10 @@ fn main() {
     let (t, _) = filter_dead_rows(&ds.indoor_totals);
 
     // The paper plots "some antennas": a fixed sample of 20.
-    let sample: Vec<usize> = (0..t.rows()).step_by((t.rows() / 20).max(1)).take(20).collect();
+    let sample: Vec<usize> = (0..t.rows())
+        .step_by((t.rows() / 20).max(1))
+        .take(20)
+        .collect();
     let sampled = t.select_rows(&sample);
 
     // Panel 1: traffic normalised by the max application load in-sample.
@@ -47,20 +50,22 @@ fn main() {
         .iter()
         .copied()
         .fold(f64::NEG_INFINITY, f64::max);
-    println!(
-        "largest RCA in sample: {max_rca:.2} (paper's sample: 75.88 — the unbounded tail)\n"
-    );
+    println!("largest RCA in sample: {max_rca:.2} (paper's sample: 75.88 — the unbounded tail)\n");
 
     // Panel 3: RSCA — symmetric in [-1, 1].
     let rsca_sample = rsca_from_rca(&rca_sample);
     let h_rsca = Histogram::of(rsca_sample.as_slice(), -1.0, 1.0, 40);
-    println!("{}", icn_report::histogram_plot::render(&h_rsca, "RSCA", 48));
+    println!(
+        "{}",
+        icn_report::histogram_plot::render(&h_rsca, "RSCA", 48)
+    );
 
     // The balance statistic: fraction of mass on each side of 0.
-    let (under, over): (usize, usize) = rsca_sample
-        .as_slice()
-        .iter()
-        .fold((0, 0), |(u, o), &v| if v < 0.0 { (u + 1, o) } else { (u, o + 1) });
+    let (under, over): (usize, usize) =
+        rsca_sample.as_slice().iter().fold(
+            (0, 0),
+            |(u, o), &v| if v < 0.0 { (u + 1, o) } else { (u, o + 1) },
+        );
     println!(
         "RSCA balance: {under} under-utilised vs {over} over-utilised samples \
          (RCA in-sample max maps to RSCA {:.3})",

@@ -39,8 +39,14 @@ fn main() {
     println!("{}", table.render());
     let sil: Vec<f64> = sweep.iter().map(|q| q.silhouette).collect();
     let dunn: Vec<f64> = sweep.iter().map(|q| q.dunn).collect();
-    println!("{}", icn_report::spark::labeled_sparkline("silhouette", &sil));
-    println!("{}\n", icn_report::spark::labeled_sparkline("dunn      ", &dunn));
+    println!(
+        "{}",
+        icn_report::spark::labeled_sparkline("silhouette", &sil)
+    );
+    println!(
+        "{}\n",
+        icn_report::spark::labeled_sparkline("dunn      ", &dunn)
+    );
 
     let drops = detect_drops(&sweep, 0.05);
     if drops.is_empty() {

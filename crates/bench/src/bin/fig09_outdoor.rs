@@ -18,11 +18,19 @@ use icn_report::Table;
 fn main() {
     let opts = parse_opts();
     let ds = dataset(&opts);
-    banner("Figure 9 — outdoor antennas through the indoor surrogate", &ds);
+    banner(
+        "Figure 9 — outdoor antennas through the indoor surrogate",
+        &ds,
+    );
     let st = study(&ds, &opts);
 
     let indoor_dist = label_distribution(&st.labels, st.config.k);
-    let mut t = Table::new(vec!["cluster", "dominant env", "indoor share", "outdoor share"]);
+    let mut t = Table::new(vec![
+        "cluster",
+        "dominant env",
+        "indoor share",
+        "outdoor share",
+    ]);
     for c in 0..st.config.k {
         let (env, _) = st.crosstab.dominant_environment(c);
         t.row(vec![

@@ -19,7 +19,10 @@ use icn_synth::StudyCalendar;
 fn main() {
     let opts = parse_opts();
     let ds = dataset(&opts);
-    banner("Figure 10 — cluster temporal heatmaps (04–24 Jan 2023)", &ds);
+    banner(
+        "Figure 10 — cluster temporal heatmaps (04–24 Jan 2023)",
+        &ds,
+    );
     let st = study(&ds, &opts);
     let window = StudyCalendar::temporal_window();
 

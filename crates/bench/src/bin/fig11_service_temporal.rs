@@ -84,7 +84,14 @@ fn main() {
         if members.is_empty() {
             continue;
         }
-        let hm = service_heatmap(&members, &totals, &ds.services[j], 65, &window, ds.root_rng());
+        let hm = service_heatmap(
+            &members,
+            &totals,
+            &ds.services[j],
+            65,
+            &window,
+            ds.root_rng(),
+        );
         println!(
             "{tag} {svc_name}, super-group {g} ({} antennas) — commute ratio {:.2}, \
              weekend ratio {:.2}, strike dip {:.2}, burstiness {:.1}",
@@ -94,9 +101,7 @@ fn main() {
             hm.strike_dip(),
             hm.burstiness()
         );
-        let labels: Vec<String> = (0..hm.values.len())
-            .map(|d| window.date(d).iso())
-            .collect();
+        let labels: Vec<String> = (0..hm.values.len()).map(|d| window.date(d).iso()).collect();
         print!(
             "{}",
             icn_report::heatmap::render_sequential(&hm.values, Some(&labels))

@@ -1,42 +1,47 @@
 //! Stage-by-stage timing of the full-scale pipeline (diagnostic tool).
-use icn_cluster::{agglomerate_condensed, Condensed, Linkage};
-use icn_core::{filter_dead_rows, rsca};
-use icn_forest::{ForestConfig, RandomForest, TrainSet};
-use icn_synth::{Dataset, SynthConfig};
-use std::time::Instant;
+//!
+//! Thin wrapper over the `icn-obs` spans that instrument the pipeline
+//! itself: it enables the global registry, runs dataset generation plus
+//! the full study, and prints every recorded span with its wall time —
+//! so the numbers here are exactly the numbers `--metrics-out` exports.
+//!
+//! ```sh
+//! cargo run --release -p icn-bench --bin profile_stages \
+//!     [-- --scale 1.0 --sweep --metrics-out profile.json]
+//! ```
+
+use icn_bench::{dataset, parse_opts, study, write_metrics};
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
-    let t0 = Instant::now();
-    let ds = Dataset::generate(SynthConfig::paper().with_scale(scale));
-    eprintln!("generate: {:?} ({} antennas)", t0.elapsed(), ds.num_antennas());
+    let opts = parse_opts();
+    let obs = icn_obs::global();
+    obs.enable();
 
-    let t = Instant::now();
-    let (live, _) = filter_dead_rows(&ds.indoor_totals);
-    let features = rsca(&live);
-    eprintln!("rsca: {:?}", t.elapsed());
+    let ds = dataset(&opts);
+    eprintln!(
+        "generated {} antennas at scale {}",
+        ds.num_antennas(),
+        opts.scale
+    );
+    let st = study(&ds, &opts);
+    eprintln!(
+        "study done: {} clusters, surrogate acc {:.4}",
+        st.cluster_sizes().len(),
+        st.surrogate_accuracy
+    );
 
-    let t = Instant::now();
-    let cond = Condensed::from_rows(&features, Linkage::Ward.base_metric());
-    eprintln!("condensed: {:?}", t.elapsed());
+    let snap = obs.snapshot();
+    println!("{:<40} {:>8} {:>12}", "span", "calls", "wall_ms");
+    let mut spans: Vec<_> = snap.spans.iter().collect();
+    spans.sort_by_key(|s| std::cmp::Reverse(s.1 .1));
+    for (path, (calls, wall)) in spans {
+        println!(
+            "{:<40} {:>8} {:>12.3}",
+            path,
+            calls,
+            wall.as_secs_f64() * 1e3
+        );
+    }
 
-    let t = Instant::now();
-    let history = agglomerate_condensed(&cond, Linkage::Ward);
-    eprintln!("agglomerate: {:?}", t.elapsed());
-
-    let t = Instant::now();
-    let labels = history.cut(9);
-    eprintln!("cut: {:?}", t.elapsed());
-
-    let t = Instant::now();
-    let ts = TrainSet::new(features.clone(), labels.clone());
-    let forest = RandomForest::fit(&ts, &ForestConfig::default());
-    eprintln!("forest fit: {:?} (oob {:?})", t.elapsed(), forest.oob_accuracy);
-    let depth: usize = forest.trees.iter().map(|t| t.depth()).max().unwrap();
-    let leaves: usize = forest.trees.iter().map(|t| t.num_leaves()).sum::<usize>() / forest.trees.len();
-    eprintln!("forest stats: max depth {depth}, avg leaves {leaves}");
-
-    let t = Instant::now();
-    let phi = icn_shap::forest_shap(&forest, features.row(0));
-    eprintln!("one-sample forest_shap: {:?} (|phi| {})", t.elapsed(), phi.len());
+    write_metrics(&opts, "profile_stages");
 }

@@ -30,7 +30,12 @@ fn main() {
         }
     }
 
-    let mut t = Table::new(vec!["Environment", "Cases", "N_env (mined)", "N_env (paper)"]);
+    let mut t = Table::new(vec![
+        "Environment",
+        "Cases",
+        "N_env (mined)",
+        "N_env (paper)",
+    ]);
     for env in Environment::ALL {
         t.row(vec![
             env.label().to_string(),

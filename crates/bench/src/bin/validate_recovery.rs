@@ -8,7 +8,11 @@ fn main() {
     let opts = parse_opts();
     let ds = dataset(&opts);
     let st = study(&ds, &opts);
-    let planted: Vec<usize> = st.live_rows.iter().map(|&i| ds.planted_labels()[i]).collect();
+    let planted: Vec<usize> = st
+        .live_rows
+        .iter()
+        .map(|&i| ds.planted_labels()[i])
+        .collect();
     println!(
         "scale {}: N={} ARI={:.4} NMI={:.4} purity={:.4} surrogate_acc={:.4} oob={:?}",
         opts.scale,

@@ -2,17 +2,19 @@
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the
 //! paper. They share a common CLI (`--scale <f64>` to shrink the antenna
-//! population, `--seed <u64>`, `--sweep` to enable the Figure 2 sweep) and
+//! population, `--seed <u64>`, `--sweep` to enable the Figure 2 sweep,
+//! `--metrics-out <path>` to export an [`icn_obs::BenchReport`]) and
 //! common dataset/study runners.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use icn_core::{IcnStudy, StudyConfig};
+use icn_obs::BenchReport;
 use icn_synth::{Dataset, SynthConfig};
 
 /// Parsed harness options.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct HarnessOpts {
     /// Population scale (1.0 = the paper's 4,762 antennas).
     pub scale: f64,
@@ -20,6 +22,8 @@ pub struct HarnessOpts {
     pub seed: u64,
     /// Run the (slow) Figure 2 sweep.
     pub sweep: bool,
+    /// Destination for the machine-readable metrics report, if any.
+    pub metrics_out: Option<String>,
 }
 
 impl Default for HarnessOpts {
@@ -28,11 +32,14 @@ impl Default for HarnessOpts {
             scale: 1.0,
             seed: SynthConfig::default().seed,
             sweep: false,
+            metrics_out: None,
         }
     }
 }
 
-/// Parses `--scale`, `--seed` and `--sweep` from `std::env::args`.
+/// Parses `--scale`, `--seed`, `--sweep` and `--metrics-out` from
+/// `std::env::args`, and enables the global [`icn_obs`] registry when a
+/// metrics destination was requested (so the whole run is traced).
 pub fn parse_opts() -> HarnessOpts {
     let args: Vec<String> = std::env::args().collect();
     let mut opts = HarnessOpts::default();
@@ -55,10 +62,34 @@ pub fn parse_opts() -> HarnessOpts {
                 opts.sweep = true;
                 i += 1;
             }
+            "--metrics-out" => {
+                opts.metrics_out = args.get(i + 1).cloned();
+                i += 2;
+            }
             _ => i += 1,
         }
     }
+    if opts.metrics_out.is_some() {
+        icn_obs::global().enable();
+    }
     opts
+}
+
+/// Writes the accumulated metrics to `opts.metrics_out` (no-op when the
+/// flag was not given). Call once, at the end of the binary.
+pub fn write_metrics(opts: &HarnessOpts, run_id: &str) {
+    let Some(path) = &opts.metrics_out else {
+        return;
+    };
+    let snap = icn_obs::global().snapshot();
+    let report = BenchReport::build(&snap, run_id, opts.scale);
+    match report.write_to_file(path) {
+        Ok(()) => eprintln!("metrics written to {path}"),
+        Err(e) => {
+            eprintln!("failed to write metrics to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Generates the dataset for the harness options.
@@ -88,6 +119,36 @@ pub fn banner(what: &str, ds: &Dataset) {
         ds.num_services(),
         ds.outdoor.len()
     );
+}
+
+/// Minimal manual benchmarking loop used by the `benches/` harnesses
+/// (`harness = false`): runs `f` a fixed number of times and reports
+/// min / median wall time. No statistics beyond that — the goal is
+/// regression *visibility*, not criterion-grade inference.
+pub mod timing {
+    use std::time::{Duration, Instant};
+
+    /// Times `iters` runs of `f` (plus one untimed warm-up) and prints
+    /// `name: median <m> min <n>`; returns the median.
+    pub fn bench<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) -> Duration {
+        assert!(iters >= 1, "timing::bench: need at least one iteration");
+        std::hint::black_box(f());
+        let mut samples: Vec<Duration> = (0..iters)
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(f());
+                t.elapsed()
+            })
+            .collect();
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        println!(
+            "{name}: median {:.3} ms, min {:.3} ms ({iters} iters)",
+            median.as_secs_f64() * 1e3,
+            samples[0].as_secs_f64() * 1e3
+        );
+        median
+    }
 }
 
 #[cfg(test)]

@@ -104,7 +104,10 @@ impl MergeHistory {
 /// # Panics
 /// If `data` has fewer than 2 rows or contains non-finite values.
 pub fn agglomerate(data: &Matrix, linkage: Linkage) -> MergeHistory {
-    assert!(data.rows() >= 2, "agglomerate: need at least 2 observations");
+    assert!(
+        data.rows() >= 2,
+        "agglomerate: need at least 2 observations"
+    );
     assert!(
         !data.has_non_finite(),
         "agglomerate: non-finite values in input (filter dead antennas first)"
@@ -116,6 +119,7 @@ pub fn agglomerate(data: &Matrix, linkage: Linkage) -> MergeHistory {
 /// Runs agglomerative clustering on a precomputed condensed distance matrix
 /// (must be in the linkage's base metric — squared Euclidean for Ward).
 pub fn agglomerate_condensed(cond: &Condensed, linkage: Linkage) -> MergeHistory {
+    let _span = icn_obs::Span::enter("agglomerate");
     let n = cond.len();
     assert!(n >= 2, "agglomerate: need at least 2 observations");
 
@@ -182,14 +186,8 @@ pub fn agglomerate_condensed(cond: &Condensed, linkage: Linkage) -> MergeHistory
                     if !active[k] || k == i || k == j {
                         continue;
                     }
-                    let v = linkage.update(
-                        d[i * n + k],
-                        d[j * n + k],
-                        d_ij,
-                        n_i,
-                        n_j,
-                        size[k] as f64,
-                    );
+                    let v =
+                        linkage.update(d[i * n + k], d[j * n + k], d_ij, n_i, n_j, size[k] as f64);
                     d[i * n + k] = v;
                     d[k * n + i] = v;
                 }
@@ -239,11 +237,8 @@ pub fn agglomerate_condensed(cond: &Condensed, linkage: Linkage) -> MergeHistory
         });
     }
 
-    MergeHistory {
-        n,
-        linkage,
-        merges,
-    }
+    icn_obs::global().add_counter("cluster.merges", merges.len() as u64);
+    MergeHistory { n, linkage, merges }
 }
 
 /// Renumbers arbitrary representative ids into dense labels `0..k`, ordered
@@ -432,7 +427,8 @@ mod tests {
                 if k == bi || k == bj {
                     continue;
                 }
-                let v = Linkage::Ward.update(d[bi][k], d[bj][k], d[bi][bj], size[bi], size[bj], size[k]);
+                let v = Linkage::Ward
+                    .update(d[bi][k], d[bj][k], d[bi][bj], size[bi], size[bj], size[k]);
                 d[bi][k] = v;
                 d[k][bi] = v;
             }
@@ -462,11 +458,7 @@ mod tests {
 
     #[test]
     fn duplicate_points_merge_at_zero_height() {
-        let m = Matrix::from_rows(&[
-            vec![1.0, 1.0],
-            vec![1.0, 1.0],
-            vec![5.0, 5.0],
-        ]);
+        let m = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0], vec![5.0, 5.0]]);
         let h = agglomerate(&m, Linkage::Ward);
         assert!(h.merges[0].height.abs() < 1e-12);
     }

@@ -6,8 +6,7 @@
 //! `f64`s (≈ 90 MB), computed once and shared by every consumer of the
 //! sweep in Figure 2.
 
-use icn_stats::{Matrix, Metric};
-use rayon::prelude::*;
+use icn_stats::{par, Matrix, Metric};
 
 /// Upper-triangular pairwise distance matrix over `n` points.
 #[derive(Clone, Debug)]
@@ -20,33 +19,21 @@ impl Condensed {
     /// Computes all pairwise distances between the rows of `data` under
     /// `metric`, in parallel.
     pub fn from_rows(data: &Matrix, metric: Metric) -> Condensed {
+        let _span = icn_obs::Span::enter("condensed");
         let n = data.rows();
-        let len = n * (n - 1) / 2;
-        let mut d = vec![0.0f64; len];
-        // Parallelise over i; each i owns the contiguous block of pairs
-        // (i, i+1..n).
-        let blocks: Vec<(usize, usize)> = (0..n).map(|i| (i, block_start(n, i))).collect();
         let rows: Vec<&[f64]> = (0..n).map(|i| data.row(i)).collect();
-        // Split the output into per-i chunks to write concurrently.
-        let mut chunks: Vec<&mut [f64]> = Vec::with_capacity(n);
-        {
-            let mut rest: &mut [f64] = &mut d;
-            for i in 0..n {
-                let take = n - i - 1;
-                let (head, tail) = rest.split_at_mut(take);
-                chunks.push(head);
-                rest = tail;
-            }
+        // Parallelise over i; each i owns the contiguous block of pairs
+        // (i, i+1..n), so concatenating the blocks in index order yields
+        // exactly the condensed row-block layout.
+        let blocks: Vec<Vec<f64>> = par::map_indexed(n, |i| {
+            let ri = rows[i];
+            (i + 1..n).map(|j| metric.distance(ri, rows[j])).collect()
+        });
+        let mut d = Vec::with_capacity(n * (n.max(1) - 1) / 2);
+        for block in blocks {
+            d.extend(block);
         }
-        chunks
-            .par_iter_mut()
-            .zip(blocks.par_iter())
-            .for_each(|(chunk, &(i, _))| {
-                let ri = rows[i];
-                for (off, j) in (i + 1..n).enumerate() {
-                    chunk[off] = metric.distance(ri, rows[j]);
-                }
-            });
+        icn_obs::global().add_counter("cluster.pairs", d.len() as u64);
         Condensed { n, d }
     }
 

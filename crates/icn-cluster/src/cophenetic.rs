@@ -72,10 +72,7 @@ mod tests {
         let mut rows = Vec::new();
         for c in 0..3 {
             for _ in 0..8 {
-                rows.push(vec![
-                    rng.normal(c as f64 * 10.0, 0.4),
-                    rng.normal(0.0, 0.4),
-                ]);
+                rows.push(vec![rng.normal(c as f64 * 10.0, 0.4), rng.normal(0.0, 0.4)]);
             }
         }
         Matrix::from_rows(&rows)

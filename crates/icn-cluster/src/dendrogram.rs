@@ -277,10 +277,7 @@ mod tests {
         for k in [2, 3, 4, 7] {
             let roots = d.roots_at_k(k);
             assert_eq!(roots.len(), k);
-            let total: usize = roots
-                .iter()
-                .map(|&r| d.leaves_under(r).len())
-                .sum();
+            let total: usize = roots.iter().map(|&r| d.leaves_under(r).len()).sum();
             assert_eq!(total, m.rows());
         }
     }

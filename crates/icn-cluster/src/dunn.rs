@@ -8,7 +8,7 @@
 //! distance within a cluster.
 
 use crate::condensed::Condensed;
-use rayon::prelude::*;
+use icn_stats::par;
 
 /// Dunn index of a labelling over a precomputed distance matrix.
 /// Labels must be dense `0..k`.
@@ -26,27 +26,26 @@ pub fn dunn_index(cond: &Condensed, labels: &[usize]) -> f64 {
 
     // One parallel sweep over the i < j pairs, reducing (min_inter,
     // max_diameter) simultaneously.
-    let (min_inter, max_diam) = (0..n)
-        .into_par_iter()
-        .map(|i| {
-            let mut mi = f64::INFINITY;
-            let mut md = 0.0f64;
-            for j in (i + 1)..n {
-                let d = cond.get(i, j);
-                if labels[i] == labels[j] {
-                    if d > md {
-                        md = d;
-                    }
-                } else if d < mi {
-                    mi = d;
+    let per_row = par::map_indexed(n, |i| {
+        let mut mi = f64::INFINITY;
+        let mut md = 0.0f64;
+        for j in (i + 1)..n {
+            let d = cond.get(i, j);
+            if labels[i] == labels[j] {
+                if d > md {
+                    md = d;
                 }
+            } else if d < mi {
+                mi = d;
             }
-            (mi, md)
-        })
-        .reduce(
-            || (f64::INFINITY, 0.0f64),
-            |(a_mi, a_md), (b_mi, b_md)| (a_mi.min(b_mi), a_md.max(b_md)),
-        );
+        }
+        (mi, md)
+    });
+    let (min_inter, max_diam) = per_row
+        .into_iter()
+        .fold((f64::INFINITY, 0.0f64), |(a_mi, a_md), (b_mi, b_md)| {
+            (a_mi.min(b_mi), a_md.max(b_md))
+        });
 
     if max_diam == 0.0 {
         return f64::INFINITY;
@@ -65,10 +64,7 @@ mod tests {
         let mut labels = Vec::new();
         for c in 0..3 {
             for _ in 0..10 {
-                rows.push(vec![
-                    rng.normal(c as f64 * sep, 0.4),
-                    rng.normal(0.0, 0.4),
-                ]);
+                rows.push(vec![rng.normal(c as f64 * sep, 0.4), rng.normal(0.0, 0.4)]);
                 labels.push(c);
             }
         }

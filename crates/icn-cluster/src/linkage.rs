@@ -41,15 +41,7 @@ impl Linkage {
     /// and another cluster `k`, given the pre-merge distances and cluster
     /// sizes.
     #[inline]
-    pub fn update(
-        &self,
-        d_ik: f64,
-        d_jk: f64,
-        d_ij: f64,
-        n_i: f64,
-        n_j: f64,
-        n_k: f64,
-    ) -> f64 {
+    pub fn update(&self, d_ik: f64, d_jk: f64, d_ij: f64, n_i: f64, n_j: f64, n_k: f64) -> f64 {
         match self {
             Linkage::Ward => {
                 let t = n_i + n_j + n_k;

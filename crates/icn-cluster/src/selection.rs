@@ -162,9 +162,21 @@ mod tests {
     #[test]
     fn no_drop_falls_back_to_best_silhouette() {
         let sweep = vec![
-            KQuality { k: 2, silhouette: 0.3, dunn: 0.2 },
-            KQuality { k: 3, silhouette: 0.5, dunn: 0.3 },
-            KQuality { k: 4, silhouette: 0.45, dunn: 0.31 },
+            KQuality {
+                k: 2,
+                silhouette: 0.3,
+                dunn: 0.2,
+            },
+            KQuality {
+                k: 3,
+                silhouette: 0.5,
+                dunn: 0.3,
+            },
+            KQuality {
+                k: 4,
+                silhouette: 0.45,
+                dunn: 0.31,
+            },
         ];
         // k=3→4 silhouette drops 10% but dunn rises ⇒ no combined drop.
         assert!(detect_drops(&sweep, 0.05).is_empty());
@@ -174,9 +186,21 @@ mod tests {
     #[test]
     fn drop_needs_both_indices() {
         let sweep = vec![
-            KQuality { k: 2, silhouette: 0.8, dunn: 0.5 },
-            KQuality { k: 3, silhouette: 0.4, dunn: 0.6 }, // silhouette-only
-            KQuality { k: 4, silhouette: 0.39, dunn: 0.1 }, // both drop
+            KQuality {
+                k: 2,
+                silhouette: 0.8,
+                dunn: 0.5,
+            },
+            KQuality {
+                k: 3,
+                silhouette: 0.4,
+                dunn: 0.6,
+            }, // silhouette-only
+            KQuality {
+                k: 4,
+                silhouette: 0.39,
+                dunn: 0.1,
+            }, // both drop
         ];
         let drops = detect_drops(&sweep, 0.02);
         assert_eq!(drops.len(), 1);
@@ -186,8 +210,16 @@ mod tests {
     #[test]
     fn infinite_dunn_does_not_poison() {
         let sweep = vec![
-            KQuality { k: 2, silhouette: 0.9, dunn: f64::INFINITY },
-            KQuality { k: 3, silhouette: 0.2, dunn: 1.0 },
+            KQuality {
+                k: 2,
+                silhouette: 0.9,
+                dunn: f64::INFINITY,
+            },
+            KQuality {
+                k: 3,
+                silhouette: 0.2,
+                dunn: 1.0,
+            },
         ];
         // Infinite current dunn → relative drop treated as 0.
         assert!(detect_drops(&sweep, 0.1).is_empty());

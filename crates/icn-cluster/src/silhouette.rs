@@ -7,7 +7,7 @@
 //! singleton clusters contribute 0 by convention.
 
 use crate::condensed::Condensed;
-use rayon::prelude::*;
+use icn_stats::par;
 
 /// Mean silhouette coefficient of a labelling over a precomputed distance
 /// matrix. Labels must be dense `0..k`.
@@ -24,32 +24,29 @@ pub fn silhouette_score(cond: &Condensed, labels: &[usize]) -> f64 {
         counts[l] += 1;
     }
 
-    let total: f64 = (0..n)
-        .into_par_iter()
-        .map(|i| {
-            if counts[labels[i]] <= 1 {
-                return 0.0; // singleton convention
+    let total: f64 = par::sum_indexed(n, |i| {
+        if counts[labels[i]] <= 1 {
+            return 0.0; // singleton convention
+        }
+        // Mean distance from i to every cluster.
+        let mut sums = vec![0.0f64; k];
+        for j in 0..n {
+            if j != i {
+                sums[labels[j]] += cond.get(i, j);
             }
-            // Mean distance from i to every cluster.
-            let mut sums = vec![0.0f64; k];
-            for j in 0..n {
-                if j != i {
-                    sums[labels[j]] += cond.get(i, j);
-                }
-            }
-            let own = labels[i];
-            let a = sums[own] / (counts[own] - 1) as f64;
-            let b = (0..k)
-                .filter(|&c| c != own && counts[c] > 0)
-                .map(|c| sums[c] / counts[c] as f64)
-                .fold(f64::INFINITY, f64::min);
-            if a.max(b) == 0.0 {
-                0.0
-            } else {
-                (b - a) / a.max(b)
-            }
-        })
-        .sum();
+        }
+        let own = labels[i];
+        let a = sums[own] / (counts[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && counts[c] > 0)
+            .map(|c| sums[c] / counts[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if a.max(b) == 0.0 {
+            0.0
+        } else {
+            (b - a) / a.max(b)
+        }
+    });
     total / n as f64
 }
 
@@ -64,10 +61,7 @@ mod tests {
         let mut labels = Vec::new();
         for c in 0..2 {
             for _ in 0..15 {
-                rows.push(vec![
-                    rng.normal(c as f64 * sep, 0.5),
-                    rng.normal(0.0, 0.5),
-                ]);
+                rows.push(vec![rng.normal(c as f64 * sep, 0.5), rng.normal(0.0, 0.5)]);
                 labels.push(c);
             }
         }
@@ -111,11 +105,7 @@ mod tests {
     #[test]
     fn singleton_contributes_zero() {
         // 2 coincident points in cluster 0, 1 lone point in cluster 1.
-        let m = Matrix::from_rows(&[
-            vec![0.0, 0.0],
-            vec![0.0, 0.0],
-            vec![9.0, 9.0],
-        ]);
+        let m = Matrix::from_rows(&[vec![0.0, 0.0], vec![0.0, 0.0], vec![9.0, 9.0]]);
         let cond = Condensed::from_rows(&m, Metric::Euclidean);
         let s = silhouette_score(&cond, &[0, 0, 1]);
         // Points 0/1: a=0, b=dist>0 ⇒ s=1 each; singleton ⇒ 0.

@@ -91,10 +91,7 @@ mod tests {
         let mut labels = Vec::new();
         for c in 0..3 {
             for _ in 0..n_per {
-                rows.push(vec![
-                    rng.normal(c as f64 * sep, 0.5),
-                    rng.normal(0.0, 0.5),
-                ]);
+                rows.push(vec![rng.normal(c as f64 * sep, 0.5), rng.normal(0.0, 0.5)]);
                 labels.push(c);
             }
         }

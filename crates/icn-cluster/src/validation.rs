@@ -9,7 +9,11 @@
 /// Contingency table between two labellings: `table[a][b]` counts items
 /// with label `a` in the first and `b` in the second labelling.
 pub fn contingency(labels_a: &[usize], labels_b: &[usize]) -> Vec<Vec<usize>> {
-    assert_eq!(labels_a.len(), labels_b.len(), "contingency: length mismatch");
+    assert_eq!(
+        labels_a.len(),
+        labels_b.len(),
+        "contingency: length mismatch"
+    );
     let ka = labels_a.iter().copied().max().map_or(0, |m| m + 1);
     let kb = labels_b.iter().copied().max().map_or(0, |m| m + 1);
     let mut t = vec![vec![0usize; kb]; ka];
@@ -40,7 +44,11 @@ pub fn adjusted_rand_index(labels_a: &[usize], labels_b: &[usize]) -> f64 {
     let max_index = 0.5 * (sum_a + sum_b);
     if (max_index - expected).abs() < 1e-12 {
         // Degenerate: both partitions trivial (all-in-one or all-singletons).
-        return if (sum_ij - expected).abs() < 1e-12 { 1.0 } else { 0.0 };
+        return if (sum_ij - expected).abs() < 1e-12 {
+            1.0
+        } else {
+            0.0
+        };
     }
     (sum_ij - expected) / (max_index - expected)
 }
@@ -51,7 +59,10 @@ pub fn normalized_mutual_info(labels_a: &[usize], labels_b: &[usize]) -> f64 {
     let n = labels_a.len() as f64;
     assert!(n > 0.0, "nmi: empty labellings");
     let t = contingency(labels_a, labels_b);
-    let a_sums: Vec<f64> = t.iter().map(|row| row.iter().sum::<usize>() as f64).collect();
+    let a_sums: Vec<f64> = t
+        .iter()
+        .map(|row| row.iter().sum::<usize>() as f64)
+        .collect();
     let b_len = t.first().map_or(0, |r| r.len());
     let b_sums: Vec<f64> = (0..b_len)
         .map(|j| t.iter().map(|row| row[j]).sum::<usize>() as f64)
@@ -91,7 +102,10 @@ pub fn normalized_mutual_info(labels_a: &[usize], labels_b: &[usize]) -> f64 {
 pub fn purity(labels: &[usize], reference: &[usize]) -> f64 {
     assert!(!labels.is_empty(), "purity: empty labellings");
     let t = contingency(labels, reference);
-    let hits: usize = t.iter().map(|row| row.iter().copied().max().unwrap_or(0)).sum();
+    let hits: usize = t
+        .iter()
+        .map(|row| row.iter().copied().max().unwrap_or(0))
+        .sum();
     hits as f64 / labels.len() as f64
 }
 

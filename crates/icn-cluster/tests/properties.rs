@@ -1,72 +1,76 @@
-//! Property-based tests for the clustering substrate.
+//! Property-based tests for the clustering substrate, driven by the
+//! deterministic [`icn_stats::check`] harness.
 
 use icn_cluster::{
-    adjusted_rand_index, agglomerate, dunn_index, normalized_mutual_info, purity,
-    silhouette_score, Condensed, Dendrogram, Linkage,
+    adjusted_rand_index, agglomerate, dunn_index, normalized_mutual_info, purity, silhouette_score,
+    Condensed, Dendrogram, Linkage,
 };
+use icn_stats::check::{cases, len_in};
 use icn_stats::{Matrix, Metric, Rng};
-use proptest::prelude::*;
 
 /// Random small matrix with at least two distinct rows.
-fn matrix_strategy() -> impl Strategy<Value = Matrix> {
-    (2usize..25, 1usize..6, any::<u64>()).prop_map(|(n, d, seed)| {
-        let mut rng = Rng::seed_from(seed);
-        let rows: Vec<Vec<f64>> = (0..n)
-            .map(|i| {
-                (0..d)
-                    .map(|_| rng.gaussian() + (i % 3) as f64 * 2.0)
-                    .collect()
-            })
-            .collect();
-        Matrix::from_rows(&rows)
-    })
+fn matrix(rng: &mut Rng) -> Matrix {
+    let n = len_in(rng, 2, 25);
+    let d = len_in(rng, 1, 6);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..d)
+                .map(|_| rng.gaussian() + (i % 3) as f64 * 2.0)
+                .collect()
+        })
+        .collect();
+    Matrix::from_rows(&rows)
 }
 
-fn labels_strategy() -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::vec(0usize..4, 8..40).prop_map(|mut v| {
-        // Ensure labels are dense 0..k and at least two clusters exist.
-        v[0] = 0;
-        v[1] = 1;
-        let mut max = 0;
-        for x in v.iter_mut() {
-            if *x > max + 1 {
-                *x = max + 1;
-            }
-            max = max.max(*x);
+/// Dense labels `0..k` with at least two clusters.
+fn labels(rng: &mut Rng) -> Vec<usize> {
+    let len = len_in(rng, 8, 40);
+    let mut v: Vec<usize> = (0..len).map(|_| rng.index(4)).collect();
+    v[0] = 0;
+    v[1] = 1;
+    let mut max = 0;
+    for x in v.iter_mut() {
+        if *x > max + 1 {
+            *x = max + 1;
         }
-        v
-    })
+        max = max.max(*x);
+    }
+    v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn cut_is_valid_partition_at_every_k(m in matrix_strategy()) {
+#[test]
+fn cut_is_valid_partition_at_every_k() {
+    cases(48, |case, rng| {
+        let m = matrix(rng);
         let h = agglomerate(&m, Linkage::Ward);
         for k in 1..=m.rows() {
-            let labels = h.cut(k);
-            prop_assert_eq!(labels.len(), m.rows());
-            let mut seen: Vec<usize> = labels.clone();
+            let l = h.cut(k);
+            assert_eq!(l.len(), m.rows(), "case {case} k={k}");
+            let mut seen = l.clone();
             seen.sort_unstable();
             seen.dedup();
-            prop_assert_eq!(seen.len(), k, "k={}", k);
-            // Dense labels 0..k.
-            prop_assert!(labels.iter().all(|&l| l < k));
+            assert_eq!(seen.len(), k, "case {case} k={k}");
+            assert!(l.iter().all(|&x| x < k), "case {case} k={k}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn ward_heights_monotone(m in matrix_strategy()) {
+#[test]
+fn ward_heights_monotone() {
+    cases(48, |case, rng| {
+        let m = matrix(rng);
         let h = agglomerate(&m, Linkage::Ward);
         let hs = h.heights();
         for w in hs.windows(2) {
-            prop_assert!(w[1] >= w[0] - 1e-9);
+            assert!(w[1] >= w[0] - 1e-9, "case {case}: {} then {}", w[0], w[1]);
         }
-    }
+    });
+}
 
-    #[test]
-    fn cuts_are_nested(m in matrix_strategy()) {
+#[test]
+fn cuts_are_nested() {
+    cases(48, |case, rng| {
+        let m = matrix(rng);
         let h = agglomerate(&m, Linkage::Ward);
         let n = m.rows();
         let fine = h.cut(n.min(5));
@@ -75,75 +79,105 @@ proptest! {
         let mut map = std::collections::HashMap::new();
         for i in 0..n {
             let e = map.entry(fine[i]).or_insert(coarse[i]);
-            prop_assert_eq!(*e, coarse[i]);
+            assert_eq!(*e, coarse[i], "case {case} point {i}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn dendrogram_cut_matches_history_cut(m in matrix_strategy()) {
+#[test]
+fn dendrogram_cut_matches_history_cut() {
+    cases(48, |case, rng| {
+        let m = matrix(rng);
         let h = agglomerate(&m, Linkage::Average);
         let d = Dendrogram::from_history(&h);
         for k in [1, 2, m.rows() / 2 + 1, m.rows()] {
-            prop_assert_eq!(d.cut(k), h.cut(k));
+            assert_eq!(d.cut(k), h.cut(k), "case {case} k={k}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn silhouette_and_dunn_ranges(m in matrix_strategy()) {
+#[test]
+fn silhouette_and_dunn_ranges() {
+    cases(48, |case, rng| {
+        let m = matrix(rng);
         let h = agglomerate(&m, Linkage::Ward);
         let k = 2.min(m.rows());
-        let labels = h.cut(k);
+        let l = h.cut(k);
         let cond = Condensed::from_rows(&m, Metric::Euclidean);
-        let s = silhouette_score(&cond, &labels);
-        prop_assert!((-1.0..=1.0).contains(&s), "silhouette {}", s);
-        let dn = dunn_index(&cond, &labels);
-        prop_assert!(dn >= 0.0);
-    }
+        let s = silhouette_score(&cond, &l);
+        assert!((-1.0..=1.0).contains(&s), "case {case}: silhouette {s}");
+        assert!(dunn_index(&cond, &l) >= 0.0, "case {case}");
+    });
+}
 
-    #[test]
-    fn ari_nmi_purity_of_identity(labels in labels_strategy()) {
-        prop_assert!((adjusted_rand_index(&labels, &labels) - 1.0).abs() < 1e-9);
-        prop_assert!((normalized_mutual_info(&labels, &labels) - 1.0).abs() < 1e-9);
-        prop_assert!((purity(&labels, &labels) - 1.0).abs() < 1e-9);
-    }
+#[test]
+fn ari_nmi_purity_of_identity() {
+    cases(48, |case, rng| {
+        let l = labels(rng);
+        assert!(
+            (adjusted_rand_index(&l, &l) - 1.0).abs() < 1e-9,
+            "case {case}"
+        );
+        assert!(
+            (normalized_mutual_info(&l, &l) - 1.0).abs() < 1e-9,
+            "case {case}"
+        );
+        assert!((purity(&l, &l) - 1.0).abs() < 1e-9, "case {case}");
+    });
+}
 
-    #[test]
-    fn ari_symmetric(a in labels_strategy(), seed in any::<u64>()) {
-        // Build b as a random relabelling-independent vector of same length.
-        let mut rng = Rng::seed_from(seed);
+#[test]
+fn ari_symmetric() {
+    cases(48, |case, rng| {
+        let a = labels(rng);
         let b: Vec<usize> = (0..a.len()).map(|_| rng.index(3)).collect();
         let ab = adjusted_rand_index(&a, &b);
         let ba = adjusted_rand_index(&b, &a);
-        prop_assert!((ab - ba).abs() < 1e-12);
-        prop_assert!(ab <= 1.0 + 1e-12);
-    }
+        assert!((ab - ba).abs() < 1e-12, "case {case}");
+        assert!(ab <= 1.0 + 1e-12, "case {case}");
+    });
+}
 
-    #[test]
-    fn permuted_labels_keep_ari_one(labels in labels_strategy()) {
-        // Renaming clusters never changes the partition.
-        let k = labels.iter().max().unwrap() + 1;
-        let renamed: Vec<usize> = labels.iter().map(|&l| (l + 1) % k).collect();
-        prop_assert!((adjusted_rand_index(&labels, &renamed) - 1.0).abs() < 1e-9);
-    }
+#[test]
+fn permuted_labels_keep_ari_one() {
+    // Renaming clusters never changes the partition.
+    cases(48, |case, rng| {
+        let l = labels(rng);
+        let k = l.iter().max().unwrap() + 1;
+        let renamed: Vec<usize> = l.iter().map(|&x| (x + 1) % k).collect();
+        assert!(
+            (adjusted_rand_index(&l, &renamed) - 1.0).abs() < 1e-9,
+            "case {case}"
+        );
+    });
+}
 
-    #[test]
-    fn condensed_agrees_with_metric(m in matrix_strategy()) {
+#[test]
+fn condensed_agrees_with_metric() {
+    cases(48, |case, rng| {
+        let m = matrix(rng);
         let cond = Condensed::from_rows(&m, Metric::Manhattan);
         for i in 0..m.rows().min(6) {
             for j in 0..m.rows().min(6) {
                 let want = Metric::Manhattan.distance(m.row(i), m.row(j));
-                prop_assert!((cond.get(i, j) - want).abs() < 1e-9);
+                assert!(
+                    (cond.get(i, j) - want).abs() < 1e-9,
+                    "case {case} ({i},{j})"
+                );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn leaf_order_is_permutation(m in matrix_strategy()) {
+#[test]
+fn leaf_order_is_permutation() {
+    cases(48, |case, rng| {
+        let m = matrix(rng);
         let h = agglomerate(&m, Linkage::Complete);
         let d = Dendrogram::from_history(&h);
         let mut order = d.leaf_order();
         order.sort_unstable();
         order.dedup();
-        prop_assert_eq!(order.len(), m.rows());
-    }
+        assert_eq!(order.len(), m.rows(), "case {case}");
+    });
 }

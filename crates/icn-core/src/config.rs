@@ -2,10 +2,10 @@
 
 use icn_cluster::Linkage;
 use icn_forest::ForestConfig;
-use serde::{Deserialize, Serialize};
+use icn_obs::Json;
 
 /// Configuration of the end-to-end study pipeline.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct StudyConfig {
     /// Number of clusters for the primary cut (the paper selects 9).
     pub k: usize,
@@ -70,6 +70,46 @@ impl StudyConfig {
             ..ForestConfig::default()
         }
     }
+
+    /// JSON view of the configuration (seeds must stay below 2^53 to
+    /// round-trip exactly through the number representation).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("k", Json::num(self.k as f64)),
+            ("k_coarse", Json::num(self.k_coarse as f64)),
+            ("k_sweep_lo", Json::num(self.k_sweep_lo as f64)),
+            ("k_sweep_hi", Json::num(self.k_sweep_hi as f64)),
+            ("min_rel_drop", Json::num(self.min_rel_drop)),
+            ("n_trees", Json::num(self.n_trees as f64)),
+            ("seed", Json::num(self.seed as f64)),
+            ("run_k_sweep", Json::Bool(self.run_k_sweep)),
+        ])
+    }
+
+    /// Parses a configuration previously produced by [`to_json`].
+    ///
+    /// [`to_json`]: StudyConfig::to_json
+    pub fn from_json(v: &Json) -> Result<StudyConfig, String> {
+        let num = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("StudyConfig: missing numeric field `{name}`"))
+        };
+        let run_k_sweep = v
+            .get("run_k_sweep")
+            .and_then(Json::as_bool)
+            .ok_or("StudyConfig: missing boolean field `run_k_sweep`")?;
+        Ok(StudyConfig {
+            k: num("k")? as usize,
+            k_coarse: num("k_coarse")? as usize,
+            k_sweep_lo: num("k_sweep_lo")? as usize,
+            k_sweep_hi: num("k_sweep_hi")? as usize,
+            min_rel_drop: num("min_rel_drop")?,
+            n_trees: num("n_trees")? as usize,
+            seed: num("seed")? as u64,
+            run_k_sweep,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -94,18 +134,24 @@ mod tests {
 
     #[test]
     fn forest_config_propagates() {
-        let c = StudyConfig { n_trees: 7, seed: 3, ..StudyConfig::fast() };
+        let c = StudyConfig {
+            n_trees: 7,
+            seed: 3,
+            ..StudyConfig::fast()
+        };
         let f = c.forest_config();
         assert_eq!(f.n_trees, 7);
         assert_eq!(f.seed, 3);
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let c = StudyConfig::fast();
-        let s = serde_json::to_string(&c).unwrap();
-        let back: StudyConfig = serde_json::from_str(&s).unwrap();
+        let s = c.to_json().to_compact();
+        let back = StudyConfig::from_json(&Json::parse(&s).unwrap()).unwrap();
         assert_eq!(back.k, c.k);
+        assert_eq!(back.min_rel_drop, c.min_rel_drop);
+        assert_eq!(back.seed, c.seed);
         assert_eq!(back.run_k_sweep, c.run_k_sweep);
     }
 }

@@ -58,7 +58,9 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains('3') && msg.contains('9'));
         assert!(StudyError::EmptyDataset.to_string().contains("no antennas"));
-        assert!(StudyError::BadConfig("k = 0".into()).to_string().contains("k = 0"));
+        assert!(StudyError::BadConfig("k = 0".into())
+            .to_string()
+            .contains("k = 0"));
     }
 
     #[test]

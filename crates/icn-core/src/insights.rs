@@ -73,7 +73,10 @@ impl EnvCrosstab {
     /// (fractions summing to 1 over [`Environment::ALL`]).
     pub fn cluster_composition(&self, cluster: usize) -> Vec<f64> {
         let size = self.cluster_sizes[cluster].max(1) as f64;
-        self.counts[cluster].iter().map(|&c| c as f64 / size).collect()
+        self.counts[cluster]
+            .iter()
+            .map(|&c| c as f64 / size)
+            .collect()
     }
 
     /// Figure 8 view: the cluster distribution of one environment
@@ -130,8 +133,8 @@ pub fn env_index(env: Environment) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use icn_synth::{antennas::generate_antennas, Archetype};
     use icn_stats::Rng;
+    use icn_synth::{antennas::generate_antennas, Archetype};
 
     fn setup() -> (Vec<Antenna>, Vec<usize>) {
         let mut rng = Rng::seed_from(13);
@@ -177,8 +180,8 @@ mod tests {
         let ct = EnvCrosstab::build(&ants, &labels, 9);
         for c in [0usize, 7] {
             let comp = ct.cluster_composition(c);
-            let transit = comp[env_index(Environment::Metro)]
-                + comp[env_index(Environment::TrainStation)];
+            let transit =
+                comp[env_index(Environment::Metro)] + comp[env_index(Environment::TrainStation)];
             assert!(transit > 0.95, "cluster {c}: transit share {transit}");
         }
     }

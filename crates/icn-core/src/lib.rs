@@ -27,8 +27,8 @@
 #![warn(missing_docs)]
 
 pub mod compare;
-pub mod error;
 pub mod config;
+pub mod error;
 pub mod insights;
 pub mod periodicity;
 pub mod pipeline;

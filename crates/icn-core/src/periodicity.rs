@@ -131,7 +131,11 @@ mod tests {
         let s: Vec<f64> = (0..4 * 7 * 24)
             .map(|h| {
                 let day = (h / 24) % 7;
-                if day < 5 { 10.0 } else { 2.0 }
+                if day < 5 {
+                    10.0
+                } else {
+                    2.0
+                }
             })
             .collect();
         let r = Rhythm::of(&s);

@@ -71,16 +71,16 @@ impl IcnStudy {
     /// values instead of panics. Prefer this in library consumers; the
     /// panicking [`IcnStudy::run`] is the convenience for examples and
     /// harnesses that control their inputs.
-    pub fn try_run(
-        dataset: &Dataset,
-        config: StudyConfig,
-    ) -> Result<IcnStudy, crate::StudyError> {
+    pub fn try_run(dataset: &Dataset, config: StudyConfig) -> Result<IcnStudy, crate::StudyError> {
         use crate::StudyError;
         if dataset.num_antennas() == 0 {
             return Err(StudyError::EmptyDataset);
         }
         if config.k < 2 {
-            return Err(StudyError::BadConfig(format!("k = {} must be ≥ 2", config.k)));
+            return Err(StudyError::BadConfig(format!(
+                "k = {} must be ≥ 2",
+                config.k
+            )));
         }
         if config.k_coarse < 1 || config.k_coarse > config.k {
             return Err(StudyError::BadConfig(format!(
@@ -110,55 +110,106 @@ impl IcnStudy {
     }
 
     /// Runs the full pipeline on a dataset.
+    ///
+    /// When the global [`icn_obs`] registry is enabled, each of the five
+    /// stages below runs under its own top-level span (named
+    /// `stage1_transform` … `stage5_outdoor`, the set exported as
+    /// [`icn_obs::PIPELINE_STAGES`]) and feeds stage-scoped counters, so a
+    /// [`icn_obs::BenchReport`] snapshot covers the whole pipeline.
     pub fn run(dataset: &Dataset, config: StudyConfig) -> IcnStudy {
+        let obs = icn_obs::global();
+
         // 1. Transform.
-        let (t_live, live_rows) = filter_dead_rows(&dataset.indoor_totals);
-        let rsca_m = rsca(&t_live);
+        let (t_live, live_rows, rsca_m) = {
+            let _span = icn_obs::Span::enter("stage1_transform");
+            let (t_live, live_rows) = filter_dead_rows(&dataset.indoor_totals);
+            let rsca_m = rsca(&t_live);
+            if obs.is_enabled() {
+                obs.add_counter("transform.input_rows", dataset.indoor_totals.rows() as u64);
+                obs.add_counter("transform.live_rows", live_rows.len() as u64);
+                obs.add_counter("transform.services", rsca_m.cols() as u64);
+            }
+            (t_live, live_rows, rsca_m)
+        };
 
         // 2. Cluster.
-        let cond = Condensed::from_rows(&rsca_m, Linkage::Ward.base_metric());
-        let history = agglomerate_condensed(&cond, Linkage::Ward);
-        let dendrogram = Dendrogram::from_history(&history);
-        let k_sweep = if config.run_k_sweep {
-            // Quality indices use Euclidean geometry (not the squared
-            // distances Ward works in).
-            let cond_eucl = Condensed::from_rows(&rsca_m, Metric::Euclidean);
-            sweep_k(
-                &history,
-                &cond_eucl,
-                config.k_sweep_lo..=config.k_sweep_hi.min(history.n - 1),
+        let (history, dendrogram, k_sweep, labels, labels_coarse, consolidation, profiles) = {
+            let _span = icn_obs::Span::enter("stage2_cluster");
+            let cond = Condensed::from_rows(&rsca_m, Linkage::Ward.base_metric());
+            let history = agglomerate_condensed(&cond, Linkage::Ward);
+            let dendrogram = Dendrogram::from_history(&history);
+            let k_sweep = if config.run_k_sweep {
+                // Quality indices use Euclidean geometry (not the squared
+                // distances Ward works in).
+                let cond_eucl = Condensed::from_rows(&rsca_m, Metric::Euclidean);
+                sweep_k(
+                    &history,
+                    &cond_eucl,
+                    config.k_sweep_lo..=config.k_sweep_hi.min(history.n - 1),
+                )
+            } else {
+                Vec::new()
+            };
+            let labels = history.cut(config.k);
+            let labels_coarse = history.cut(config.k_coarse);
+            let consolidation = dendrogram.consolidation(config.k, config.k_coarse);
+            let profiles = cluster_profiles(&rsca_m, &labels, config.k);
+            if obs.is_enabled() {
+                obs.add_counter("cluster.k_sweep_points", k_sweep.len() as u64);
+                obs.add_counter("cluster.clusters", config.k as u64);
+            }
+            (
+                history,
+                dendrogram,
+                k_sweep,
+                labels,
+                labels_coarse,
+                consolidation,
+                profiles,
             )
-        } else {
-            Vec::new()
         };
-        let labels = history.cut(config.k);
-        let labels_coarse = history.cut(config.k_coarse);
-        let consolidation = dendrogram.consolidation(config.k, config.k_coarse);
-        let profiles = cluster_profiles(&rsca_m, &labels, config.k);
 
         // 3. Surrogate + SHAP.
-        let ts = TrainSet::new(rsca_m.clone(), labels.clone());
-        let surrogate = RandomForest::fit(&ts, &config.forest_config());
-        let surrogate_accuracy = surrogate.accuracy(&ts);
-        let surrogate_oob = surrogate.oob_accuracy;
-        // One batched SHAP pass shares the per-sample tree walks across
-        // all k classes (9x cheaper than explaining class by class).
-        let shap_per_class = icn_shap::forest_shap_batch(&surrogate, &rsca_m);
-        let explanations: Vec<ClassExplanation> = shap_per_class
-            .iter()
-            .enumerate()
-            .map(|(c, shap)| icn_shap::explain_class(shap, &rsca_m, &labels, c))
-            .collect();
+        let (surrogate, surrogate_accuracy, surrogate_oob, explanations) = {
+            let _span = icn_obs::Span::enter("stage3_surrogate");
+            let ts = TrainSet::new(rsca_m.clone(), labels.clone());
+            let surrogate = RandomForest::fit(&ts, &config.forest_config());
+            let surrogate_accuracy = surrogate.accuracy(&ts);
+            let surrogate_oob = surrogate.oob_accuracy;
+            // One batched SHAP pass shares the per-sample tree walks across
+            // all k classes (9x cheaper than explaining class by class).
+            let shap_per_class = icn_shap::forest_shap_batch(&surrogate, &rsca_m);
+            let explanations: Vec<ClassExplanation> = shap_per_class
+                .iter()
+                .enumerate()
+                .map(|(c, shap)| icn_shap::explain_class(shap, &rsca_m, &labels, c))
+                .collect();
+            (surrogate, surrogate_accuracy, surrogate_oob, explanations)
+        };
 
         // 4. Environments.
-        let live_antennas: Vec<icn_synth::Antenna> = live_rows
-            .iter()
-            .map(|&i| dataset.antennas[i].clone())
-            .collect();
-        let crosstab = EnvCrosstab::build(&live_antennas, &labels, config.k);
+        let crosstab = {
+            let _span = icn_obs::Span::enter("stage4_environments");
+            let live_antennas: Vec<icn_synth::Antenna> = live_rows
+                .iter()
+                .map(|&i| dataset.antennas[i].clone())
+                .collect();
+            let crosstab = EnvCrosstab::build(&live_antennas, &labels, config.k);
+            if obs.is_enabled() {
+                obs.add_counter("env.environments", crosstab.env_sizes.len() as u64);
+            }
+            crosstab
+        };
 
         // 5. Outdoor.
-        let outdoor = classify_outdoor(&dataset.outdoor_totals, &t_live, &surrogate);
+        let outdoor = {
+            let _span = icn_obs::Span::enter("stage5_outdoor");
+            let outdoor = classify_outdoor(&dataset.outdoor_totals, &t_live, &surrogate);
+            if obs.is_enabled() {
+                obs.add_counter("outdoor.antennas", outdoor.predicted.len() as u64);
+            }
+            outdoor
+        };
 
         IcnStudy {
             config,
@@ -233,11 +284,7 @@ mod tests {
     #[test]
     fn clustering_recovers_planted_archetypes() {
         let (d, s) = run_small();
-        let planted: Vec<usize> = s
-            .live_rows
-            .iter()
-            .map(|&i| d.planted_labels()[i])
-            .collect();
+        let planted: Vec<usize> = s.live_rows.iter().map(|&i| d.planted_labels()[i]).collect();
         let ari = adjusted_rand_index(&s.labels, &planted);
         assert!(ari > 0.6, "ARI {ari}");
     }
@@ -284,13 +331,19 @@ mod tests {
         // Valid inputs succeed.
         assert!(IcnStudy::try_run(&d, StudyConfig::fast()).is_ok());
         // Bad k.
-        let bad_k = StudyConfig { k: 1, ..StudyConfig::fast() };
+        let bad_k = StudyConfig {
+            k: 1,
+            ..StudyConfig::fast()
+        };
         assert!(matches!(
             IcnStudy::try_run(&d, bad_k),
             Err(StudyError::BadConfig(_))
         ));
         // Coarse above fine.
-        let bad_coarse = StudyConfig { k_coarse: 99, ..StudyConfig::fast() };
+        let bad_coarse = StudyConfig {
+            k_coarse: 99,
+            ..StudyConfig::fast()
+        };
         assert!(matches!(
             IcnStudy::try_run(&d, bad_coarse),
             Err(StudyError::BadConfig(_))

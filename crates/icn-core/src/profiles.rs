@@ -46,7 +46,11 @@ impl ClusterProfile {
 /// # Panics
 /// If lengths mismatch or a label exceeds `k`.
 pub fn cluster_profiles(rsca: &Matrix, labels: &[usize], k: usize) -> Vec<ClusterProfile> {
-    assert_eq!(rsca.rows(), labels.len(), "cluster_profiles: length mismatch");
+    assert_eq!(
+        rsca.rows(),
+        labels.len(),
+        "cluster_profiles: length mismatch"
+    );
     let mut sums = vec![vec![0.0f64; rsca.cols()]; k];
     let mut counts = vec![0usize; k];
     for (i, &l) in labels.iter().enumerate() {

@@ -173,7 +173,7 @@ mod tests {
         }
         assert!(s.get(0, 0) > 0.0); // over-utilised
         assert!(s.get(0, 1) < 0.0); // under-utilised
-        // RSCA(1.5) = 0.2; RSCA(0.5) = -1/3.
+                                    // RSCA(1.5) = 0.2; RSCA(0.5) = -1/3.
         assert!((s.get(0, 0) - 0.2).abs() < 1e-12);
         assert!((s.get(0, 1) + 1.0 / 3.0).abs() < 1e-12);
     }

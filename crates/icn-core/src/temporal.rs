@@ -9,10 +9,9 @@
 //! statistics the prose reads off them (commute-peak ratios, strike-day
 //! dips, weekend effects, event bursts).
 
-use icn_stats::{normalize, summary, Rng};
+use icn_stats::{normalize, par, summary, Rng};
 use icn_synth::traffic::{aggregate_hourly_series, hourly_series_for_window};
 use icn_synth::{Antenna, Service, StudyCalendar, Weekday};
-use rayon::prelude::*;
 
 /// An hour × day heatmap of normalised median traffic.
 #[derive(Clone, Debug)]
@@ -172,15 +171,22 @@ pub fn cluster_heatmap(
     window: &StudyCalendar,
     root: &Rng,
 ) -> TemporalHeatmap {
-    assert_eq!(members.len(), member_rows.len(), "cluster_heatmap: mismatch");
+    assert_eq!(
+        members.len(),
+        member_rows.len(),
+        "cluster_heatmap: mismatch"
+    );
     assert!(!members.is_empty(), "cluster_heatmap: no members");
-    let series: Vec<Vec<f64>> = members
-        .par_iter()
-        .zip(member_rows.par_iter())
-        .map(|(a, row)| {
-            aggregate_hourly_series(a, services, row, full_period_days, window, root)
-        })
-        .collect();
+    let series: Vec<Vec<f64>> = par::map_indexed(members.len(), |i| {
+        aggregate_hourly_series(
+            members[i],
+            services,
+            member_rows[i],
+            full_period_days,
+            window,
+            root,
+        )
+    });
     heatmap_from_series(&series, window)
 }
 
@@ -193,15 +199,22 @@ pub fn service_heatmap(
     window: &StudyCalendar,
     root: &Rng,
 ) -> TemporalHeatmap {
-    assert_eq!(members.len(), member_totals.len(), "service_heatmap: mismatch");
+    assert_eq!(
+        members.len(),
+        member_totals.len(),
+        "service_heatmap: mismatch"
+    );
     assert!(!members.is_empty(), "service_heatmap: no members");
-    let series: Vec<Vec<f64>> = members
-        .par_iter()
-        .zip(member_totals.par_iter())
-        .map(|(a, &tot)| {
-            hourly_series_for_window(a, service, tot, full_period_days, window, root)
-        })
-        .collect();
+    let series: Vec<Vec<f64>> = par::map_indexed(members.len(), |i| {
+        hourly_series_for_window(
+            members[i],
+            service,
+            member_totals[i],
+            full_period_days,
+            window,
+            root,
+        )
+    });
     heatmap_from_series(&series, window)
 }
 
@@ -254,9 +267,17 @@ mod tests {
         let (members, rows) = members_of(&d, Archetype::ParisMetro);
         let window = StudyCalendar::temporal_window();
         let hm = cluster_heatmap(&members, &rows, &d.services, 65, &window, d.root_rng());
-        assert!(hm.commute_ratio() > 1.5, "commute ratio {}", hm.commute_ratio());
+        assert!(
+            hm.commute_ratio() > 1.5,
+            "commute ratio {}",
+            hm.commute_ratio()
+        );
         assert!(hm.strike_dip() < 0.3, "strike dip {}", hm.strike_dip());
-        assert!(hm.weekend_ratio() < 0.6, "weekend ratio {}", hm.weekend_ratio());
+        assert!(
+            hm.weekend_ratio() < 0.6,
+            "weekend ratio {}",
+            hm.weekend_ratio()
+        );
     }
 
     #[test]
@@ -265,8 +286,16 @@ mod tests {
         let (members, rows) = members_of(&d, Archetype::Workspace);
         let window = StudyCalendar::temporal_window();
         let hm = cluster_heatmap(&members, &rows, &d.services, 65, &window, d.root_rng());
-        assert!(hm.weekend_ratio() < 0.2, "weekend ratio {}", hm.weekend_ratio());
-        assert!(hm.commute_ratio() < 1.5, "commute ratio {}", hm.commute_ratio());
+        assert!(
+            hm.weekend_ratio() < 0.2,
+            "weekend ratio {}",
+            hm.weekend_ratio()
+        );
+        assert!(
+            hm.commute_ratio() < 1.5,
+            "commute ratio {}",
+            hm.commute_ratio()
+        );
     }
 
     #[test]
@@ -276,8 +305,7 @@ mod tests {
         let window = StudyCalendar::temporal_window();
         let hm = cluster_heatmap(&members, &rows, &d.services, 65, &window, d.root_rng());
         let (members_r, rows_r) = members_of(&d, Archetype::RetailHospitality);
-        let hm_r =
-            cluster_heatmap(&members_r, &rows_r, &d.services, 65, &window, d.root_rng());
+        let hm_r = cluster_heatmap(&members_r, &rows_r, &d.services, 65, &window, d.root_rng());
         assert!(
             hm.burstiness() > 2.0 * hm_r.burstiness().min(1e6),
             "stadium burstiness {} vs retail {}",
@@ -301,7 +329,11 @@ mod tests {
             .copied()
             .fold(f64::NEG_INFINITY, f64::max);
         assert!((max - 1.0).abs() < 1e-9, "max {max}");
-        assert!(hm.values.iter().flatten().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(hm
+            .values
+            .iter()
+            .flatten()
+            .all(|&v| (0.0..=1.0).contains(&v)));
     }
 
     #[test]

@@ -6,9 +6,9 @@
 //! opinion used by the B4 ablation — stratification matters because the
 //! cluster sizes are very unbalanced (963 vs 178 antennas at full scale).
 
+use crate::data::TrainSet;
 use crate::forest::{ForestConfig, RandomForest};
 use crate::metrics::{accuracy, macro_f1};
-use crate::data::TrainSet;
 use icn_stats::{Matrix, Rng};
 
 /// Result of one cross-validation run.

@@ -9,8 +9,7 @@
 
 use crate::data::TrainSet;
 use crate::tree::{DecisionTree, MaxFeatures, TreeConfig};
-use icn_stats::{Matrix, Rng};
-use rayon::prelude::*;
+use icn_stats::{par, Matrix, Rng};
 
 /// Forest hyper-parameters.
 #[derive(Clone, Copy, Debug)]
@@ -55,16 +54,23 @@ impl RandomForest {
     /// thread schedule (each tree owns a forked RNG stream).
     pub fn fit(ts: &TrainSet, cfg: &ForestConfig) -> RandomForest {
         assert!(cfg.n_trees >= 1, "RandomForest: need at least one tree");
+        let _span = icn_obs::Span::enter("forest_fit");
         let root = Rng::seed_from(cfg.seed);
-        let results: Vec<(DecisionTree, Vec<usize>)> = (0..cfg.n_trees)
-            .into_par_iter()
-            .map(|t| {
-                let mut rng = root.fork(t as u64);
-                let (in_bag, oob) = ts.bootstrap(&mut rng);
-                let tree = DecisionTree::fit(ts, &in_bag, &cfg.tree, &mut rng);
-                (tree, oob)
-            })
-            .collect();
+        let results: Vec<(DecisionTree, Vec<usize>)> = par::map_indexed(cfg.n_trees, |t| {
+            let mut rng = root.fork(t as u64);
+            let (in_bag, oob) = ts.bootstrap(&mut rng);
+            let tree = DecisionTree::fit(ts, &in_bag, &cfg.tree, &mut rng);
+            (tree, oob)
+        });
+        let obs = icn_obs::global();
+        if obs.is_enabled() {
+            obs.add_counter("forest.trees", results.len() as u64);
+            obs.add_counter(
+                "forest.nodes",
+                results.iter().map(|(t, _)| t.nodes.len() as u64).sum(),
+            );
+            obs.add_counter("forest.training_rows", ts.len() as u64);
+        }
 
         // OOB vote accumulation.
         let mut votes = vec![vec![0.0f64; ts.n_classes]; ts.len()];
@@ -125,10 +131,7 @@ impl RandomForest {
     /// Predicts every row of a matrix (in parallel).
     pub fn predict_batch(&self, x: &Matrix) -> Vec<usize> {
         assert_eq!(x.cols(), self.n_features, "predict_batch: feature mismatch");
-        (0..x.rows())
-            .into_par_iter()
-            .map(|i| self.predict(x.row(i)))
-            .collect()
+        par::map_indexed(x.rows(), |i| self.predict(x.row(i)))
     }
 
     /// Training accuracy on a labelled set.

@@ -10,7 +10,10 @@ pub fn confusion_matrix(truth: &[usize], pred: &[usize], n_classes: usize) -> Ve
     assert_eq!(truth.len(), pred.len(), "confusion: length mismatch");
     let mut m = vec![vec![0usize; n_classes]; n_classes];
     for (&t, &p) in truth.iter().zip(pred) {
-        assert!(t < n_classes && p < n_classes, "confusion: label out of range");
+        assert!(
+            t < n_classes && p < n_classes,
+            "confusion: label out of range"
+        );
         m[t][p] += 1;
     }
     m
@@ -41,8 +44,14 @@ pub fn class_scores(confusion: &[Vec<usize>]) -> Vec<ClassScore> {
     (0..k)
         .map(|c| {
             let tp = confusion[c][c] as f64;
-            let fn_: f64 = (0..k).filter(|&j| j != c).map(|j| confusion[c][j] as f64).sum();
-            let fp: f64 = (0..k).filter(|&i| i != c).map(|i| confusion[i][c] as f64).sum();
+            let fn_: f64 = (0..k)
+                .filter(|&j| j != c)
+                .map(|j| confusion[c][j] as f64)
+                .sum();
+            let fp: f64 = (0..k)
+                .filter(|&i| i != c)
+                .map(|i| confusion[i][c] as f64)
+                .sum();
             let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
             let recall = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
             let f1 = if precision + recall > 0.0 {

@@ -131,10 +131,7 @@ impl DecisionTree {
         });
 
         let impurity = gini(&counts);
-        if depth >= cfg.max_depth
-            || rows.len() < cfg.min_samples_split
-            || impurity <= 0.0
-        {
+        if depth >= cfg.max_depth || rows.len() < cfg.min_samples_split || impurity <= 0.0 {
             return node_idx;
         }
 
@@ -165,7 +162,11 @@ impl DecisionTree {
             if n.is_leaf() {
                 return i;
             }
-            i = if x[n.feature] <= n.threshold { n.left } else { n.right };
+            i = if x[n.feature] <= n.threshold {
+                n.left
+            } else {
+                n.right
+            };
         }
     }
 
@@ -242,15 +243,12 @@ fn best_split(
                 continue; // can't split between equal values
             }
             let n_right = n - n_left;
-            if (n_left as usize) < cfg.min_samples_leaf
-                || (n_right as usize) < cfg.min_samples_leaf
+            if (n_left as usize) < cfg.min_samples_leaf || (n_right as usize) < cfg.min_samples_leaf
             {
                 continue;
             }
             let score = (n_left / n) * gini(&left) + (n_right / n) * gini(&right);
-            if score < parent_gini - 1e-12
-                && best.as_ref().is_none_or(|&(_, _, s)| score < s)
-            {
+            if score < parent_gini - 1e-12 && best.as_ref().is_none_or(|&(_, _, s)| score < s) {
                 // Midpoint threshold is robust to unseen values.
                 best = Some((f, 0.5 * (v + next_v), score));
             }
@@ -388,10 +386,7 @@ mod tests {
     #[test]
     fn duplicate_rows_weighting() {
         // Duplicated minority rows flip the majority at the root.
-        let ts = TrainSet::new(
-            Matrix::from_rows(&[vec![0.0], vec![1.0]]),
-            vec![0, 1],
-        );
+        let ts = TrainSet::new(Matrix::from_rows(&[vec![0.0], vec![1.0]]), vec![0, 1]);
         let mut rng = Rng::seed_from(7);
         let cfg = TreeConfig {
             max_depth: 0,

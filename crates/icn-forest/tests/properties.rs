@@ -1,102 +1,134 @@
-//! Property-based tests for the supervised substrate.
+//! Property-based tests for the supervised substrate, driven by the
+//! deterministic [`icn_stats::check`] harness.
 
 use icn_forest::{
     accuracy, confusion_matrix, macro_f1, DecisionTree, ForestConfig, RandomForest, TrainSet,
     TreeConfig,
 };
+use icn_stats::check::{cases, len_in};
 use icn_stats::{Matrix, Rng};
-use proptest::prelude::*;
 
 /// Random labelled set with at least two classes present.
-fn trainset_strategy() -> impl Strategy<Value = TrainSet> {
-    (10usize..60, 1usize..5, any::<u64>()).prop_map(|(n, d, seed)| {
-        let mut rng = Rng::seed_from(seed);
-        let rows: Vec<Vec<f64>> = (0..n)
-            .map(|_| (0..d).map(|_| rng.uniform(0.0, 1.0)).collect())
-            .collect();
-        let mut labels: Vec<usize> = rows
-            .iter()
-            .map(|r| usize::from(r[0] > 0.5))
-            .collect();
-        labels[0] = 0;
-        labels[1] = 1;
-        TrainSet::new(Matrix::from_rows(&rows), labels)
-    })
+fn trainset(rng: &mut Rng) -> TrainSet {
+    let n = len_in(rng, 10, 60);
+    let d = len_in(rng, 1, 5);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.uniform(0.0, 1.0)).collect())
+        .collect();
+    let mut labels: Vec<usize> = rows.iter().map(|r| usize::from(r[0] > 0.5)).collect();
+    labels[0] = 0;
+    labels[1] = 1;
+    TrainSet::new(Matrix::from_rows(&rows), labels)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn tree_distributions_are_probabilities(ts in trainset_strategy(), seed in any::<u64>()) {
+#[test]
+fn tree_distributions_are_probabilities() {
+    cases(32, |case, rng| {
+        let ts = trainset(rng);
         let all: Vec<usize> = (0..ts.len()).collect();
-        let tree = DecisionTree::fit(&ts, &all, &TreeConfig::default(), &mut Rng::seed_from(seed));
+        let tree = DecisionTree::fit(&ts, &all, &TreeConfig::default(), rng);
         for node in &tree.nodes {
             let s: f64 = node.distribution.iter().sum();
-            prop_assert!((s - 1.0).abs() < 1e-9);
-            prop_assert!(node.distribution.iter().all(|&p| (0.0..=1.0).contains(&p)));
-            prop_assert!(node.cover > 0.0);
+            assert!((s - 1.0).abs() < 1e-9, "case {case}");
+            assert!(
+                node.distribution.iter().all(|&p| (0.0..=1.0).contains(&p)),
+                "case {case}"
+            );
+            assert!(node.cover > 0.0, "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn unconstrained_tree_memorizes_training_data(ts in trainset_strategy(), seed in any::<u64>()) {
-        // Distinct feature vectors with consistent labels are fit exactly
-        // by an unconstrained CART tree; our labels are a function of x[0],
-        // so training accuracy must be 1 whenever no two rows collide.
+#[test]
+fn unconstrained_tree_memorizes_training_data() {
+    // Distinct feature vectors with consistent labels are fit exactly by
+    // an unconstrained CART tree; our labels are a function of x[0] (with
+    // only rows 0 and 1 pinned, matching that rule with prob. 1/2 each),
+    // so training accuracy must be 1 whenever no two rows collide.
+    cases(32, |case, rng| {
+        let ts = trainset(rng);
         let all: Vec<usize> = (0..ts.len()).collect();
-        let tree = DecisionTree::fit(&ts, &all, &TreeConfig::default(), &mut Rng::seed_from(seed));
+        let tree = DecisionTree::fit(&ts, &all, &TreeConfig::default(), rng);
         for i in 0..ts.len() {
-            prop_assert_eq!(tree.predict(ts.x.row(i)), ts.y[i], "row {}", i);
+            assert_eq!(tree.predict(ts.x.row(i)), ts.y[i], "case {case} row {i}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn covers_conserve_along_tree(ts in trainset_strategy(), seed in any::<u64>()) {
+#[test]
+fn covers_conserve_along_tree() {
+    cases(32, |case, rng| {
+        let ts = trainset(rng);
         let all: Vec<usize> = (0..ts.len()).collect();
-        let tree = DecisionTree::fit(&ts, &all, &TreeConfig::default(), &mut Rng::seed_from(seed));
-        prop_assert_eq!(tree.nodes[0].cover, ts.len() as f64);
+        let tree = DecisionTree::fit(&ts, &all, &TreeConfig::default(), rng);
+        assert_eq!(tree.nodes[0].cover, ts.len() as f64, "case {case}");
         for node in &tree.nodes {
             if !node.is_leaf() {
                 let child_sum = tree.nodes[node.left].cover + tree.nodes[node.right].cover;
-                prop_assert!((child_sum - node.cover).abs() < 1e-9);
+                assert!((child_sum - node.cover).abs() < 1e-9, "case {case}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn forest_probas_sum_to_one(ts in trainset_strategy(), seed in any::<u64>()) {
+#[test]
+fn forest_probas_sum_to_one() {
+    cases(32, |case, rng| {
+        let ts = trainset(rng);
+        let seed = rng.next_u64();
         let forest = RandomForest::fit(
             &ts,
-            &ForestConfig { n_trees: 5, seed, ..ForestConfig::default() },
+            &ForestConfig {
+                n_trees: 5,
+                seed,
+                ..ForestConfig::default()
+            },
         );
         for i in (0..ts.len()).step_by(7) {
             let p = forest.predict_proba(ts.x.row(i));
-            prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9, "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn forest_deterministic_in_seed(ts in trainset_strategy(), seed in any::<u64>()) {
-        let cfg = ForestConfig { n_trees: 4, seed, ..ForestConfig::default() };
+#[test]
+fn forest_deterministic_in_seed() {
+    cases(16, |case, rng| {
+        let ts = trainset(rng);
+        let cfg = ForestConfig {
+            n_trees: 4,
+            seed: rng.next_u64(),
+            ..ForestConfig::default()
+        };
         let a = RandomForest::fit(&ts, &cfg);
         let b = RandomForest::fit(&ts, &cfg);
-        prop_assert_eq!(a.predict_batch(&ts.x), b.predict_batch(&ts.x));
-    }
+        assert_eq!(
+            a.predict_batch(&ts.x),
+            b.predict_batch(&ts.x),
+            "case {case}"
+        );
+    });
+}
 
-    #[test]
-    fn accuracy_bounds_and_confusion_mass(ts in trainset_strategy(), seed in any::<u64>()) {
+#[test]
+fn accuracy_bounds_and_confusion_mass() {
+    cases(32, |case, rng| {
+        let ts = trainset(rng);
         let forest = RandomForest::fit(
             &ts,
-            &ForestConfig { n_trees: 3, seed, ..ForestConfig::default() },
+            &ForestConfig {
+                n_trees: 3,
+                seed: rng.next_u64(),
+                ..ForestConfig::default()
+            },
         );
         let preds = forest.predict_batch(&ts.x);
         let acc = accuracy(&ts.y, &preds);
-        prop_assert!((0.0..=1.0).contains(&acc));
+        assert!((0.0..=1.0).contains(&acc), "case {case}");
         let cm = confusion_matrix(&ts.y, &preds, ts.n_classes);
         let mass: usize = cm.iter().flatten().sum();
-        prop_assert_eq!(mass, ts.len());
+        assert_eq!(mass, ts.len(), "case {case}");
         let f1 = macro_f1(&ts.y, &preds, ts.n_classes);
-        prop_assert!((0.0..=1.0).contains(&f1));
-    }
+        assert!((0.0..=1.0).contains(&f1), "case {case}");
+    });
 }

@@ -1,0 +1,75 @@
+//! # icn-obs — zero-dependency observability for the ICN reproduction
+//!
+//! The ROADMAP's north star is a system that runs "as fast as the hardware
+//! allows"; this crate is how the workspace *measures* that. It is built
+//! from `std` only (the workspace must compile fully offline) and has
+//! three layers:
+//!
+//! * [`Span`] — an RAII stage timer with per-thread nesting
+//!   (`stage2_cluster/condensed`), inert and allocation-free while
+//!   collection is disabled.
+//! * [`Registry`] — a thread-safe store of counters, gauges and duration
+//!   statistics. The process-global instance ([`global`]) starts disabled;
+//!   every mutating call short-circuits on one relaxed atomic load, so
+//!   instrumented library code costs nothing unless a harness opts in.
+//!   Hot loops tally locally and flush once per call, so enabling metrics
+//!   can never perturb numeric results either.
+//! * [`BenchReport`] — a stable JSON export schema (`icn-obs/v1`) written
+//!   to `BENCH_*.json` files, giving every perf PR a machine-readable
+//!   baseline to beat. [`json::Json`] is the tiny JSON value type backing
+//!   it (also used by the synth/config serialisation elsewhere in the
+//!   workspace).
+//!
+//! Typical harness usage:
+//!
+//! ```
+//! let reg = icn_obs::global();
+//! reg.reset();
+//! reg.enable();
+//! {
+//!     let _span = icn_obs::Span::enter("stage1_transform");
+//!     reg.add_counter("transform.live_rows", 123);
+//! }
+//! let report = icn_obs::BenchReport::build(&reg.snapshot(), "doc-test", 0.1);
+//! assert!(report.stage("stage1_transform").is_some());
+//! reg.disable();
+//! reg.reset();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod registry;
+pub mod report;
+pub mod span;
+
+pub use json::Json;
+pub use registry::{DurationStat, Registry, Snapshot};
+pub use report::{stage_for_counter, BenchReport, EnvInfo, StageReport, PIPELINE_STAGES, SCHEMA};
+pub use span::Span;
+
+static GLOBAL: Registry = Registry::new();
+
+/// The process-global registry that library instrumentation reports to.
+/// Disabled (and therefore free) by default; harness binaries enable it
+/// behind `--metrics-out`.
+pub fn global() -> &'static Registry {
+    &GLOBAL
+}
+
+/// Convenience: time a closure as a named span on the global registry.
+pub fn timed<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    let _span = Span::enter(name);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn global_registry_starts_disabled() {
+        // Other tests enable/disable the global registry under a lock; this
+        // only asserts the accessor is stable.
+        assert!(std::ptr::eq(super::global(), super::global()));
+    }
+}

@@ -1,0 +1,257 @@
+//! Thread-safe metrics registry.
+//!
+//! A [`Registry`] collects named counters, gauges, duration statistics and
+//! finished [`crate::Span`] records. The process-global instance returned
+//! by [`crate::global`] starts **disabled**: every mutating call first
+//! checks one relaxed atomic load and returns immediately, so code paths
+//! instrumented against the global registry pay nothing measurable unless
+//! a harness opts in with [`Registry::enable`].
+//!
+//! Hot loops should tally into a local variable and flush once per stage
+//! call (`registry.add_counter("cluster.merges", local_tally)`), which
+//! keeps instrumentation both cheap and incapable of perturbing results:
+//! the library never branches on metric values.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Aggregate statistics of one named duration series.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DurationStat {
+    /// Number of recorded durations.
+    pub count: u64,
+    /// Sum of all durations in nanoseconds.
+    pub total_ns: u128,
+    /// Shortest recorded duration in nanoseconds.
+    pub min_ns: u128,
+    /// Longest recorded duration in nanoseconds.
+    pub max_ns: u128,
+}
+
+impl DurationStat {
+    fn record(&mut self, ns: u128) {
+        if self.count == 0 {
+            self.min_ns = ns;
+            self.max_ns = ns;
+        } else {
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+        }
+        self.count += 1;
+        self.total_ns += ns;
+    }
+
+    /// Total wall time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns as f64 / 1e6
+    }
+}
+
+/// One finished span occurrence (aggregated by path in [`Snapshot`]).
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Slash-separated nesting path, e.g. `stage2_cluster/condensed`.
+    pub path: String,
+    /// Wall time of this occurrence.
+    pub wall: Duration,
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    durations: BTreeMap<String, DurationStat>,
+    spans: Vec<SpanRecord>,
+}
+
+/// A thread-safe collection of metrics. See the module docs.
+#[derive(Default)]
+pub struct Registry {
+    enabled: AtomicBool,
+    inner: Mutex<Inner>,
+}
+
+/// An immutable copy of a registry's state.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Duration statistics by name.
+    pub durations: BTreeMap<String, DurationStat>,
+    /// Span occurrences aggregated by path: `(calls, total wall)`.
+    pub spans: BTreeMap<String, (u64, Duration)>,
+}
+
+impl Registry {
+    /// A fresh, disabled registry.
+    pub const fn new() -> Registry {
+        Registry {
+            enabled: AtomicBool::new(false),
+            inner: Mutex::new(Inner {
+                counters: BTreeMap::new(),
+                gauges: BTreeMap::new(),
+                durations: BTreeMap::new(),
+                spans: Vec::new(),
+            }),
+        }
+    }
+
+    /// Starts collecting. Previously collected data is kept; call
+    /// [`Registry::reset`] for a clean slate.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::SeqCst);
+    }
+
+    /// Stops collecting (mutating calls become single-load no-ops again).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the registry is currently collecting.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Clears all collected data (enabled state is unchanged).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock().expect("icn-obs registry poisoned");
+        *inner = Inner::default();
+    }
+
+    /// Adds `delta` to the named counter.
+    #[inline]
+    pub fn add_counter(&self, name: &str, delta: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("icn-obs registry poisoned");
+        *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Increments the named counter by one.
+    #[inline]
+    pub fn incr(&self, name: &str) {
+        self.add_counter(name, 1);
+    }
+
+    /// Sets the named gauge (last write wins).
+    #[inline]
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("icn-obs registry poisoned");
+        inner.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records one duration observation under `name`.
+    #[inline]
+    pub fn record_duration(&self, name: &str, d: Duration) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("icn-obs registry poisoned");
+        inner
+            .durations
+            .entry(name.to_string())
+            .or_default()
+            .record(d.as_nanos());
+    }
+
+    pub(crate) fn record_span(&self, path: String, wall: Duration) {
+        // Callers (Span::drop) already checked enablement at entry; check
+        // again so a span straddling a disable() can't record.
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("icn-obs registry poisoned");
+        inner.spans.push(SpanRecord { path, wall });
+    }
+
+    /// Copies out the current state.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().expect("icn-obs registry poisoned");
+        let mut spans: BTreeMap<String, (u64, Duration)> = BTreeMap::new();
+        for s in &inner.spans {
+            let e = spans.entry(s.path.clone()).or_insert((0, Duration::ZERO));
+            e.0 += 1;
+            e.1 += s.wall;
+        }
+        Snapshot {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            durations: inner.durations.clone(),
+            spans,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_collects_nothing() {
+        let r = Registry::new();
+        r.add_counter("a", 5);
+        r.set_gauge("g", 1.0);
+        r.record_duration("d", Duration::from_millis(1));
+        let s = r.snapshot();
+        assert!(s.counters.is_empty() && s.gauges.is_empty() && s.durations.is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let r = Registry::new();
+        r.enable();
+        r.add_counter("x", 2);
+        r.incr("x");
+        assert_eq!(r.snapshot().counters["x"], 3);
+        r.reset();
+        assert!(r.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn duration_stats_track_min_max() {
+        let r = Registry::new();
+        r.enable();
+        r.record_duration("d", Duration::from_nanos(10));
+        r.record_duration("d", Duration::from_nanos(30));
+        let d = r.snapshot().durations["d"];
+        assert_eq!(d.count, 2);
+        assert_eq!(d.min_ns, 10);
+        assert_eq!(d.max_ns, 30);
+        assert_eq!(d.total_ns, 40);
+    }
+
+    #[test]
+    fn concurrent_counting_is_lossless() {
+        let r = std::sync::Arc::new(Registry::new());
+        r.enable();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let r = std::sync::Arc::clone(&r);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        r.incr("hits");
+                    }
+                });
+            }
+        });
+        assert_eq!(r.snapshot().counters["hits"], 8000);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let r = Registry::new();
+        r.enable();
+        r.set_gauge("g", 1.0);
+        r.set_gauge("g", 2.5);
+        assert_eq!(r.snapshot().gauges["g"], 2.5);
+    }
+}

@@ -1,0 +1,373 @@
+//! Machine-readable performance reports (`BENCH_*.json`).
+//!
+//! A [`BenchReport`] freezes a [`crate::Registry`] snapshot into a stable
+//! JSON schema (`icn-obs/v1`) that the perf trajectory tooling can diff
+//! across PRs:
+//!
+//! ```json
+//! {
+//!   "schema": "icn-obs/v1",
+//!   "run_id": "all_experiments",
+//!   "scale": 1.0,
+//!   "env": {"os": "linux", "arch": "x86_64", "threads": 16, "unix_time": 0},
+//!   "stages": [
+//!     {"name": "stage2_cluster", "wall_ms": 1234.5,
+//!      "counters": {"cluster.merges": 4761, "cluster.pairs": 11335641}}
+//!   ],
+//!   "spans": [{"path": "stage2_cluster/condensed", "calls": 1, "wall_ms": 200.0}],
+//!   "counters": {"cluster.merges": 4761}
+//! }
+//! ```
+//!
+//! Stages are the **top-level** spans of the run (nesting path without a
+//! `/`). Counters attach to stages by name prefix — see
+//! [`stage_for_counter`] — so tallies flushed from worker threads land on
+//! the right stage without any thread-local bookkeeping.
+
+use crate::json::{counters_obj, Json};
+use crate::registry::Snapshot;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Schema identifier embedded in every report.
+pub const SCHEMA: &str = "icn-obs/v1";
+
+/// The five pipeline stages of `IcnStudy::run`, in execution order. The
+/// observability tests pin the stage set of a metered pipeline run to
+/// exactly this list.
+pub const PIPELINE_STAGES: [&str; 5] = [
+    "stage1_transform",
+    "stage2_cluster",
+    "stage3_surrogate",
+    "stage4_environments",
+    "stage5_outdoor",
+];
+
+/// Maps a counter name to the stage it belongs to, by prefix convention:
+/// `transform.*` → stage 1, `cluster.*` → stage 2, `forest.*` / `shap.*` →
+/// stage 3, `env.*` → stage 4, `outdoor.*` → stage 5, `synth.*` →
+/// `generate`, `probe.*` → `probe_campaign`. Unprefixed counters stay
+/// global-only.
+pub fn stage_for_counter(name: &str) -> Option<&'static str> {
+    let prefix = name.split('.').next().unwrap_or("");
+    match prefix {
+        "transform" => Some(PIPELINE_STAGES[0]),
+        "cluster" => Some(PIPELINE_STAGES[1]),
+        "forest" | "shap" => Some(PIPELINE_STAGES[2]),
+        "env" => Some(PIPELINE_STAGES[3]),
+        "outdoor" => Some(PIPELINE_STAGES[4]),
+        "synth" => Some("generate"),
+        "probe" => Some("probe_campaign"),
+        _ => None,
+    }
+}
+
+/// One pipeline stage in a report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageReport {
+    /// Stage name (top-level span name).
+    pub name: String,
+    /// Total wall time of the stage across all calls, in milliseconds.
+    pub wall_ms: f64,
+    /// Counters attributed to this stage (see [`stage_for_counter`]).
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// Execution environment fingerprint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EnvInfo {
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Available hardware parallelism.
+    pub threads: usize,
+    /// Seconds since the Unix epoch when the report was built.
+    pub unix_time: u64,
+}
+
+impl EnvInfo {
+    /// Captures the current environment.
+    pub fn capture() -> EnvInfo {
+        EnvInfo {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            unix_time: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0, |d| d.as_secs()),
+        }
+    }
+}
+
+/// A frozen, exportable run report. See the module docs for the schema.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// Free-form identifier of the producing harness (e.g. binary name).
+    pub run_id: String,
+    /// Population scale of the run (1.0 = the paper's 4,762 antennas).
+    pub scale: f64,
+    /// Environment fingerprint.
+    pub env: EnvInfo,
+    /// Per-stage wall time and counters, in stage-name order.
+    pub stages: Vec<StageReport>,
+    /// All spans by nesting path: `(calls, total wall)`.
+    pub spans: BTreeMap<String, (u64, Duration)>,
+    /// All counters, unattributed.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl BenchReport {
+    /// Builds a report from a registry snapshot.
+    pub fn build(snapshot: &Snapshot, run_id: &str, scale: f64) -> BenchReport {
+        let mut stages: BTreeMap<String, StageReport> = BTreeMap::new();
+        for (path, &(_calls, wall)) in &snapshot.spans {
+            if path.contains('/') {
+                continue; // nested span, not a stage
+            }
+            let stage = stages.entry(path.clone()).or_insert_with(|| StageReport {
+                name: path.clone(),
+                wall_ms: 0.0,
+                counters: BTreeMap::new(),
+            });
+            stage.wall_ms += wall.as_secs_f64() * 1e3;
+        }
+        for (name, &value) in &snapshot.counters {
+            if let Some(stage_name) = stage_for_counter(name) {
+                if let Some(stage) = stages.get_mut(stage_name) {
+                    stage.counters.insert(name.clone(), value);
+                }
+            }
+        }
+        BenchReport {
+            run_id: run_id.to_string(),
+            scale,
+            env: EnvInfo::capture(),
+            stages: stages.into_values().collect(),
+            spans: snapshot.spans.clone(),
+            counters: snapshot.counters.clone(),
+        }
+    }
+
+    /// Renders the report as a pretty-printed JSON document.
+    pub fn to_json(&self) -> Json {
+        let stages: Vec<Json> = self
+            .stages
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("name", Json::str(&s.name)),
+                    ("wall_ms", Json::num(s.wall_ms)),
+                    ("counters", counters_obj(&s.counters)),
+                ])
+            })
+            .collect();
+        let spans: Vec<Json> = self
+            .spans
+            .iter()
+            .map(|(path, &(calls, wall))| {
+                Json::obj(vec![
+                    ("path", Json::str(path)),
+                    ("calls", Json::num(calls as f64)),
+                    ("wall_ms", Json::num(wall.as_secs_f64() * 1e3)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("schema", Json::str(SCHEMA)),
+            ("run_id", Json::str(&self.run_id)),
+            ("scale", Json::num(self.scale)),
+            (
+                "env",
+                Json::obj(vec![
+                    ("os", Json::str(&self.env.os)),
+                    ("arch", Json::str(&self.env.arch)),
+                    ("threads", Json::num(self.env.threads as f64)),
+                    ("unix_time", Json::num(self.env.unix_time as f64)),
+                ]),
+            ),
+            ("stages", Json::Arr(stages)),
+            ("spans", Json::Arr(spans)),
+            ("counters", counters_obj(&self.counters)),
+        ])
+    }
+
+    /// Writes the pretty JSON rendering to `path`.
+    pub fn write_to_file(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().to_pretty())
+    }
+
+    /// Parses a report back from its JSON rendering, validating the schema
+    /// tag and required fields.
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        let doc = Json::parse(text)?;
+        if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+            return Err(format!("missing or unknown schema tag (want {SCHEMA})"));
+        }
+        let run_id = doc
+            .get("run_id")
+            .and_then(Json::as_str)
+            .ok_or("missing run_id")?
+            .to_string();
+        let scale = doc
+            .get("scale")
+            .and_then(Json::as_f64)
+            .ok_or("missing scale")?;
+        let env_doc = doc.get("env").ok_or("missing env")?;
+        let env = EnvInfo {
+            os: env_doc
+                .get("os")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            arch: env_doc
+                .get("arch")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            threads: env_doc.get("threads").and_then(Json::as_f64).unwrap_or(0.0) as usize,
+            unix_time: env_doc
+                .get("unix_time")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0) as u64,
+        };
+        let mut stages = Vec::new();
+        for s in doc
+            .get("stages")
+            .and_then(Json::as_arr)
+            .ok_or("missing stages")?
+        {
+            let name = s
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("stage missing name")?
+                .to_string();
+            let wall_ms = s
+                .get("wall_ms")
+                .and_then(Json::as_f64)
+                .ok_or("stage missing wall_ms")?;
+            let mut counters = BTreeMap::new();
+            if let Some(entries) = s.get("counters").and_then(Json::entries) {
+                for (k, v) in entries {
+                    counters.insert(k.clone(), v.as_f64().ok_or("non-numeric counter")? as u64);
+                }
+            }
+            stages.push(StageReport {
+                name,
+                wall_ms,
+                counters,
+            });
+        }
+        let mut spans = BTreeMap::new();
+        if let Some(items) = doc.get("spans").and_then(Json::as_arr) {
+            for s in items {
+                let path = s
+                    .get("path")
+                    .and_then(Json::as_str)
+                    .ok_or("span missing path")?;
+                let calls = s.get("calls").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+                let wall_ms = s.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
+                spans.insert(
+                    path.to_string(),
+                    (calls, Duration::from_secs_f64(wall_ms / 1e3)),
+                );
+            }
+        }
+        let mut counters = BTreeMap::new();
+        if let Some(entries) = doc.get("counters").and_then(Json::entries) {
+            for (k, v) in entries {
+                counters.insert(k.clone(), v.as_f64().ok_or("non-numeric counter")? as u64);
+            }
+        }
+        Ok(BenchReport {
+            run_id,
+            scale,
+            env,
+            stages,
+            spans,
+            counters,
+        })
+    }
+
+    /// The stage with the given name, if present.
+    pub fn stage(&self, name: &str) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_snapshot() -> Snapshot {
+        let r = Registry::new();
+        r.enable();
+        r.add_counter("cluster.merges", 99);
+        r.add_counter("forest.trees", 30);
+        r.add_counter("unprefixed", 1);
+        r.record_span("stage2_cluster".into(), Duration::from_millis(20));
+        r.record_span("stage2_cluster/condensed".into(), Duration::from_millis(5));
+        r.record_span("stage3_surrogate".into(), Duration::from_millis(10));
+        r.snapshot()
+    }
+
+    #[test]
+    fn stages_are_top_level_spans_with_attributed_counters() {
+        let rep = BenchReport::build(&sample_snapshot(), "test", 0.1);
+        assert_eq!(rep.stages.len(), 2);
+        let s2 = rep.stage("stage2_cluster").unwrap();
+        assert_eq!(s2.counters["cluster.merges"], 99);
+        assert!((s2.wall_ms - 20.0).abs() < 1.0);
+        let s3 = rep.stage("stage3_surrogate").unwrap();
+        assert_eq!(s3.counters["forest.trees"], 30);
+        // Unprefixed counters stay out of stages but survive globally.
+        assert!(rep
+            .stages
+            .iter()
+            .all(|s| !s.counters.contains_key("unprefixed")));
+        assert_eq!(rep.counters["unprefixed"], 1);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_stages_and_counters() {
+        let rep = BenchReport::build(&sample_snapshot(), "rt", 1.0);
+        let back = BenchReport::parse(&rep.to_json().to_pretty()).unwrap();
+        assert_eq!(back.run_id, "rt");
+        assert_eq!(back.scale, 1.0);
+        assert_eq!(back.counters, rep.counters);
+        assert_eq!(back.stages.len(), rep.stages.len());
+        for (a, b) in back.stages.iter().zip(&rep.stages) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.counters, b.counters);
+            assert!((a.wall_ms - b.wall_ms).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema() {
+        assert!(BenchReport::parse("{\"schema\": \"other/v9\"}").is_err());
+        assert!(BenchReport::parse("not json").is_err());
+    }
+
+    #[test]
+    fn counter_prefix_mapping_covers_pipeline() {
+        assert_eq!(
+            stage_for_counter("transform.live_rows"),
+            Some("stage1_transform")
+        );
+        assert_eq!(stage_for_counter("cluster.pairs"), Some("stage2_cluster"));
+        assert_eq!(
+            stage_for_counter("shap.tree_walks"),
+            Some("stage3_surrogate")
+        );
+        assert_eq!(stage_for_counter("env.sites"), Some("stage4_environments"));
+        assert_eq!(
+            stage_for_counter("outdoor.classified"),
+            Some("stage5_outdoor")
+        );
+        assert_eq!(stage_for_counter("synth.antennas"), Some("generate"));
+        assert_eq!(stage_for_counter("probe.sessions"), Some("probe_campaign"));
+        assert_eq!(stage_for_counter("misc"), None);
+    }
+}

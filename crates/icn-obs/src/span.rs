@@ -1,0 +1,157 @@
+//! RAII stage timers with nesting.
+//!
+//! ```
+//! let reg = icn_obs::global();
+//! reg.enable();
+//! {
+//!     let _outer = icn_obs::Span::enter("stage2_cluster");
+//!     let _inner = icn_obs::Span::enter("condensed");
+//!     // ... work ...
+//! } // both spans record their wall time on drop
+//! let snap = reg.snapshot();
+//! assert!(snap.spans.contains_key("stage2_cluster/condensed"));
+//! reg.disable();
+//! reg.reset();
+//! ```
+//!
+//! Nesting is tracked per thread: a span entered while another is open on
+//! the same thread records under the parent's path joined with `/`. When
+//! the global registry is disabled, [`Span::enter`] is a no-op that takes
+//! no timestamp and touches no thread-local state.
+
+use crate::registry::Registry;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An RAII timer that records its wall time into the global registry when
+/// dropped. Create with [`Span::enter`]; hold it for the duration of the
+/// stage (`let _span = Span::enter("stage");`).
+#[must_use = "a span records on drop; bind it to a variable for the stage's duration"]
+pub struct Span {
+    state: Option<SpanState>,
+}
+
+struct SpanState {
+    registry: &'static Registry,
+    path: String,
+    start: Instant,
+}
+
+impl Span {
+    /// Opens a span on the global registry. No-op (and allocation-free)
+    /// while the registry is disabled.
+    pub fn enter(name: &str) -> Span {
+        Span::enter_on(crate::global(), name)
+    }
+
+    /// Opens a span on a specific (static) registry.
+    pub fn enter_on(registry: &'static Registry, name: &str) -> Span {
+        if !registry.is_enabled() {
+            return Span { state: None };
+        }
+        let path = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{parent}/{name}"),
+                None => name.to_string(),
+            };
+            stack.push(path.clone());
+            path
+        });
+        Span {
+            state: Some(SpanState {
+                registry,
+                path,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// The full nesting path of this span (`None` when disabled).
+    pub fn path(&self) -> Option<&str> {
+        self.state.as_ref().map(|s| s.path.as_str())
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(state) = self.state.take() else {
+            return;
+        };
+        let wall = state.start.elapsed();
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Pop up to and including this span's path; tolerates
+            // out-of-order drops without panicking.
+            if let Some(pos) = stack.iter().rposition(|p| *p == state.path) {
+                stack.truncate(pos);
+            }
+        });
+        state.registry.record_span(state.path, wall);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Span tests share the process-global registry; serialise them.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn nested_spans_record_paths() {
+        let _guard = LOCK.lock().unwrap();
+        let reg = crate::global();
+        reg.reset();
+        reg.enable();
+        {
+            let _a = Span::enter("outer");
+            {
+                let _b = Span::enter("inner");
+            }
+            let _c = Span::enter("inner");
+        }
+        reg.disable();
+        let snap = reg.snapshot();
+        reg.reset();
+        assert_eq!(snap.spans["outer"].0, 1);
+        assert_eq!(snap.spans["outer/inner"].0, 2);
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _guard = LOCK.lock().unwrap();
+        let reg = crate::global();
+        reg.reset();
+        let s = Span::enter("ghost");
+        assert!(s.path().is_none());
+        drop(s);
+        assert!(reg.snapshot().spans.is_empty());
+    }
+
+    #[test]
+    fn sibling_spans_share_parent_path() {
+        let _guard = LOCK.lock().unwrap();
+        let reg = crate::global();
+        reg.reset();
+        reg.enable();
+        {
+            let _p = Span::enter("pipeline");
+            {
+                let _s1 = Span::enter("s1");
+            }
+            {
+                let _s2 = Span::enter("s2");
+            }
+        }
+        reg.disable();
+        let snap = reg.snapshot();
+        reg.reset();
+        assert!(snap.spans.contains_key("pipeline/s1"));
+        assert!(snap.spans.contains_key("pipeline/s2"));
+    }
+}

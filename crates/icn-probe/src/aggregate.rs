@@ -71,7 +71,14 @@ impl HourlyCube {
 
     /// Adds a pre-aggregated cell (used when merging per-worker partial
     /// cubes).
-    pub fn add_cell(&mut self, antenna: usize, service: usize, hour: usize, mb: f64, sessions: u32) {
+    pub fn add_cell(
+        &mut self,
+        antenna: usize,
+        service: usize,
+        hour: usize,
+        mb: f64,
+        sessions: u32,
+    ) {
         let i = self.idx(antenna, service, hour);
         self.mb[i] += mb;
         self.sessions[i] += sessions;

@@ -12,10 +12,9 @@
 use crate::aggregate::HourlyCube;
 use crate::dpi::{DpiClassifier, DpiConfig};
 use crate::flows::sessions_for_cell_hour;
-use icn_stats::{Matrix, Rng};
+use icn_stats::{par, Matrix, Rng};
 use icn_synth::traffic::hourly_series_for_window;
 use icn_synth::{Dataset, StudyCalendar};
-use rayon::prelude::*;
 
 /// Outcome of a probe-plane campaign.
 #[derive(Clone, Debug)]
@@ -65,6 +64,7 @@ pub fn run_campaign(
     window: &StudyCalendar,
     config: &CampaignConfig,
 ) -> CampaignResult {
+    let _span = icn_obs::Span::enter("probe_campaign");
     let n_antennas = dataset.num_antennas();
     let n_services = dataset.num_services();
     let n_hours = window.num_hours();
@@ -72,36 +72,33 @@ pub fn run_campaign(
     let full_days = dataset.calendar.num_days();
 
     // Per-antenna partial cubes, merged at the end.
-    let partials: Vec<HourlyCube> = (0..n_antennas)
-        .into_par_iter()
-        .map(|a| {
-            let antenna = &dataset.antennas[a];
-            let mut rng = root.fork(a as u64);
-            let dpi = DpiClassifier::new(&dataset.services, config.dpi);
-            let mut cube = HourlyCube::new(n_antennas, n_services, n_hours);
-            for (s, svc) in dataset.services.iter().enumerate() {
-                let total = dataset.indoor_totals.get(a, s);
-                let series = hourly_series_for_window(
-                    antenna,
-                    svc,
-                    total,
-                    full_days,
-                    window,
-                    dataset.root_rng(),
-                );
-                for (hour, &mb) in series.iter().enumerate() {
-                    if mb <= 0.0 {
-                        continue;
-                    }
-                    for record in sessions_for_cell_hour(a, s, svc, hour, mb, &mut rng) {
-                        let label = dpi.classify(record.service, &mut rng);
-                        cube.ingest(&record, label);
-                    }
+    let partials: Vec<HourlyCube> = par::map_indexed(n_antennas, |a| {
+        let antenna = &dataset.antennas[a];
+        let mut rng = root.fork(a as u64);
+        let dpi = DpiClassifier::new(&dataset.services, config.dpi);
+        let mut cube = HourlyCube::new(n_antennas, n_services, n_hours);
+        for (s, svc) in dataset.services.iter().enumerate() {
+            let total = dataset.indoor_totals.get(a, s);
+            let series = hourly_series_for_window(
+                antenna,
+                svc,
+                total,
+                full_days,
+                window,
+                dataset.root_rng(),
+            );
+            for (hour, &mb) in series.iter().enumerate() {
+                if mb <= 0.0 {
+                    continue;
+                }
+                for record in sessions_for_cell_hour(a, s, svc, hour, mb, &mut rng) {
+                    let label = dpi.classify(record.service, &mut rng);
+                    cube.ingest(&record, label);
                 }
             }
-            cube
-        })
-        .collect();
+        }
+        cube
+    });
 
     // Merge partial cubes.
     let mut cube = HourlyCube::new(n_antennas, n_services, n_hours);
@@ -128,6 +125,18 @@ pub fn run_campaign(
     } else {
         0
     };
+
+    let obs = icn_obs::global();
+    if obs.is_enabled() {
+        obs.add_counter("probe.antennas", n_antennas as u64);
+        obs.add_counter("probe.sessions", sessions as u64);
+        obs.add_counter("probe.dropped_bad_uli", cube.dropped_bad_uli as u64);
+        obs.add_counter(
+            "probe.dropped_unclassified",
+            cube.dropped_unclassified as u64,
+        );
+        obs.add_counter("probe.suppressed_cells", suppressed_cells as u64);
+    }
 
     CampaignResult {
         totals: cube.totals_matrix(),

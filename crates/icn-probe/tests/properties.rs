@@ -1,55 +1,58 @@
-//! Property-based tests for the measurement-plane substrate.
+//! Property-based tests for the measurement-plane substrate, driven by
+//! the deterministic [`icn_stats::check`] harness.
 
 use icn_probe::{
     antenna_for_uli, decode, encode, sessions_for_cell_hour, uli_for_antenna, DpiClassifier,
     DpiConfig, DpiLabel,
 };
-use icn_stats::Rng;
+use icn_stats::check::cases;
 use icn_synth::services::catalog;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn uli_round_trip(id in 0usize..100_000) {
+#[test]
+fn uli_round_trip() {
+    cases(64, |case, rng| {
+        let id = rng.index(100_000);
         let uli = uli_for_antenna(id);
-        prop_assert_eq!(antenna_for_uli(uli, 200_000), Some(id));
-        prop_assert_eq!(decode(&encode(uli)), Some(uli));
-    }
+        assert_eq!(antenna_for_uli(uli, 200_000), Some(id), "case {case}");
+        assert_eq!(decode(&encode(uli)), Some(uli), "case {case}");
+    });
+}
 
-    #[test]
-    fn uli_rejects_foreign_population(id in 5_000usize..100_000) {
+#[test]
+fn uli_rejects_foreign_population() {
+    cases(64, |case, rng| {
+        let id = 5_000 + rng.index(95_000);
         let uli = uli_for_antenna(id);
-        prop_assert_eq!(antenna_for_uli(uli, 4_762), None);
-    }
+        assert_eq!(antenna_for_uli(uli, 4_762), None, "case {case}");
+    });
+}
 
-    #[test]
-    fn session_bytes_conserved(
-        seed in any::<u64>(),
-        svc_idx in 0usize..73,
-        volume in 0.1f64..5_000.0,
-    ) {
+#[test]
+fn session_bytes_conserved() {
+    cases(64, |case, rng| {
+        let svc_idx = rng.index(73);
+        let volume = rng.uniform(0.1, 5_000.0);
         let services = catalog();
-        let mut rng = Rng::seed_from(seed);
-        let recs = sessions_for_cell_hour(7, svc_idx, &services[svc_idx], 3, volume, &mut rng);
-        prop_assert!(!recs.is_empty());
+        let recs = sessions_for_cell_hour(7, svc_idx, &services[svc_idx], 3, volume, rng);
+        assert!(!recs.is_empty(), "case {case}");
         let total_mb: f64 = recs.iter().map(|r| r.bytes_total() as f64 / 1e6).sum();
         // Byte rounding across n sessions loses at most ~n bytes.
-        prop_assert!((total_mb - volume).abs() < 0.01 + recs.len() as f64 * 1e-6,
-            "total {} vs {}", total_mb, volume);
+        assert!(
+            (total_mb - volume).abs() < 0.01 + recs.len() as f64 * 1e-6,
+            "case {case}: total {total_mb} vs {volume}"
+        );
         for r in &recs {
-            prop_assert_eq!(r.hour, 3);
-            prop_assert!(r.bytes_total() > 0);
+            assert_eq!(r.hour, 3, "case {case}");
+            assert!(r.bytes_total() > 0, "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn classifier_rates_bounded(
-        seed in any::<u64>(),
-        confusion in 0.0f64..1.0,
-        unclassified in 0.0f64..0.5,
-    ) {
+#[test]
+fn classifier_rates_bounded() {
+    cases(64, |case, rng| {
+        let confusion = rng.uniform(0.0, 1.0);
+        let unclassified = rng.uniform(0.0, 0.5);
         let services = catalog();
         let dpi = DpiClassifier::new(
             &services,
@@ -59,22 +62,26 @@ proptest! {
                 unclassified_rate: unclassified,
             },
         );
-        let mut rng = Rng::seed_from(seed);
         for truth in (0..73).step_by(11) {
-            match dpi.classify(truth, &mut rng) {
-                DpiLabel::Service(s) => prop_assert!(s < 73),
+            match dpi.classify(truth, rng) {
+                DpiLabel::Service(s) => assert!(s < 73, "case {case}"),
                 DpiLabel::Unclassified => {}
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn zero_confusion_is_identity(seed in any::<u64>()) {
+#[test]
+fn zero_confusion_is_identity() {
+    cases(64, |case, rng| {
         let services = catalog();
         let dpi = DpiClassifier::new(&services, DpiConfig::perfect());
-        let mut rng = Rng::seed_from(seed);
         for truth in 0..73 {
-            prop_assert_eq!(dpi.classify(truth, &mut rng), DpiLabel::Service(truth));
+            assert_eq!(
+                dpi.classify(truth, rng),
+                DpiLabel::Service(truth),
+                "case {case}"
+            );
         }
-    }
+    });
 }

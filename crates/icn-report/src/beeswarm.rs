@@ -20,9 +20,16 @@ pub fn render(ex: &ClassExplanation, service_names: &[&str], k: usize, max_bar: 
         .unwrap_or(0.0)
         .max(1e-12);
     let mut out = String::new();
-    let _ = writeln!(out, "cluster {} — top {} services by mean |SHAP|:", ex.class, top.len());
+    let _ = writeln!(
+        out,
+        "cluster {} — top {} services by mean |SHAP|:",
+        ex.class,
+        top.len()
+    );
     for inf in top {
-        let bar = ((inf.mean_abs_shap / max_val) * max_bar as f64).round().max(1.0) as usize;
+        let bar = ((inf.mean_abs_shap / max_val) * max_bar as f64)
+            .round()
+            .max(1.0) as usize;
         let marker = match inf.direction {
             Direction::OverUtilized => "OVER ",
             Direction::UnderUtilized => "UNDER",

@@ -46,7 +46,12 @@ pub fn render_top(dendro: &Dendrogram, k: usize) -> String {
             } else {
                 d.nodes()[node - n].size
             };
-            let _ = writeln!(out, "{indent}cluster {} ({} antennas)", root_label(node), size);
+            let _ = writeln!(
+                out,
+                "{indent}cluster {} ({} antennas)",
+                root_label(node),
+                size
+            );
             return;
         }
         let nd = d.nodes()[node - n];
@@ -63,7 +68,11 @@ fn cut_band_from_dendrogram(dendro: &Dendrogram, k: usize) -> (f64, f64) {
     let n = dendro.num_leaves();
     let heights: Vec<f64> = dendro.nodes().iter().map(|nd| nd.height).collect();
     let lo = if n > k { heights[n - k - 1] } else { 0.0 };
-    let hi = if k >= 2 { heights[n - k] } else { f64::INFINITY };
+    let hi = if k >= 2 {
+        heights[n - k]
+    } else {
+        f64::INFINITY
+    };
     (lo, hi)
 }
 

@@ -36,11 +36,7 @@ pub fn render_diverging(rows: &[Vec<f64>], row_labels: Option<&[String]>) -> Str
     render(rows, row_labels, div_shade)
 }
 
-fn render(
-    rows: &[Vec<f64>],
-    row_labels: Option<&[String]>,
-    shade: impl Fn(f64) -> char,
-) -> String {
+fn render(rows: &[Vec<f64>], row_labels: Option<&[String]>, shade: impl Fn(f64) -> char) -> String {
     if let Some(labels) = row_labels {
         assert_eq!(labels.len(), rows.len(), "heatmap: label count mismatch");
     }

@@ -14,11 +14,7 @@ pub fn render(h: &Histogram, title: &str, max_bar: usize) -> String {
         let (lo, hi) = h.edges(i);
         let c = h.counts()[i];
         let bar_len = (c as f64 / max_count as f64 * max_bar as f64).round() as usize;
-        let _ = writeln!(
-            out,
-            "[{lo:8.3}, {hi:8.3})  {c:>7}  {}",
-            "#".repeat(bar_len)
-        );
+        let _ = writeln!(out, "[{lo:8.3}, {hi:8.3})  {c:>7}  {}", "#".repeat(bar_len));
     }
     if h.underflow() > 0 || h.overflow() > 0 {
         let _ = writeln!(

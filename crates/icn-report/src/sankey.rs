@@ -45,9 +45,21 @@ mod tests {
 
     fn flows() -> Vec<Flow> {
         vec![
-            Flow { cluster: 0, environment: Environment::Metro, count: 100 },
-            Flow { cluster: 3, environment: Environment::Workspace, count: 50 },
-            Flow { cluster: 1, environment: Environment::Hotel, count: 2 },
+            Flow {
+                cluster: 0,
+                environment: Environment::Metro,
+                count: 100,
+            },
+            Flow {
+                cluster: 3,
+                environment: Environment::Workspace,
+                count: 50,
+            },
+            Flow {
+                cluster: 1,
+                environment: Environment::Hotel,
+                count: 2,
+            },
         ]
     }
 

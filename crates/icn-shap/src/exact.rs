@@ -15,8 +15,16 @@ use icn_forest::DecisionTree;
 /// Path-dependent conditional expectation `E[f(x) | x_S]` of a tree's
 /// class-probability output, where `S = {i : present[i]}`.
 pub fn tree_expectation(tree: &DecisionTree, x: &[f64], present: &[bool]) -> Vec<f64> {
-    assert_eq!(x.len(), tree.n_features, "tree_expectation: feature mismatch");
-    assert_eq!(present.len(), tree.n_features, "tree_expectation: mask mismatch");
+    assert_eq!(
+        x.len(),
+        tree.n_features,
+        "tree_expectation: feature mismatch"
+    );
+    assert_eq!(
+        present.len(),
+        tree.n_features,
+        "tree_expectation: mask mismatch"
+    );
     fn rec(tree: &DecisionTree, x: &[f64], present: &[bool], idx: usize) -> Vec<f64> {
         let node = &tree.nodes[idx];
         if node.is_leaf() {
@@ -48,7 +56,10 @@ pub fn tree_expectation(tree: &DecisionTree, x: &[f64], present: &[bool]) -> Vec
 /// If the tree has more than 20 features (2^M blow-up guard).
 pub fn exact_tree_shap(tree: &DecisionTree, x: &[f64]) -> (Vec<Vec<f64>>, Vec<f64>) {
     let m = tree.n_features;
-    assert!(m <= 20, "exact_tree_shap: too many features for enumeration");
+    assert!(
+        m <= 20,
+        "exact_tree_shap: too many features for enumeration"
+    );
     let n_classes = tree.n_classes;
     let mut phi = vec![vec![0.0f64; n_classes]; m];
 
@@ -160,10 +171,7 @@ mod tests {
         // Feature 2 never splits (labels depend only on features 0, 1), so
         // its Shapley value must be 0 by the missingness property.
         let (tree, ts) = small_tree(4);
-        let uses_f2 = tree
-            .nodes
-            .iter()
-            .any(|n| !n.is_leaf() && n.feature == 2);
+        let uses_f2 = tree.nodes.iter().any(|n| !n.is_leaf() && n.feature == 2);
         if !uses_f2 {
             let x = ts.x.row(0);
             let (phi, _) = exact_tree_shap(&tree, x);
@@ -186,7 +194,10 @@ mod tests {
             vec![0, 0, 1, 1],
         );
         let mut rng = Rng::seed_from(5);
-        let cfg = TreeConfig { max_depth: 1, ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            max_depth: 1,
+            ..TreeConfig::default()
+        };
         let all: Vec<usize> = (0..4).collect();
         let tree = DecisionTree::fit(&ts, &all, &cfg, &mut rng);
         let (phi, _) = exact_tree_shap(&tree, &[0.0, 9.0]);

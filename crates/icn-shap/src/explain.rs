@@ -71,7 +71,11 @@ pub fn explain_class(
     labels: &[usize],
     class: usize,
 ) -> ClassExplanation {
-    assert_eq!(shap.shape(), features.shape(), "explain_class: shape mismatch");
+    assert_eq!(
+        shap.shape(),
+        features.shape(),
+        "explain_class: shape mismatch"
+    );
     assert_eq!(labels.len(), shap.rows(), "explain_class: label mismatch");
     let m = shap.cols();
     let mut influences: Vec<FeatureInfluence> = (0..m)

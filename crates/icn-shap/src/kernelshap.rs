@@ -60,7 +60,11 @@ pub fn kernel_shap(
 ) -> (Vec<f64>, f64) {
     let m = x.len();
     assert!(m >= 2, "kernel_shap: need at least 2 features");
-    assert_eq!(background.cols(), m, "kernel_shap: background shape mismatch");
+    assert_eq!(
+        background.cols(),
+        m,
+        "kernel_shap: background shape mismatch"
+    );
     assert!(background.rows() > 0, "kernel_shap: empty background");
     let mut rng = Rng::seed_from(cfg.seed);
 
@@ -77,11 +81,13 @@ pub fn kernel_shap(
         let mut acc = 0.0;
         for &b in &bg_rows {
             rng_buf.clear();
-            rng_buf.extend(
-                mask.iter()
-                    .enumerate()
-                    .map(|(j, &keep)| if keep { x[j] } else { background.get(b, j) }),
-            );
+            rng_buf.extend(mask.iter().enumerate().map(|(j, &keep)| {
+                if keep {
+                    x[j]
+                } else {
+                    background.get(b, j)
+                }
+            }));
             acc += model.eval(rng_buf);
         }
         acc / bg_rows.len() as f64
@@ -123,8 +129,8 @@ pub fn kernel_shap(
         weights.push(1.0);
     }
 
-    let beta = weighted_least_squares(&designs, &targets, &weights)
-        .unwrap_or_else(|| vec![0.0; m - 1]);
+    let beta =
+        weighted_least_squares(&designs, &targets, &weights).unwrap_or_else(|| vec![0.0; m - 1]);
     let mut phi = beta;
     let sum_rest: f64 = phi.iter().sum();
     phi.push(fx - base - sum_rest);
@@ -141,10 +147,7 @@ mod tests {
     fn linear_model_closed_form() {
         let w = [2.0, -1.0, 0.5];
         let model = move |x: &[f64]| w.iter().zip(x).map(|(a, b)| a * b).sum::<f64>();
-        let background = Matrix::from_rows(&[
-            vec![0.0, 0.0, 0.0],
-            vec![1.0, 1.0, 1.0],
-        ]);
+        let background = Matrix::from_rows(&[vec![0.0, 0.0, 0.0], vec![1.0, 1.0, 1.0]]);
         let x = [2.0, 3.0, -1.0];
         let cfg = KernelShapConfig {
             n_samples: 4000,

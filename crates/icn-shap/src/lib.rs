@@ -26,7 +26,9 @@ pub mod linalg;
 pub mod treeshap;
 
 pub use exact::{exact_tree_shap, tree_expectation};
-pub use explain::{explain_class, explain_forest_class, ClassExplanation, Direction, FeatureInfluence};
+pub use explain::{
+    explain_class, explain_forest_class, ClassExplanation, Direction, FeatureInfluence,
+};
 pub use kernelshap::{kernel_shap, KernelShapConfig, ScalarModel};
 pub use treeshap::{
     base_value, forest_base_value, forest_shap, forest_shap_batch, forest_shap_class_matrix,

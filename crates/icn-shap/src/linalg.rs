@@ -64,11 +64,7 @@ pub fn solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
 /// Weighted least squares: minimises `Σ_i w_i (y_i − z_iᵀ β)²` over rows
 /// `z_i` of the `rows × p` design matrix. Solves the normal equations
 /// `(ZᵀWZ) β = ZᵀW y`. Returns `None` when the system is singular.
-pub fn weighted_least_squares(
-    z: &[Vec<f64>],
-    y: &[f64],
-    w: &[f64],
-) -> Option<Vec<f64>> {
+pub fn weighted_least_squares(z: &[Vec<f64>], y: &[f64], w: &[f64]) -> Option<Vec<f64>> {
     let rows = z.len();
     assert!(rows > 0, "wls: empty design");
     assert_eq!(y.len(), rows, "wls: y length mismatch");

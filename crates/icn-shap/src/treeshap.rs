@@ -15,8 +15,7 @@
 //! verify exact agreement.
 
 use icn_forest::{DecisionTree, RandomForest};
-use icn_stats::Matrix;
-use rayon::prelude::*;
+use icn_stats::{par, Matrix};
 
 /// One element of the feature path maintained during the descent.
 #[derive(Clone, Copy, Debug)]
@@ -206,7 +205,11 @@ pub fn tree_shap(tree: &DecisionTree, x: &[f64]) -> Vec<Vec<f64>> {
 /// absent — the cover-weighted average over leaves, which for our trees is
 /// simply the root's class distribution.
 pub fn base_value(tree: &DecisionTree) -> Vec<f64> {
-    crate::exact::tree_expectation(tree, &vec![0.0; tree.n_features], &vec![false; tree.n_features])
+    crate::exact::tree_expectation(
+        tree,
+        &vec![0.0; tree.n_features],
+        &vec![false; tree.n_features],
+    )
 }
 
 /// TreeSHAP explanation of a random forest for one sample: the average of
@@ -250,7 +253,10 @@ pub fn forest_base_value(forest: &RandomForest) -> Vec<f64> {
 /// When several classes are needed, prefer [`forest_shap_batch`], which
 /// pays the per-sample tree walks once for all classes.
 pub fn forest_shap_class_matrix(forest: &RandomForest, x: &Matrix, class: usize) -> Matrix {
-    assert!(class < forest.n_classes, "forest_shap_class_matrix: bad class");
+    assert!(
+        class < forest.n_classes,
+        "forest_shap_class_matrix: bad class"
+    );
     let mut all = forest_shap_batch(forest, x);
     all.swap_remove(class)
 }
@@ -262,10 +268,11 @@ pub fn forest_shap_class_matrix(forest: &RandomForest, x: &Matrix, class: usize)
 /// [`forest_shap_class_matrix`] per class.
 pub fn forest_shap_batch(forest: &RandomForest, x: &Matrix) -> Vec<Matrix> {
     assert_eq!(x.cols(), forest.n_features, "feature mismatch");
-    let per_sample: Vec<Vec<Vec<f64>>> = (0..x.rows())
-        .into_par_iter()
-        .map(|i| forest_shap(forest, x.row(i)))
-        .collect();
+    let _span = icn_obs::Span::enter("shap_batch");
+    let per_sample: Vec<Vec<Vec<f64>>> =
+        par::map_indexed(x.rows(), |i| forest_shap(forest, x.row(i)));
+    // One flush for the whole batch: every sample walks every tree once.
+    icn_obs::global().add_counter("shap.tree_walks", (x.rows() * forest.trees.len()) as u64);
     (0..forest.n_classes)
         .map(|c| {
             let rows: Vec<Vec<f64>> = per_sample

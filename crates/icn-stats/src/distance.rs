@@ -33,11 +33,7 @@ impl Metric {
         match self {
             Metric::Euclidean => sq_euclidean(a, b).sqrt(),
             Metric::SqEuclidean => sq_euclidean(a, b),
-            Metric::Manhattan => a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| (x - y).abs())
-                .sum(),
+            Metric::Manhattan => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
             Metric::Chebyshev => a
                 .iter()
                 .zip(b)

@@ -27,7 +27,10 @@ impl Histogram {
     /// If `bins == 0` or `lo >= hi` or either bound is non-finite.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "Histogram: zero bins");
-        assert!(lo.is_finite() && hi.is_finite(), "Histogram: non-finite bounds");
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "Histogram: non-finite bounds"
+        );
         assert!(lo < hi, "Histogram: lo must be < hi");
         Histogram {
             lo,

@@ -20,6 +20,11 @@
 //!   normalisation (the "normalized traffic" panel of Figure 1).
 //! * [`rank`] — argsort / top-k / rank transforms used for feature
 //!   importance orderings.
+//! * [`par`] — order-preserving scoped-thread parallel map (the workspace's
+//!   zero-dependency stand-in for rayon); results never depend on the
+//!   thread schedule.
+//! * [`check`] — a deterministic property-test harness over [`rng::Rng`]
+//!   seeded case streams.
 //!
 //! The crate is intentionally free of external dependencies so that numeric
 //! results are stable across toolchains, which the integration tests rely on
@@ -28,10 +33,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod distance;
 pub mod histogram;
 pub mod matrix;
 pub mod normalize;
+pub mod par;
 pub mod rank;
 pub mod rng;
 pub mod summary;

@@ -51,7 +51,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "Matrix::from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -141,7 +145,11 @@ impl Matrix {
 
     /// Largest entry (0.0 for an empty matrix). NaN entries are ignored.
     pub fn max(&self) -> f64 {
-        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(0.0)
+        self.data
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(0.0)
     }
 
     /// Applies `f` to every element in place.

@@ -62,7 +62,11 @@ pub fn z_score_columns(m: &Matrix) -> Matrix {
         let var = col.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / rows as f64;
         let sd = var.sqrt();
         for r in 0..rows {
-            let v = if sd > 0.0 { (m.get(r, c) - mean) / sd } else { 0.0 };
+            let v = if sd > 0.0 {
+                (m.get(r, c) - mean) / sd
+            } else {
+                0.0
+            };
             out.set(r, c, v);
         }
     }

@@ -1,0 +1,125 @@
+//! Order-preserving parallel map over index ranges.
+//!
+//! The workspace previously leaned on `rayon`, which the offline build
+//! environment cannot fetch; this module provides the one shape of
+//! parallelism the codebase actually uses — `(0..n)` mapped through a pure
+//! function, results collected in index order — on `std::thread::scope`.
+//!
+//! Determinism: the output of [`map_indexed`] depends only on `f`, never on
+//! the thread schedule. Work is handed out as contiguous index chunks via
+//! an atomic cursor (so fast threads steal remaining chunks), and each
+//! chunk's results are stitched back in index order at the end.
+//!
+//! Thread count comes from `std::thread::available_parallelism`, capped by
+//! the `ICN_THREADS` environment variable when set (useful for overhead
+//! experiments and CI determinism checks — though results never depend on
+//! it).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use for `n` items.
+fn thread_count(n: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, |v| v.get());
+    let cap = std::env::var("ICN_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(hw);
+    hw.min(cap).min(n.max(1))
+}
+
+/// Maps `f` over `0..n` in parallel, returning results in index order.
+///
+/// `f` must be pure with respect to its argument for the result to be
+/// deterministic (all call sites in this workspace fork per-index RNG
+/// streams, which preserves that).
+pub fn map_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = thread_count(n);
+    if threads <= 1 || n < 2 {
+        return (0..n).map(f).collect();
+    }
+    // ~4 chunks per thread balances stealing against bookkeeping.
+    let chunk = (n / (threads * 4)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let parts: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                let block: Vec<R> = (start..end).map(&f).collect();
+                parts
+                    .lock()
+                    .expect("par worker poisoned")
+                    .push((start, block));
+            });
+        }
+    });
+    let mut parts = parts.into_inner().expect("par result poisoned");
+    parts.sort_unstable_by_key(|&(start, _)| start);
+    let mut out = Vec::with_capacity(n);
+    for (_, block) in parts {
+        out.extend(block);
+    }
+    debug_assert_eq!(out.len(), n);
+    out
+}
+
+/// Parallel sum of `f(i)` over `0..n` (order-independent reduction of an
+/// associative/commutative combination; used where rayon's `map().sum()`
+/// was). Summation order is fixed (index order) so results are bit-stable.
+pub fn sum_indexed<F>(n: usize, f: F) -> f64
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    map_indexed(n, f).iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order() {
+        let out = map_indexed(1000, |i| i * 3);
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 3);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_map() {
+        let f = |i: usize| (i as f64).sin() * (i as f64 + 1.0).ln();
+        let par: Vec<f64> = map_indexed(777, f);
+        let seq: Vec<f64> = (0..777).map(f).collect();
+        assert_eq!(par, seq); // bit-for-bit
+    }
+
+    #[test]
+    fn handles_tiny_and_empty_inputs() {
+        assert_eq!(map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(map_indexed(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let s = sum_indexed(500, |i| 1.0 / (i as f64 + 1.0));
+        let t: f64 = (0..500).map(|i| 1.0 / (i as f64 + 1.0)).sum();
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn non_copy_results_supported() {
+        let out = map_indexed(50, |i| vec![i; i % 5]);
+        assert_eq!(out[4], vec![4; 4]);
+    }
+}

@@ -50,10 +50,7 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
     assert!((0.0..=1.0).contains(&q), "quantile: q out of [0,1]");
     let mut v = xs.to_vec();
     // Total order: NaNs would poison sorting; forbid them loudly.
-    assert!(
-        v.iter().all(|x| !x.is_nan()),
-        "quantile: NaN in input"
-    );
+    assert!(v.iter().all(|x| !x.is_nan()), "quantile: NaN in input");
     v.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN"));
     let pos = q * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;

@@ -1,5 +1,7 @@
-//! Property-based tests for the numeric substrate.
+//! Property-based tests for the numeric substrate, driven by the
+//! deterministic [`icn_stats::check`] harness.
 
+use icn_stats::check::{cases, len_in, uniform_vec};
 use icn_stats::distance::{euclidean, sq_euclidean, Metric};
 use icn_stats::histogram::Histogram;
 use icn_stats::matrix::Matrix;
@@ -7,137 +9,203 @@ use icn_stats::normalize;
 use icn_stats::rank;
 use icn_stats::rng::Rng;
 use icn_stats::summary;
-use proptest::prelude::*;
 
-fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1e6f64..1e6, len)
+fn finite_vec(rng: &mut Rng, lo: usize, hi: usize) -> Vec<f64> {
+    let len = len_in(rng, lo, hi);
+    uniform_vec(rng, len, -1e6, 1e6)
 }
 
-proptest! {
-    #[test]
-    fn quantile_is_monotone(xs in finite_vec(1..60), q1 in 0.0f64..=1.0, q2 in 0.0f64..=1.0) {
+#[test]
+fn quantile_is_monotone() {
+    cases(64, |case, rng| {
+        let xs = finite_vec(rng, 1, 60);
+        let (q1, q2) = (rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0));
         let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
-        prop_assert!(summary::quantile(&xs, lo) <= summary::quantile(&xs, hi) + 1e-9);
-    }
+        assert!(
+            summary::quantile(&xs, lo) <= summary::quantile(&xs, hi) + 1e-9,
+            "case {case}"
+        );
+    });
+}
 
-    #[test]
-    fn quantile_within_range(xs in finite_vec(1..60), q in 0.0f64..=1.0) {
-        let v = summary::quantile(&xs, q);
-        prop_assert!(v >= summary::min(&xs) - 1e-9);
-        prop_assert!(v <= summary::max(&xs) + 1e-9);
-    }
+#[test]
+fn quantile_within_range() {
+    cases(64, |case, rng| {
+        let xs = finite_vec(rng, 1, 60);
+        let v = summary::quantile(&xs, rng.uniform(0.0, 1.0));
+        assert!(v >= summary::min(&xs) - 1e-9, "case {case}");
+        assert!(v <= summary::max(&xs) + 1e-9, "case {case}");
+    });
+}
 
-    #[test]
-    fn variance_nonnegative(xs in finite_vec(1..60)) {
-        prop_assert!(summary::variance(&xs) >= 0.0);
-    }
+#[test]
+fn variance_nonnegative() {
+    cases(64, |case, rng| {
+        let xs = finite_vec(rng, 1, 60);
+        assert!(summary::variance(&xs) >= 0.0, "case {case}");
+    });
+}
 
-    #[test]
-    fn mean_shift_equivariance(xs in finite_vec(1..40), c in -1e3f64..1e3) {
+#[test]
+fn mean_shift_equivariance() {
+    cases(64, |case, rng| {
+        let xs = finite_vec(rng, 1, 40);
+        let c = rng.uniform(-1e3, 1e3);
         let shifted: Vec<f64> = xs.iter().map(|x| x + c).collect();
         let d = summary::mean(&shifted) - summary::mean(&xs);
-        prop_assert!((d - c).abs() < 1e-6);
-    }
+        assert!((d - c).abs() < 1e-6, "case {case}: {d} vs {c}");
+    });
+}
 
-    #[test]
-    fn euclidean_triangle_inequality(
-        a in finite_vec(3..4), b in finite_vec(3..4), c in finite_vec(3..4)
-    ) {
+#[test]
+fn euclidean_triangle_inequality() {
+    cases(64, |case, rng| {
+        let a = uniform_vec(rng, 3, -1e6, 1e6);
+        let b = uniform_vec(rng, 3, -1e6, 1e6);
+        let c = uniform_vec(rng, 3, -1e6, 1e6);
         let ab = euclidean(&a, &b);
         let bc = euclidean(&b, &c);
         let ac = euclidean(&a, &c);
-        prop_assert!(ac <= ab + bc + 1e-6);
-    }
+        assert!(ac <= ab + bc + 1e-6, "case {case}");
+    });
+}
 
-    #[test]
-    fn metric_symmetry_and_identity(a in finite_vec(4..5), b in finite_vec(4..5)) {
-        for m in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev, Metric::SqEuclidean] {
-            prop_assert!((m.distance(&a, &b) - m.distance(&b, &a)).abs() < 1e-9);
-            prop_assert!(m.distance(&a, &a).abs() < 1e-9);
-            prop_assert!(m.distance(&a, &b) >= 0.0);
+#[test]
+fn metric_symmetry_and_identity() {
+    cases(64, |case, rng| {
+        let a = uniform_vec(rng, 4, -1e6, 1e6);
+        let b = uniform_vec(rng, 4, -1e6, 1e6);
+        for m in [
+            Metric::Euclidean,
+            Metric::Manhattan,
+            Metric::Chebyshev,
+            Metric::SqEuclidean,
+        ] {
+            assert!(
+                (m.distance(&a, &b) - m.distance(&b, &a)).abs() < 1e-9,
+                "case {case}: {m:?}"
+            );
+            assert!(m.distance(&a, &a).abs() < 1e-9, "case {case}: {m:?}");
+            assert!(m.distance(&a, &b) >= 0.0, "case {case}: {m:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn sq_euclidean_is_square(a in finite_vec(5..6), b in finite_vec(5..6)) {
+#[test]
+fn sq_euclidean_is_square() {
+    cases(64, |case, rng| {
+        let a = uniform_vec(rng, 5, -1e6, 1e6);
+        let b = uniform_vec(rng, 5, -1e6, 1e6);
         let e = euclidean(&a, &b);
-        prop_assert!((sq_euclidean(&a, &b) - e * e).abs() < 1e-3_f64.max(e * e * 1e-12));
-    }
+        assert!(
+            (sq_euclidean(&a, &b) - e * e).abs() < 1e-3_f64.max(e * e * 1e-12),
+            "case {case}"
+        );
+    });
+}
 
-    #[test]
-    fn histogram_conserves_mass(xs in finite_vec(0..200), bins in 1usize..30) {
+#[test]
+fn histogram_conserves_mass() {
+    cases(64, |case, rng| {
+        let xs = finite_vec(rng, 1, 200);
+        let bins = len_in(rng, 1, 30);
         let h = Histogram::of(&xs, -10.0, 10.0, bins);
-        prop_assert_eq!(h.total(), xs.len() as u64);
-    }
+        assert_eq!(h.total(), xs.len() as u64, "case {case}");
+    });
+}
 
-    #[test]
-    fn min_max_output_in_unit_interval(xs in finite_vec(1..50)) {
+#[test]
+fn min_max_output_in_unit_interval() {
+    cases(64, |case, rng| {
+        let xs = finite_vec(rng, 1, 50);
         for v in normalize::min_max(&xs) {
-            prop_assert!((0.0..=1.0).contains(&v));
+            assert!((0.0..=1.0).contains(&v), "case {case}: {v}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn argsort_is_permutation_and_sorted(xs in finite_vec(0..50)) {
+#[test]
+fn argsort_is_permutation_and_sorted() {
+    cases(64, |case, rng| {
+        let xs = finite_vec(rng, 1, 50);
         let idx = rank::argsort(&xs);
         let mut seen = idx.clone();
         seen.sort_unstable();
-        prop_assert_eq!(seen, (0..xs.len()).collect::<Vec<_>>());
+        assert_eq!(seen, (0..xs.len()).collect::<Vec<_>>(), "case {case}");
         for w in idx.windows(2) {
-            prop_assert!(xs[w[0]] <= xs[w[1]]);
+            assert!(xs[w[0]] <= xs[w[1]], "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn top_k_contains_max(xs in finite_vec(1..50), k in 1usize..10) {
+#[test]
+fn top_k_contains_max() {
+    cases(64, |case, rng| {
+        let xs = finite_vec(rng, 1, 50);
+        let k = len_in(rng, 1, 10);
         let t = rank::top_k(&xs, k);
-        prop_assert_eq!(t[0], rank::argmax(&xs));
-    }
+        assert_eq!(t[0], rank::argmax(&xs), "case {case}");
+    });
+}
 
-    #[test]
-    fn rng_uniform_bounds(seed in any::<u64>(), lo in -100.0f64..0.0, width in 0.001f64..100.0) {
-        let mut r = Rng::seed_from(seed);
-        let hi = lo + width;
+#[test]
+fn rng_uniform_bounds() {
+    cases(64, |case, rng| {
+        let lo = rng.uniform(-100.0, 0.0);
+        let hi = lo + rng.uniform(0.001, 100.0);
+        let mut r = Rng::seed_from(rng.next_u64());
         for _ in 0..32 {
             let x = r.uniform(lo, hi);
-            prop_assert!(x >= lo && x < hi);
+            assert!(x >= lo && x < hi, "case {case}: {x} not in [{lo},{hi})");
         }
-    }
+    });
+}
 
-    #[test]
-    fn rng_below_in_range(seed in any::<u64>(), n in 1u64..1_000_000) {
-        let mut r = Rng::seed_from(seed);
+#[test]
+fn rng_below_in_range() {
+    cases(64, |case, rng| {
+        let n = 1 + rng.below(1_000_000);
+        let mut r = Rng::seed_from(rng.next_u64());
         for _ in 0..32 {
-            prop_assert!(r.below(n) < n);
+            assert!(r.below(n) < n, "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn matrix_row_col_sums_total(rows in 1usize..8, cols in 1usize..8, seed in any::<u64>()) {
-        let mut r = Rng::seed_from(seed);
-        let data: Vec<f64> = (0..rows * cols).map(|_| r.uniform(0.0, 10.0)).collect();
+#[test]
+fn matrix_row_col_sums_total() {
+    cases(64, |case, rng| {
+        let rows = len_in(rng, 1, 8);
+        let cols = len_in(rng, 1, 8);
+        let data = uniform_vec(rng, rows * cols, 0.0, 10.0);
         let m = Matrix::from_vec(rows, cols, data);
         let t = m.total();
         let rs: f64 = m.row_sums().iter().sum();
         let cs: f64 = m.col_sums().iter().sum();
-        prop_assert!((t - rs).abs() < 1e-9);
-        prop_assert!((t - cs).abs() < 1e-9);
-    }
+        assert!((t - rs).abs() < 1e-9, "case {case}");
+        assert!((t - cs).abs() < 1e-9, "case {case}");
+    });
+}
 
-    #[test]
-    fn transpose_involution(rows in 1usize..6, cols in 1usize..6, seed in any::<u64>()) {
-        let mut r = Rng::seed_from(seed);
-        let data: Vec<f64> = (0..rows * cols).map(|_| r.gaussian()).collect();
+#[test]
+fn transpose_involution() {
+    cases(64, |case, rng| {
+        let rows = len_in(rng, 1, 6);
+        let cols = len_in(rng, 1, 6);
+        let data: Vec<f64> = (0..rows * cols).map(|_| rng.gaussian()).collect();
         let m = Matrix::from_vec(rows, cols, data);
-        prop_assert_eq!(m.transpose().transpose(), m);
-    }
+        assert_eq!(m.transpose().transpose(), m, "case {case}");
+    });
+}
 
-    #[test]
-    fn dirichlet_simplex(seed in any::<u64>(), n in 1usize..30, shape in 1u32..6) {
-        let mut r = Rng::seed_from(seed);
-        let v = r.dirichlet_symmetric(n, shape);
+#[test]
+fn dirichlet_simplex() {
+    cases(64, |case, rng| {
+        let n = len_in(rng, 1, 30);
+        let shape = 1 + rng.below(5) as u32;
+        let v = rng.dirichlet_symmetric(n, shape);
         let s: f64 = v.iter().sum();
-        prop_assert!((s - 1.0).abs() < 1e-9);
-        prop_assert!(v.iter().all(|&x| (0.0..=1.0).contains(&x)));
-    }
+        assert!((s - 1.0).abs() < 1e-9, "case {case}: sum {s}");
+        assert!(v.iter().all(|&x| (0.0..=1.0).contains(&x)), "case {case}");
+    });
 }

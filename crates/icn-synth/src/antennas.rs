@@ -63,7 +63,11 @@ fn sample_city_and_archetype(env: Environment, rng: &mut Rng) -> (City, Archetyp
             // ~70 % of French metro antennas are in the capital's network.
             if rng.chance(0.70) {
                 // Paris: split between archetypes 0 (metro) and 4 (RER-ish).
-                let a = if rng.chance(0.72) { ParisMetro } else { ParisRail };
+                let a = if rng.chance(0.72) {
+                    ParisMetro
+                } else {
+                    ParisRail
+                };
                 (City::Paris, a)
             } else {
                 let city = City::PROVINCIAL_METRO[rng.index(4)];
@@ -73,7 +77,11 @@ fn sample_city_and_archetype(env: Environment, rng: &mut Rng) -> (City, Archetyp
         Environment::TrainStation => {
             if rng.chance(0.60) {
                 // Parisian terminals and RER hubs.
-                let a = if rng.chance(0.85) { ParisRail } else { ParisMetro };
+                let a = if rng.chance(0.85) {
+                    ParisRail
+                } else {
+                    ParisMetro
+                };
                 (City::Paris, a)
             } else {
                 // Provincial stations: commuter-ish but some general use.
@@ -91,14 +99,26 @@ fn sample_city_and_archetype(env: Environment, rng: &mut Rng) -> (City, Archetyp
             }
         }
         Environment::Airport => {
-            let city = if rng.chance(0.55) { City::Paris } else { City::Other };
-            let a = if rng.chance(0.92) { GeneralUse } else { QuietVenue };
+            let city = if rng.chance(0.55) {
+                City::Paris
+            } else {
+                City::Other
+            };
+            let a = if rng.chance(0.92) {
+                GeneralUse
+            } else {
+                QuietVenue
+            };
             (city, a)
         }
         Environment::Workspace => {
             // ~10 % of workspace antennas are industrial facilities that
             // land in the quiet cluster 5 (Section 5.2.2).
-            let city = if rng.chance(0.65) { City::Paris } else { City::Other };
+            let city = if rng.chance(0.65) {
+                City::Paris
+            } else {
+                City::Other
+            };
             let a = match rng.categorical(&[0.78, 0.10, 0.08, 0.04]) {
                 0 => Workspace,
                 1 => QuietVenue, // industrial facilities
@@ -117,7 +137,11 @@ fn sample_city_and_archetype(env: Environment, rng: &mut Rng) -> (City, Archetyp
             };
             // Cluster 2 is 92 % non-Paris; bias the city by archetype.
             let paris_p = if a == RetailHospitality { 0.08 } else { 0.45 };
-            let city = if rng.chance(paris_p) { City::Paris } else { City::Other };
+            let city = if rng.chance(paris_p) {
+                City::Paris
+            } else {
+                City::Other
+            };
             (city, a)
         }
         Environment::Stadium => {
@@ -159,18 +183,42 @@ fn sample_city_and_archetype(env: Environment, rng: &mut Rng) -> (City, Archetyp
             (city, a)
         }
         Environment::Hotel => {
-            let a = if rng.chance(0.75) { RetailHospitality } else { GeneralUse };
-            let city = if rng.chance(0.3) { City::Paris } else { City::Other };
+            let a = if rng.chance(0.75) {
+                RetailHospitality
+            } else {
+                GeneralUse
+            };
+            let city = if rng.chance(0.3) {
+                City::Paris
+            } else {
+                City::Other
+            };
             (city, a)
         }
         Environment::Hospital => {
-            let a = if rng.chance(0.92) { RetailHospitality } else { GeneralUse };
-            let city = if rng.chance(0.3) { City::Paris } else { City::Other };
+            let a = if rng.chance(0.92) {
+                RetailHospitality
+            } else {
+                GeneralUse
+            };
+            let city = if rng.chance(0.3) {
+                City::Paris
+            } else {
+                City::Other
+            };
             (city, a)
         }
         Environment::Tunnel => {
-            let a = if rng.chance(0.93) { GeneralUse } else { QuietVenue };
-            let city = if rng.chance(0.3) { City::Paris } else { City::Other };
+            let a = if rng.chance(0.93) {
+                GeneralUse
+            } else {
+                QuietVenue
+            };
+            let city = if rng.chance(0.3) {
+                City::Paris
+            } else {
+                City::Other
+            };
             (city, a)
         }
         Environment::PublicBuilding => {
@@ -180,7 +228,11 @@ fn sample_city_and_archetype(env: Environment, rng: &mut Rng) -> (City, Archetyp
                 2 => Workspace,
                 _ => QuietVenue,
             };
-            let city = if rng.chance(0.35) { City::Paris } else { City::Other };
+            let city = if rng.chance(0.35) {
+                City::Paris
+            } else {
+                City::Other
+            };
             (city, a)
         }
     }
@@ -299,8 +351,7 @@ mod tests {
                 other => panic!("unexpected metro archetype {other:?}"),
             }
         }
-        let paris_frac = metro.iter().filter(|a| a.is_paris()).count() as f64
-            / metro.len() as f64;
+        let paris_frac = metro.iter().filter(|a| a.is_paris()).count() as f64 / metro.len() as f64;
         assert!((0.6..0.8).contains(&paris_frac), "paris frac {paris_frac}");
     }
 

@@ -81,7 +81,10 @@ impl Archetype {
 
     /// Paper cluster id (0–8).
     pub fn id(&self) -> usize {
-        Archetype::ALL.iter().position(|a| a == self).expect("in ALL")
+        Archetype::ALL
+            .iter()
+            .position(|a| a == self)
+            .expect("in ALL")
     }
 
     /// Archetype from a paper cluster id.
@@ -122,9 +125,15 @@ impl Archetype {
     /// The temporal template family driving this archetype's hourly shape.
     pub fn template(&self) -> TemplateKind {
         match self {
-            Archetype::ParisMetro => TemplateKind::Commute { strike_factor: 0.05 },
-            Archetype::ParisRail => TemplateKind::Commute { strike_factor: 0.08 },
-            Archetype::ProvincialMetro => TemplateKind::Commute { strike_factor: 0.45 },
+            Archetype::ParisMetro => TemplateKind::Commute {
+                strike_factor: 0.05,
+            },
+            Archetype::ParisRail => TemplateKind::Commute {
+                strike_factor: 0.08,
+            },
+            Archetype::ProvincialMetro => TemplateKind::Commute {
+                strike_factor: 0.45,
+            },
             Archetype::ProvincialStadium => TemplateKind::EventBurst,
             Archetype::ParisArena => TemplateKind::EventBurst,
             Archetype::QuietVenue => TemplateKind::QuietWithExpo,
@@ -435,7 +444,11 @@ mod tests {
     fn orange_group_over_uses_music() {
         let c = catalog();
         let spotify = &c[index_of(&c, "Spotify").unwrap()];
-        for a in [Archetype::ParisMetro, Archetype::ParisRail, Archetype::ProvincialMetro] {
+        for a in [
+            Archetype::ParisMetro,
+            Archetype::ParisRail,
+            Archetype::ProvincialMetro,
+        ] {
             assert!(a.service_affinity(spotify) > 2.0, "{:?}", a);
         }
         // ... and the red group does not.
@@ -495,8 +508,7 @@ mod tests {
         let spread = |a: Archetype| {
             let affs: Vec<f64> = c.iter().map(|s| a.service_affinity(s).ln()).collect();
             let mean = affs.iter().sum::<f64>() / affs.len() as f64;
-            (affs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / affs.len() as f64)
-                .sqrt()
+            (affs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / affs.len() as f64).sqrt()
         };
         assert!(
             spread(Archetype::QuietVenue) < 0.7 * spread(Archetype::ProvincialStadium),

@@ -1,9 +1,9 @@
 //! Generator configuration.
 
-use serde::{Deserialize, Serialize};
+use icn_obs::Json;
 
 /// Configuration of the synthetic measurement campaign.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct SynthConfig {
     /// Master seed; everything downstream is derived deterministically.
     pub seed: u64,
@@ -52,6 +52,35 @@ impl SynthConfig {
         self.scale = scale;
         self
     }
+
+    /// JSON view of the configuration (seeds must stay below 2^53 to
+    /// round-trip exactly through the number representation).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("seed", Json::num(self.seed as f64)),
+            ("scale", Json::num(self.scale)),
+            (
+                "outdoor_per_indoor",
+                Json::num(self.outdoor_per_indoor as f64),
+            ),
+        ])
+    }
+
+    /// Parses a configuration previously produced by [`to_json`].
+    ///
+    /// [`to_json`]: SynthConfig::to_json
+    pub fn from_json(v: &Json) -> Result<SynthConfig, String> {
+        let field = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("SynthConfig: missing numeric field `{name}`"))
+        };
+        Ok(SynthConfig {
+            seed: field("seed")? as u64,
+            scale: field("scale")?,
+            outdoor_per_indoor: field("outdoor_per_indoor")? as usize,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -79,11 +108,19 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let c = SynthConfig::small();
-        let json = serde_json::to_string(&c).unwrap();
-        let back: SynthConfig = serde_json::from_str(&json).unwrap();
+        let text = c.to_json().to_compact();
+        let back = SynthConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back.seed, c.seed);
         assert_eq!(back.scale, c.scale);
+        assert_eq!(back.outdoor_per_indoor, c.outdoor_per_indoor);
+    }
+
+    #[test]
+    fn from_json_reports_missing_field() {
+        let v = Json::parse(r#"{"seed": 1}"#).unwrap();
+        let err = SynthConfig::from_json(&v).unwrap_err();
+        assert!(err.contains("scale"), "err: {err}");
     }
 }

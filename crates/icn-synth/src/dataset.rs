@@ -41,6 +41,7 @@ pub struct Dataset {
 impl Dataset {
     /// Runs the campaign for `config`. Deterministic in `config.seed`.
     pub fn generate(config: SynthConfig) -> Dataset {
+        let _span = icn_obs::Span::enter("generate");
         let root = Rng::seed_from(config.seed);
         let services = catalog();
         let mut pop_rng = root.fork(0xB0B_u64);
@@ -52,6 +53,12 @@ impl Dataset {
         };
         let outdoor = generate_outdoor(&antennas, &out_cfg, &root);
         let outdoor_totals = outdoor_totals_matrix(&outdoor, &antennas, &services, &root);
+        let obs = icn_obs::global();
+        if obs.is_enabled() {
+            obs.add_counter("synth.antennas", antennas.len() as u64);
+            obs.add_counter("synth.outdoor_antennas", outdoor.len() as u64);
+            obs.add_counter("synth.services", services.len() as u64);
+        }
         Dataset {
             config,
             services,
@@ -113,19 +120,20 @@ impl Dataset {
 
     /// Exports antenna metadata as JSON lines (one object per antenna).
     pub fn antennas_jsonl(&self) -> String {
+        use icn_obs::Json;
         let mut s = String::new();
         for a in &self.antennas {
-            let obj = serde_json::json!({
-                "id": a.id,
-                "site_id": a.site_id,
-                "site_name": a.site_name,
-                "environment": a.environment.label(),
-                "city": a.city.label(),
-                "lat": a.coord.lat,
-                "lon": a.coord.lon,
-                "rat": a.rat.label(),
-            });
-            s.push_str(&obj.to_string());
+            let obj = Json::obj(vec![
+                ("id", Json::num(a.id as f64)),
+                ("site_id", Json::num(a.site_id as f64)),
+                ("site_name", Json::str(&a.site_name)),
+                ("environment", Json::str(a.environment.label())),
+                ("city", Json::str(a.city.label())),
+                ("lat", Json::num(a.coord.lat)),
+                ("lon", Json::num(a.coord.lon)),
+                ("rat", Json::str(a.rat.label())),
+            ]);
+            s.push_str(&obj.to_compact());
             s.push('\n');
         }
         s
@@ -194,8 +202,14 @@ mod tests {
         let d = small();
         let jsonl = d.antennas_jsonl();
         let first = jsonl.lines().next().unwrap();
-        let v: serde_json::Value = serde_json::from_str(first).unwrap();
-        assert_eq!(v["id"], 0);
-        assert!(v["site_name"].as_str().unwrap().len() > 3);
+        let v = icn_obs::Json::parse(first).unwrap();
+        assert_eq!(v.get("id").and_then(icn_obs::Json::as_f64), Some(0.0));
+        assert!(
+            v.get("site_name")
+                .and_then(icn_obs::Json::as_str)
+                .unwrap()
+                .len()
+                > 3
+        );
     }
 }

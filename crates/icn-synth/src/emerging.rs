@@ -135,7 +135,10 @@ mod tests {
         assert_eq!(e.dataset.num_antennas(), b.num_antennas() + 12);
         assert_eq!(e.dataset.indoor_totals.rows(), b.indoor_totals.rows() + 12);
         assert_eq!(e.labels.len(), e.dataset.num_antennas());
-        assert_eq!(e.labels.iter().filter(|&&l| l == EMERGING_LABEL).count(), 12);
+        assert_eq!(
+            e.labels.iter().filter(|&&l| l == EMERGING_LABEL).count(),
+            12
+        );
     }
 
     #[test]

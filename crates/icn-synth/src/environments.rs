@@ -88,9 +88,7 @@ impl Environment {
     /// Table 1 "Cases" description.
     pub fn cases(&self) -> &'static str {
         match self {
-            Environment::Metro => {
-                "Paris, Lille, Lyon, Rennes & Toulouse underground railways"
-            }
+            Environment::Metro => "Paris, Lille, Lyon, Rennes & Toulouse underground railways",
             Environment::TrainStation => "National & regional railway stations",
             Environment::Airport => "France's major airways",
             Environment::Workspace => "Corporate offices, industrial facilities",

@@ -64,14 +64,32 @@ pub fn haversine_m(a: Coord, b: Coord) -> f64 {
 /// The city centre each [`City`] scatters its sites around.
 pub fn city_center(city: City) -> Coord {
     match city {
-        City::Paris => Coord { lat: 48.8566, lon: 2.3522 },
-        City::Lille => Coord { lat: 50.6292, lon: 3.0573 },
-        City::Lyon => Coord { lat: 45.7640, lon: 4.8357 },
-        City::Rennes => Coord { lat: 48.1173, lon: -1.6778 },
-        City::Toulouse => Coord { lat: 43.6047, lon: 1.4442 },
+        City::Paris => Coord {
+            lat: 48.8566,
+            lon: 2.3522,
+        },
+        City::Lille => Coord {
+            lat: 50.6292,
+            lon: 3.0573,
+        },
+        City::Lyon => Coord {
+            lat: 45.7640,
+            lon: 4.8357,
+        },
+        City::Rennes => Coord {
+            lat: 48.1173,
+            lon: -1.6778,
+        },
+        City::Toulouse => Coord {
+            lat: 43.6047,
+            lon: 1.4442,
+        },
         // "Other" stands for the rest of France; we anchor it at its
         // geographic centre and scatter widely.
-        City::Other => Coord { lat: 46.6034, lon: 1.8883 },
+        City::Other => Coord {
+            lat: 46.6034,
+            lon: 1.8883,
+        },
     }
 }
 
@@ -102,8 +120,7 @@ pub fn offset_within(center: Coord, radius_m: f64, rng: &mut Rng) -> Coord {
     let dlat_m = r * theta.sin();
     let dlon_m = r * theta.cos();
     let lat = center.lat + (dlat_m / EARTH_RADIUS_M).to_degrees();
-    let lon = center.lon
-        + (dlon_m / (EARTH_RADIUS_M * center.lat.to_radians().cos())).to_degrees();
+    let lon = center.lon + (dlon_m / (EARTH_RADIUS_M * center.lat.to_radians().cos())).to_degrees();
     Coord { lat, lon }
 }
 
@@ -152,7 +169,13 @@ mod tests {
     #[test]
     fn site_coords_cluster_near_their_city() {
         let mut rng = Rng::seed_from(7);
-        for city in [City::Paris, City::Lille, City::Lyon, City::Rennes, City::Toulouse] {
+        for city in [
+            City::Paris,
+            City::Lille,
+            City::Lyon,
+            City::Rennes,
+            City::Toulouse,
+        ] {
             let c = site_coord(city, &mut rng);
             let d = haversine_m(city_center(city), c);
             assert!(d <= 15_100.0, "{city:?} site {d} m from centre");

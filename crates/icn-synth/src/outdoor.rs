@@ -151,8 +151,7 @@ mod tests {
         for o in &outdoor {
             assert!((0.0..=0.35).contains(&o.leakage));
         }
-        let mean: f64 =
-            outdoor.iter().map(|o| o.leakage).sum::<f64>() / outdoor.len() as f64;
+        let mean: f64 = outdoor.iter().map(|o| o.leakage).sum::<f64>() / outdoor.len() as f64;
         assert!(mean < 0.2, "mean leakage {mean}");
     }
 

@@ -316,10 +316,7 @@ pub fn service_modulation(
     match kind {
         TemplateKind::Commute { .. } => match svc.category {
             // Spotify peaks during the *morning* commute (Fig. 11a).
-            Category::Music
-                if (7..=9).contains(&hour) => {
-                    1.6
-                }
+            Category::Music if (7..=9).contains(&hour) => 1.6,
             Category::Navigation => {
                 if (7..=9).contains(&hour) || (17..=19).contains(&hour) {
                     1.5
@@ -327,10 +324,7 @@ pub fn service_modulation(
                     0.8
                 }
             }
-            Category::News
-                if (7..=9).contains(&hour) => {
-                    1.5
-                }
+            Category::News if (7..=9).contains(&hour) => 1.5,
             _ => 1.0,
         },
         TemplateKind::EventBurst => {
@@ -433,7 +427,9 @@ mod tests {
 
     #[test]
     fn commute_is_bimodal_on_weekdays() {
-        let kind = TemplateKind::Commute { strike_factor: 0.05 };
+        let kind = TemplateKind::Commute {
+            strike_factor: 0.05,
+        };
         let sched = EventSchedule::none();
         let cal = cal();
         // 2023-01-09 is a Monday.
@@ -450,14 +446,15 @@ mod tests {
 
     #[test]
     fn commute_collapses_on_strike_and_weekend() {
-        let kind = TemplateKind::Commute { strike_factor: 0.05 };
+        let kind = TemplateKind::Commute {
+            strike_factor: 0.05,
+        };
         let sched = EventSchedule::none();
         let cal = cal();
         let strike = StudyCalendar::strike_day();
         let mon = Date::new(2023, 1, 9);
         let sat = Date::new(2023, 1, 7);
-        let w_strike =
-            template_weight(kind, &sched, strike, cal.day_index(strike).unwrap(), 8);
+        let w_strike = template_weight(kind, &sched, strike, cal.day_index(strike).unwrap(), 8);
         let w_mon = template_weight(kind, &sched, mon, cal.day_index(mon).unwrap(), 8);
         let w_sat = template_weight(kind, &sched, sat, cal.day_index(sat).unwrap(), 8);
         assert!(w_strike < 0.1 * w_mon, "strike {w_strike} vs {w_mon}");
@@ -466,8 +463,12 @@ mod tests {
 
     #[test]
     fn provincial_strike_is_milder() {
-        let paris = TemplateKind::Commute { strike_factor: 0.05 };
-        let prov = TemplateKind::Commute { strike_factor: 0.45 };
+        let paris = TemplateKind::Commute {
+            strike_factor: 0.05,
+        };
+        let prov = TemplateKind::Commute {
+            strike_factor: 0.45,
+        };
         let sched = EventSchedule::none();
         let cal = cal();
         let strike = StudyCalendar::strike_day();
@@ -528,8 +529,13 @@ mod tests {
         assert!(w_sun < w_mon);
         // Night floor above office night.
         let w_night_retail = template_weight(kind, &sched, mon, cal.day_index(mon).unwrap(), 3);
-        let w_night_office =
-            template_weight(TemplateKind::Office, &sched, mon, cal.day_index(mon).unwrap(), 3);
+        let w_night_office = template_weight(
+            TemplateKind::Office,
+            &sched,
+            mon,
+            cal.day_index(mon).unwrap(),
+            3,
+        );
         assert!(w_night_retail > 3.0 * w_night_office);
     }
 
@@ -544,13 +550,10 @@ mod tests {
         let strike = StudyCalendar::strike_day();
         let i = cal.day_index(strike).unwrap();
         // At the event start hour 19, Snapchat is boosted, Waze is not yet.
-        let m_snap_19 =
-            service_modulation(TemplateKind::EventBurst, &sched, snap, strike, i, 19);
-        let m_waze_19 =
-            service_modulation(TemplateKind::EventBurst, &sched, waze, strike, i, 19);
+        let m_snap_19 = service_modulation(TemplateKind::EventBurst, &sched, snap, strike, i, 19);
+        let m_waze_19 = service_modulation(TemplateKind::EventBurst, &sched, waze, strike, i, 19);
         // Two hours later Waze picks up.
-        let m_waze_21 =
-            service_modulation(TemplateKind::EventBurst, &sched, waze, strike, i, 21);
+        let m_waze_21 = service_modulation(TemplateKind::EventBurst, &sched, waze, strike, i, 21);
         assert!(m_snap_19 > 1.5);
         assert!(m_waze_21 > m_waze_19);
     }
@@ -614,7 +617,9 @@ mod tests {
         let cal = cal();
         let sched = EventSchedule::stadium(&mut rng, &cal, true);
         for kind in [
-            TemplateKind::Commute { strike_factor: 0.05 },
+            TemplateKind::Commute {
+                strike_factor: 0.05,
+            },
             TemplateKind::EventBurst,
             TemplateKind::QuietWithExpo,
             TemplateKind::BroadDiurnal,

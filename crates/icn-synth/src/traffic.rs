@@ -160,8 +160,7 @@ pub fn aggregate_hourly_series(
     assert_eq!(services.len(), totals_row.len(), "row/services mismatch");
     let mut agg = vec![0.0; window.num_hours()];
     for (svc, &tot) in services.iter().zip(totals_row) {
-        let series =
-            hourly_series_for_window(antenna, svc, tot, full_period_days, window, root);
+        let series = hourly_series_for_window(antenna, svc, tot, full_period_days, window, root);
         for (a, s) in agg.iter_mut().zip(series) {
             *a += s;
         }
@@ -338,7 +337,11 @@ mod tests {
     fn event_schedule_is_site_deterministic() {
         let (ants, _svcs, root) = small_pop();
         let cal = StudyCalendar::temporal_window();
-        for a in ants.iter().filter(|a| a.archetype == Archetype::ParisArena).take(3) {
+        for a in ants
+            .iter()
+            .filter(|a| a.archetype == Archetype::ParisArena)
+            .take(3)
+        {
             let s1 = event_schedule(a, &cal, &root);
             let s2 = event_schedule(a, &cal, &root);
             assert_eq!(s1.events(), s2.events());

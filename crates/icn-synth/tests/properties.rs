@@ -1,5 +1,7 @@
-//! Property-based tests for the synthetic measurement substrate.
+//! Property-based tests for the synthetic measurement substrate, driven
+//! by the deterministic [`icn_stats::check`] harness.
 
+use icn_stats::check::{cases, len_in};
 use icn_stats::Rng;
 use icn_synth::antennas::generate_antennas;
 use icn_synth::calendar::{Date, StudyCalendar};
@@ -7,93 +9,129 @@ use icn_synth::mining::{mine_environment, MinedLabel};
 use icn_synth::services::catalog;
 use icn_synth::traffic::{hourly_series, service_shares, totals_matrix};
 use icn_synth::Archetype;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn epoch_days_in(rng: &mut Rng, lo: i64, hi: i64) -> i64 {
+    lo + rng.below((hi - lo) as u64) as i64
+}
 
-    #[test]
-    fn date_round_trip(z in -200_000i64..200_000) {
+#[test]
+fn date_round_trip() {
+    cases(32, |case, rng| {
+        let z = epoch_days_in(rng, -200_000, 200_000);
         let d = Date::from_epoch_days(z);
-        prop_assert_eq!(d.days_from_epoch(), z);
-    }
+        assert_eq!(d.days_from_epoch(), z, "case {case}");
+    });
+}
 
-    #[test]
-    fn plus_days_is_additive(z in -50_000i64..50_000, a in -500i64..500, b in -500i64..500) {
+#[test]
+fn plus_days_is_additive() {
+    cases(32, |case, rng| {
+        let z = epoch_days_in(rng, -50_000, 50_000);
+        let a = epoch_days_in(rng, -500, 500);
+        let b = epoch_days_in(rng, -500, 500);
         let d = Date::from_epoch_days(z);
-        prop_assert_eq!(d.plus_days(a).plus_days(b), d.plus_days(a + b));
-    }
+        assert_eq!(
+            d.plus_days(a).plus_days(b),
+            d.plus_days(a + b),
+            "case {case}"
+        );
+    });
+}
 
-    #[test]
-    fn weekday_cycles_every_seven_days(z in -50_000i64..50_000) {
-        let d = Date::from_epoch_days(z);
-        prop_assert_eq!(d.weekday(), d.plus_days(7).weekday());
-        prop_assert_ne!(d.weekday(), d.plus_days(1).weekday());
-    }
+#[test]
+fn weekday_cycles_every_seven_days() {
+    cases(32, |case, rng| {
+        let d = Date::from_epoch_days(epoch_days_in(rng, -50_000, 50_000));
+        assert_eq!(d.weekday(), d.plus_days(7).weekday(), "case {case}");
+        assert_ne!(d.weekday(), d.plus_days(1).weekday(), "case {case}");
+    });
+}
 
-    #[test]
-    fn calendar_day_index_consistent(start in 18_000i64..20_000, days in 1usize..90) {
+#[test]
+fn calendar_day_index_consistent() {
+    cases(32, |case, rng| {
+        let start = epoch_days_in(rng, 18_000, 20_000);
+        let days = len_in(rng, 1, 90);
         let cal = StudyCalendar::custom(Date::from_epoch_days(start), days);
         for i in (0..days).step_by(7) {
-            prop_assert_eq!(cal.day_index(cal.date(i)), Some(i));
+            assert_eq!(cal.day_index(cal.date(i)), Some(i), "case {case} day {i}");
         }
-        prop_assert_eq!(cal.num_hours(), days * 24);
-    }
+        assert_eq!(cal.num_hours(), days * 24, "case {case}");
+    });
+}
 
-    #[test]
-    fn shares_always_simplex(seed in any::<u64>()) {
-        let mut rng = Rng::seed_from(seed);
-        let ants = generate_antennas(0.01, &mut rng);
+#[test]
+fn shares_always_simplex() {
+    cases(32, |case, rng| {
+        let ants = generate_antennas(0.01, rng);
         let svcs = catalog();
-        let mut rng2 = Rng::seed_from(seed ^ 0xA5A5);
+        let mut rng2 = Rng::seed_from(rng.next_u64());
         for a in ants.iter().take(5) {
             let s = service_shares(a, &svcs, &mut rng2);
             let sum: f64 = s.iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-9);
-            prop_assert!(s.iter().all(|&x| x > 0.0));
+            assert!((sum - 1.0).abs() < 1e-9, "case {case}: sum {sum}");
+            assert!(s.iter().all(|&x| x > 0.0), "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn totals_matrix_positive_finite(seed in any::<u64>()) {
-        let mut rng = Rng::seed_from(seed);
-        let ants = generate_antennas(0.008, &mut rng);
+#[test]
+fn totals_matrix_positive_finite() {
+    cases(32, |case, rng| {
+        let ants = generate_antennas(0.008, rng);
         let svcs = catalog();
-        let t = totals_matrix(&ants, &svcs, &Rng::seed_from(seed));
-        prop_assert!(!t.has_non_finite());
-        prop_assert!(t.as_slice().iter().all(|&v| v > 0.0));
-    }
+        let t = totals_matrix(&ants, &svcs, &Rng::seed_from(rng.next_u64()));
+        assert!(!t.has_non_finite(), "case {case}");
+        assert!(t.as_slice().iter().all(|&v| v > 0.0), "case {case}");
+    });
+}
 
-    #[test]
-    fn hourly_series_nonnegative_and_integrates(seed in any::<u64>(), total in 10.0f64..10_000.0) {
-        let mut rng = Rng::seed_from(seed);
-        let ants = generate_antennas(0.008, &mut rng);
+#[test]
+fn hourly_series_nonnegative_and_integrates() {
+    cases(32, |case, rng| {
+        let total = rng.uniform(10.0, 10_000.0);
+        let ants = generate_antennas(0.008, rng);
         let svcs = catalog();
         let cal = StudyCalendar::custom(Date::new(2023, 1, 9), 7);
-        let a = &ants[seed as usize % ants.len()];
-        let series = hourly_series(a, &svcs[seed as usize % svcs.len()], &cal, total, &Rng::seed_from(seed));
-        prop_assert_eq!(series.len(), cal.num_hours());
-        prop_assert!(series.iter().all(|&v| v >= 0.0 && v.is_finite()));
+        let a = &ants[rng.index(ants.len())];
+        let svc = &svcs[rng.index(svcs.len())];
+        let series = hourly_series(a, svc, &cal, total, &Rng::seed_from(rng.next_u64()));
+        assert_eq!(series.len(), cal.num_hours(), "case {case}");
+        assert!(
+            series.iter().all(|&v| v >= 0.0 && v.is_finite()),
+            "case {case}"
+        );
         let sum: f64 = series.iter().sum();
-        prop_assert!((sum - total).abs() / total < 0.25, "sum {} target {}", sum, total);
-    }
+        assert!(
+            (sum - total).abs() / total < 0.25,
+            "case {case}: sum {sum} target {total}"
+        );
+    });
+}
 
-    #[test]
-    fn mining_never_mislabels_generated_names(seed in any::<u64>()) {
-        let mut rng = Rng::seed_from(seed);
-        let ants = generate_antennas(0.01, &mut rng);
+#[test]
+fn mining_never_mislabels_generated_names() {
+    cases(32, |case, rng| {
+        let ants = generate_antennas(0.01, rng);
         for a in ants.iter().take(30) {
-            prop_assert_eq!(mine_environment(&a.site_name), MinedLabel::Env(a.environment));
+            assert_eq!(
+                mine_environment(&a.site_name),
+                MinedLabel::Env(a.environment),
+                "case {case}: {}",
+                a.site_name
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn affinities_positive_bounded(seed in any::<u64>()) {
+#[test]
+fn affinities_positive_bounded() {
+    cases(32, |case, rng| {
         let svcs = catalog();
-        let svc = &svcs[seed as usize % svcs.len()];
+        let svc = &svcs[rng.index(svcs.len())];
         for arch in Archetype::ALL {
             let v = arch.service_affinity(svc);
-            prop_assert!(v > 0.0 && v < 10.0);
+            assert!(v > 0.0 && v < 10.0, "case {case}: {v}");
         }
-    }
+    });
 }

@@ -13,8 +13,8 @@
 //! cargo run --release --example capacity_planning
 //! ```
 
-use icn_repro::prelude::*;
 use icn_report::Table;
+use icn_repro::prelude::*;
 use std::collections::HashMap;
 
 fn main() {
@@ -55,7 +55,14 @@ fn main() {
             .filter(|(pos, _)| study.labels[*pos] == c)
             .map(|(_, &row)| (&dataset.antennas[row], dataset.indoor_totals.row(row)))
             .unzip();
-        let hm = cluster_heatmap(&members, &rows, &dataset.services, 65, &window, dataset.root_rng());
+        let hm = cluster_heatmap(
+            &members,
+            &rows,
+            &dataset.services,
+            65,
+            &window,
+            dataset.root_rng(),
+        );
         let mut hour_means = [0.0f64; 24];
         for day in &hm.values {
             for (h, v) in day.iter().enumerate() {
@@ -120,9 +127,8 @@ fn main() {
             all += dataset.indoor_totals.row_sums()[r];
         }
         let aware: Vec<usize> = icn_stats::rank::top_k(&totals, 5);
-        let frac = |set: &[usize]| -> f64 {
-            set.iter().map(|&j| totals[j]).sum::<f64>() / all.max(1e-12)
-        };
+        let frac =
+            |set: &[usize]| -> f64 { set.iter().map(|&j| totals[j]).sum::<f64>() / all.max(1e-12) };
         cover.row(vec![
             c.to_string(),
             format!("{:.0}%", 100.0 * frac(&aware)),
@@ -154,7 +160,14 @@ fn main() {
         if members.is_empty() {
             continue;
         }
-        let hm = cluster_heatmap(&members, &rows, &dataset.services, 65, &window, dataset.root_rng());
+        let hm = cluster_heatmap(
+            &members,
+            &rows,
+            &dataset.services,
+            65,
+            &window,
+            dataset.root_rng(),
+        );
         // Count quiet cells over one representative full week (days 5..12
         // of the window avoid the strike day).
         let quiet: usize = (5..12)

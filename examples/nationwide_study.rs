@@ -10,8 +10,8 @@
 //!
 //! Pass `--scale 0.25` (any positive float) to run a reduced population.
 
-use icn_repro::prelude::*;
 use icn_report::Table;
+use icn_repro::prelude::*;
 
 fn main() {
     let scale = parse_scale().unwrap_or(1.0);
@@ -72,10 +72,7 @@ fn main() {
     // --- SHAP: the defining services per cluster ---
     let names: Vec<&str> = dataset.services.iter().map(|s| s.name).collect();
     for ex in &study.explanations {
-        println!(
-            "{}",
-            icn_report::beeswarm::render(ex, &names, 10, 24)
-        );
+        println!("{}", icn_report::beeswarm::render(ex, &names, 10, 24));
     }
 
     // --- Outdoor comparison (Figure 9) ---
@@ -83,7 +80,10 @@ fn main() {
     for (c, share) in study.outdoor.distribution.iter().enumerate() {
         outdoor.row(vec![c.to_string(), format!("{:.1}%", 100.0 * share)]);
     }
-    println!("Figure 9 — outdoor cluster distribution:\n{}", outdoor.render());
+    println!(
+        "Figure 9 — outdoor cluster distribution:\n{}",
+        outdoor.render()
+    );
 
     // --- Recovery vs planted archetypes ---
     let planted: Vec<usize> = study

@@ -9,8 +9,8 @@
 //! cargo run --release --example outdoor_comparison
 //! ```
 
-use icn_repro::prelude::*;
 use icn_report::Table;
+use icn_repro::prelude::*;
 
 fn main() {
     let dataset = Dataset::generate(SynthConfig::small().with_scale(0.2));
@@ -37,8 +37,16 @@ fn main() {
     // Zoom: outdoor antennas adjacent to *stadium* and *workspace* sites —
     // their neighbours' indoor clusters are distinctive, yet the outdoor
     // cells still read as general use.
-    let mut near = Table::new(vec!["neighbour env", "n outdoor", "% classified general-use"]);
-    for env in [Environment::Stadium, Environment::Workspace, Environment::Metro] {
+    let mut near = Table::new(vec![
+        "neighbour env",
+        "n outdoor",
+        "% classified general-use",
+    ]);
+    for env in [
+        Environment::Stadium,
+        Environment::Workspace,
+        Environment::Metro,
+    ] {
         let mut n = 0usize;
         let mut general = 0usize;
         for (o, &pred) in dataset.outdoor.iter().zip(&study.outdoor.predicted) {

@@ -10,8 +10,8 @@
 //! cargo run --release --example probe_pipeline
 //! ```
 
-use icn_repro::prelude::*;
 use icn_report::Table;
+use icn_repro::prelude::*;
 use icn_synth::Date;
 
 fn main() {

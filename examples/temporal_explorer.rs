@@ -25,7 +25,14 @@ fn main() {
         if members.is_empty() {
             continue;
         }
-        let hm = cluster_heatmap(&members, &rows, &dataset.services, 65, &window, dataset.root_rng());
+        let hm = cluster_heatmap(
+            &members,
+            &rows,
+            &dataset.services,
+            65,
+            &window,
+            dataset.root_rng(),
+        );
         let (env, _) = study.crosstab.dominant_environment(c);
         println!(
             "cluster {c} ({}; {} antennas) — commute ratio {:.2}, weekend ratio {:.2}, \
@@ -57,7 +64,9 @@ fn main() {
         ("Netflix", Archetype::RetailHospitality),
     ];
     for (svc_name, arch) in picks {
-        let Some(cluster) = find_cluster(arch) else { continue };
+        let Some(cluster) = find_cluster(arch) else {
+            continue;
+        };
         let j = index_of(&dataset.services, svc_name).expect("service in catalog");
         let (members, totals): (Vec<&icn_synth::Antenna>, Vec<f64>) = study
             .live_rows
@@ -85,9 +94,7 @@ fn main() {
             hm.commute_ratio(),
             hm.weekend_ratio()
         );
-        let labels: Vec<String> = (0..hm.values.len())
-            .map(|d| window.date(d).iso())
-            .collect();
+        let labels: Vec<String> = (0..hm.values.len()).map(|d| window.date(d).iso()).collect();
         print!(
             "{}",
             icn_report::heatmap::render_sequential(&hm.values, Some(&labels))

@@ -20,6 +20,9 @@ fn main() {
         usage_and_exit(None);
     };
     let opts = Opts::parse(&args[1..]);
+    if opts.metrics_out.is_some() {
+        icn_repro::icn_obs::global().enable();
+    }
     match cmd.as_str() {
         "generate" => cmd_generate(&opts),
         "study" => cmd_study(&opts),
@@ -28,6 +31,15 @@ fn main() {
         "probe" => cmd_probe(&opts),
         "help" | "--help" | "-h" => usage_and_exit(None),
         other => usage_and_exit(Some(other)),
+    }
+    if let Some(path) = &opts.metrics_out {
+        let snap = icn_repro::icn_obs::global().snapshot();
+        let report = BenchReport::build(&snap, &format!("icn-{cmd}"), opts.scale);
+        if let Err(e) = report.write_to_file(path) {
+            eprintln!("failed to write metrics to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("metrics written to {path}");
     }
 }
 
@@ -41,6 +53,7 @@ struct Opts {
     top: usize,
     days: usize,
     out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 impl Opts {
@@ -54,6 +67,7 @@ impl Opts {
             top: 10,
             days: 3,
             out: None,
+            metrics_out: None,
         };
         let mut i = 0;
         while i < args.len() {
@@ -81,6 +95,10 @@ impl Opts {
                 }
                 "--out" => {
                     o.out = take(i).cloned();
+                    i += 2;
+                }
+                "--metrics-out" => {
+                    o.metrics_out = take(i).cloned();
                     i += 2;
                 }
                 "--sweep" => {
@@ -145,7 +163,8 @@ fn usage_and_exit(bad: Option<&str>) -> ! {
          --cluster <n>  cluster id (explain/temporal)\n  \
          --top <n>      services to list (explain, default 10)\n  \
          --days <n>     probe window length (probe, default 3)\n  \
-         --out <dir>    export directory (generate)"
+         --out <dir>    export directory (generate)\n  \
+         --metrics-out <path>  write an icn-obs benchmark report (JSON)"
     );
     std::process::exit(if bad.is_some() { 2 } else { 0 });
 }
@@ -176,34 +195,41 @@ fn cmd_study(o: &Opts) {
     let st = o.study(&ds);
     if o.json {
         let names: Vec<&str> = ds.services.iter().map(|s| s.name).collect();
-        let clusters: Vec<serde_json::Value> = (0..st.config.k)
+        let clusters: Vec<Json> = (0..st.config.k)
             .map(|c| {
                 let (env, share) = st.crosstab.dominant_environment(c);
-                let top: Vec<&str> = st.explanations[c]
+                let top: Vec<Json> = st.explanations[c]
                     .top(5)
                     .iter()
-                    .map(|i| names[i.feature])
+                    .map(|i| Json::str(names[i.feature]))
                     .collect();
-                serde_json::json!({
-                    "cluster": c,
-                    "size": st.cluster_sizes()[c],
-                    "dominant_environment": env.label(),
-                    "environment_share": share,
-                    "paris_share": st.crosstab.paris_share[c],
-                    "top_shap_services": top,
-                })
+                Json::obj(vec![
+                    ("cluster", Json::num(c as f64)),
+                    ("size", Json::num(st.cluster_sizes()[c] as f64)),
+                    ("dominant_environment", Json::str(env.label())),
+                    ("environment_share", Json::num(share)),
+                    ("paris_share", Json::num(st.crosstab.paris_share[c])),
+                    ("top_shap_services", Json::Arr(top)),
+                ])
             })
             .collect();
-        let out = serde_json::json!({
-            "antennas": st.num_antennas(),
-            "k": st.config.k,
-            "surrogate_accuracy": st.surrogate_accuracy,
-            "surrogate_oob": st.surrogate_oob,
-            "outdoor_dominant_cluster": st.outdoor.dominant.0,
-            "outdoor_dominant_share": st.outdoor.dominant.1,
-            "clusters": clusters,
-        });
-        println!("{}", serde_json::to_string_pretty(&out).expect("serialize"));
+        let oob = match st.surrogate_oob {
+            Some(v) => Json::num(v),
+            None => Json::Null,
+        };
+        let out = Json::obj(vec![
+            ("antennas", Json::num(st.num_antennas() as f64)),
+            ("k", Json::num(st.config.k as f64)),
+            ("surrogate_accuracy", Json::num(st.surrogate_accuracy)),
+            ("surrogate_oob", oob),
+            (
+                "outdoor_dominant_cluster",
+                Json::num(st.outdoor.dominant.0 as f64),
+            ),
+            ("outdoor_dominant_share", Json::num(st.outdoor.dominant.1)),
+            ("clusters", Json::Arr(clusters)),
+        ]);
+        println!("{}", out.to_pretty());
         return;
     }
     println!(
@@ -215,7 +241,10 @@ fn cmd_study(o: &Opts) {
     );
     if !st.k_sweep.is_empty() {
         for q in &st.k_sweep {
-            println!("k={:<3} silhouette {:.4}  dunn {:.5}", q.k, q.silhouette, q.dunn);
+            println!(
+                "k={:<3} silhouette {:.4}  dunn {:.5}",
+                q.k, q.silhouette, q.dunn
+            );
         }
     }
     let names: Vec<&str> = ds.services.iter().map(|s| s.name).collect();

@@ -17,7 +17,8 @@
 //! [`icn_synth`] (measurement substrate), [`icn_cluster`] (agglomerative
 //! clustering), [`icn_forest`] (random forest), [`icn_shap`] (TreeSHAP /
 //! KernelSHAP), [`icn_core`] (the study pipeline), [`icn_report`]
-//! (terminal figures), [`icn_stats`] (numerics).
+//! (terminal figures), [`icn_stats`] (numerics), [`icn_obs`]
+//! (stage tracing, metrics and benchmark reports).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +26,7 @@
 pub use icn_cluster;
 pub use icn_core;
 pub use icn_forest;
+pub use icn_obs;
 pub use icn_probe;
 pub use icn_report;
 pub use icn_shap;
@@ -43,6 +45,7 @@ pub mod prelude {
         StudyConfig, TemporalHeatmap,
     };
     pub use icn_forest::{ForestConfig, RandomForest, TrainSet};
+    pub use icn_obs::{BenchReport, Json, Registry, Span};
     pub use icn_probe::{run_campaign, CampaignConfig, DpiConfig};
     pub use icn_shap::{explain_forest_class, forest_shap, kernel_shap, Direction};
     pub use icn_stats::{Histogram, Matrix, Metric, Rng};

@@ -33,7 +33,11 @@ fn every_discovered_cluster_maps_to_distinct_archetype() {
     let mut sorted = map.clone();
     sorted.sort_unstable();
     sorted.dedup();
-    assert_eq!(sorted.len(), 9, "cluster->archetype map not a bijection: {map:?}");
+    assert_eq!(
+        sorted.len(),
+        9,
+        "cluster->archetype map not a bijection: {map:?}"
+    );
 }
 
 #[test]
@@ -49,7 +53,11 @@ fn dendrogram_groups_match_paper_structure() {
     for (pos, &row) in study.live_rows.iter().enumerate() {
         let arch = Archetype::from_id(planted[row]);
         let g = arch.group().label();
-        *group_votes.entry(g).or_default().entry(coarse[pos]).or_default() += 1;
+        *group_votes
+            .entry(g)
+            .or_default()
+            .entry(coarse[pos])
+            .or_default() += 1;
     }
     // Each group's antennas should be concentrated in one coarse cluster.
     let mut majors = Vec::new();
@@ -165,7 +173,11 @@ fn outdoor_diversity_is_lower_than_indoor() {
 #[test]
 fn surrogate_is_faithful_to_clustering() {
     let (_, study) = study_fixture();
-    assert!(study.surrogate_accuracy > 0.97, "{}", study.surrogate_accuracy);
+    assert!(
+        study.surrogate_accuracy > 0.97,
+        "{}",
+        study.surrogate_accuracy
+    );
     assert!(study.surrogate_oob.unwrap_or(0.0) > 0.8);
 }
 
@@ -227,6 +239,10 @@ fn clustering_is_bootstrap_stable() {
         6,
         0xB007,
     );
-    assert!(result.mean_ari() > 0.8, "mean stability {}", result.mean_ari());
+    assert!(
+        result.mean_ari() > 0.8,
+        "mean stability {}",
+        result.mean_ari()
+    );
     assert!(result.min_ari() > 0.6, "min stability {}", result.min_ari());
 }

@@ -18,10 +18,7 @@ fn clustering_recovers_structure_from_probe_data() {
     let (live, live_rows) = filter_dead_rows(&result.totals);
     let features = rsca(&live);
     let labels = agglomerate(&features, Linkage::Ward).cut(9);
-    let planted: Vec<usize> = live_rows
-        .iter()
-        .map(|&i| ds.planted_labels()[i])
-        .collect();
+    let planted: Vec<usize> = live_rows.iter().map(|&i| ds.planted_labels()[i]).collect();
     let ari = adjusted_rand_index(&labels, &planted);
     // A 3-day window plus session/DPI noise is a much weaker signal than
     // the two-month totals; the structure must still be clearly present.

@@ -42,7 +42,11 @@ fn treeshap_and_kernelshap_agree_on_top_features() {
     let (_, study) = small_study();
     let class = 0usize;
     // Pick a member of class 0.
-    let idx = study.labels.iter().position(|&l| l == class).expect("member");
+    let idx = study
+        .labels
+        .iter()
+        .position(|&l| l == class)
+        .expect("member");
     let x = study.rsca.row(idx);
 
     let tree_phi = forest_shap(&study.surrogate, x);
@@ -62,10 +66,7 @@ fn treeshap_and_kernelshap_agree_on_top_features() {
     );
 
     // Rank agreement on the top-5 TreeSHAP features.
-    let top5 = icn_stats::rank::top_k(
-        &tree_class.iter().map(|v| v.abs()).collect::<Vec<_>>(),
-        5,
-    );
+    let top5 = icn_stats::rank::top_k(&tree_class.iter().map(|v| v.abs()).collect::<Vec<_>>(), 5);
     let mut sign_matches = 0usize;
     let mut kernel_ranks_high = 0usize;
     let kern_abs: Vec<f64> = kern_phi.iter().map(|v| v.abs()).collect();

@@ -126,9 +126,8 @@ fn paris_arena_nba_night_visible() {
 fn teams_follows_office_hours_netflix_hotel_nights() {
     let fx = fixture();
     let map = fx.study.cluster_to_archetype(&fx.dataset);
-    let svc = |name: &str| {
-        icn_synth::services::index_of(&fx.dataset.services, name).expect("service")
-    };
+    let svc =
+        |name: &str| icn_synth::services::index_of(&fx.dataset.services, name).expect("service");
     let service_hm = |arch: Archetype, j: usize| {
         let cluster = map.iter().position(|&a| a == arch.id()).unwrap();
         let (members, totals): (Vec<&icn_synth::Antenna>, Vec<f64>) = fx
@@ -137,7 +136,12 @@ fn teams_follows_office_hours_netflix_hotel_nights() {
             .iter()
             .enumerate()
             .filter(|(pos, _)| fx.study.labels[*pos] == cluster)
-            .map(|(_, &row)| (&fx.dataset.antennas[row], fx.dataset.indoor_totals.get(row, j)))
+            .map(|(_, &row)| {
+                (
+                    &fx.dataset.antennas[row],
+                    fx.dataset.indoor_totals.get(row, j),
+                )
+            })
             .unzip();
         service_heatmap(
             &members,
@@ -154,7 +158,10 @@ fn teams_follows_office_hours_netflix_hotel_nights() {
     let weekday = |hm: &TemporalHeatmap, d: usize| !hm.window.date(d).weekday().is_weekend();
     let work = teams.mean_at_hour(11, |d| weekday(&teams, d));
     let night = teams.mean_at_hour(22, |d| weekday(&teams, d));
-    assert!(work > 3.0 * (night + 1e-9), "teams work {work} night {night}");
+    assert!(
+        work > 3.0 * (night + 1e-9),
+        "teams work {work} night {night}"
+    );
 
     // Figure 11h: Netflix at the retail/hotel cluster peaks at night...
     let netflix_hotel = service_hm(Archetype::RetailHospitality, svc("Netflix"));
@@ -193,7 +200,12 @@ fn waze_peaks_after_events_in_green_group() {
             .iter()
             .enumerate()
             .filter(|(pos, _)| fx.study.labels[*pos] == cluster)
-            .map(|(_, &row)| (&fx.dataset.antennas[row], fx.dataset.indoor_totals.get(row, j)))
+            .map(|(_, &row)| {
+                (
+                    &fx.dataset.antennas[row],
+                    fx.dataset.indoor_totals.get(row, j),
+                )
+            })
             .unzip();
         service_heatmap(
             &members,
