@@ -1,0 +1,109 @@
+//! Stage 2 (Ward agglomeration): differential oracle + metamorphic
+//! invariants against `icn-testkit`.
+//!
+//! Oracle: the production NN-chain algorithm is compared against the
+//! testkit's O(n³) greedy agglomeration (same Lance-Williams recurrence,
+//! global-minimum merge order) — for reducible linkages the two must build
+//! the same hierarchy. Metamorphic: row permutations must permute labels,
+//! and merge heights must be monotone non-decreasing.
+
+use icn_cluster::{agglomerate, Linkage};
+use icn_stats::check::{self, cases};
+use icn_stats::Matrix;
+use icn_testkit::{naive_agglomerate, permutation, permute_rows, permute_slice, same_partition};
+
+/// Random observations: a handful of loose gaussian blobs so merges happen
+/// at many different heights (continuous coordinates keep ties measure-zero).
+fn observations(rng: &mut icn_stats::Rng) -> Matrix {
+    let n = check::len_in(rng, 6, 16);
+    let dims = check::len_in(rng, 2, 5);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let centre = (i % 3) as f64 * 4.0;
+            (0..dims).map(|_| rng.normal(centre, 1.0)).collect()
+        })
+        .collect();
+    check::record(format!("{n} points in {dims}d"));
+    Matrix::from_rows(&rows)
+}
+
+#[test]
+fn nn_chain_matches_greedy_oracle_all_linkages() {
+    cases(24, |_, rng| {
+        let m = observations(rng);
+        for linkage in Linkage::ALL {
+            let fast = agglomerate(&m, linkage);
+            let slow = naive_agglomerate(&m, linkage);
+            let (fh, sh) = (fast.heights(), slow.heights());
+            assert_eq!(fh.len(), sh.len(), "{}", linkage.name());
+            for (f, s) in fh.iter().zip(&sh) {
+                assert!(
+                    (f - s).abs() < 1e-9 * (1.0 + f.abs()),
+                    "{}: height {f} vs oracle {s}",
+                    linkage.name()
+                );
+            }
+            // The cut partitions must agree at every granularity.
+            for k in 2..=m.rows().min(6) {
+                assert!(
+                    same_partition(&fast.cut(k), &slow.cut(k)),
+                    "{}: k={k} partitions differ",
+                    linkage.name()
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn cut_labels_equivariant_to_row_permutation() {
+    // Clustering must not care what order the antennas arrive in: labels of
+    // the permuted input are the permuted labels of the original input (up
+    // to renaming, which `same_partition` quotients out).
+    cases(24, |_, rng| {
+        let m = observations(rng);
+        let p = permutation(rng, m.rows());
+        check::record(format!("row perm {p:?}"));
+        let base = agglomerate(&m, Linkage::Ward);
+        let shuffled = agglomerate(&permute_rows(&m, &p), Linkage::Ward);
+        for k in 2..=m.rows().min(6) {
+            let expected = permute_slice(&base.cut(k), &p);
+            assert!(
+                same_partition(&shuffled.cut(k), &expected),
+                "k={k}: permuted clustering disagrees"
+            );
+        }
+    });
+}
+
+#[test]
+fn merge_heights_monotone_all_linkages() {
+    // Reducible linkages guarantee non-decreasing dendrogram heights; a
+    // violation would make every cut threshold ambiguous.
+    cases(24, |_, rng| {
+        let m = observations(rng);
+        for linkage in Linkage::ALL {
+            let hs = agglomerate(&m, linkage).heights();
+            for (s, w) in hs.windows(2).enumerate() {
+                assert!(
+                    w[1] >= w[0] - 1e-9,
+                    "{}: step {s} heights {w:?} decrease",
+                    linkage.name()
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn oracle_heights_monotone_too() {
+    // Sanity on the oracle itself: greedy global-minimum merging under a
+    // reducible linkage is height-monotone by construction.
+    cases(12, |_, rng| {
+        let m = observations(rng);
+        let hs = naive_agglomerate(&m, Linkage::Ward).heights();
+        for w in hs.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "oracle heights {w:?} decrease");
+        }
+    });
+}

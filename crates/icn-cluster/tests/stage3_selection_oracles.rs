@@ -1,0 +1,113 @@
+//! Stage 3 (k-selection indices): differential oracle + metamorphic
+//! invariants against `icn-testkit`.
+//!
+//! Oracle: the parallel silhouette/Dunn implementations are compared to the
+//! testkit's brute-force restatements of the definitions. Metamorphic:
+//! both indices measure the *partition*, so renaming cluster ids through
+//! any permutation must leave the scores bit-unchanged; `sweep_k` must
+//! report exactly the scores of the cuts it evaluates.
+
+use icn_cluster::{agglomerate, dunn_index, silhouette_score, sweep_k, Condensed, Linkage};
+use icn_stats::check::{self, cases};
+use icn_stats::{Matrix, Metric};
+use icn_testkit::{naive_dunn, naive_silhouette, permutation, permute_labels};
+
+/// Random points plus a dense random labelling with every cluster
+/// inhabited (the first k points get labels 0..k).
+fn labelled(rng: &mut icn_stats::Rng) -> (Condensed, Vec<usize>) {
+    let k = check::len_in(rng, 2, 5);
+    let n = check::len_in(rng, k.max(4) + 1, 24);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let centre = (i % k) as f64 * 3.0;
+            vec![rng.normal(centre, 0.8), rng.normal(0.0, 0.8)]
+        })
+        .collect();
+    let labels: Vec<usize> = (0..n)
+        .map(|i| if i < k { i } else { rng.index(k) })
+        .collect();
+    check::record(format!("{n} points, k={k}, labels {labels:?}"));
+    let cond = Condensed::from_rows(&Matrix::from_rows(&rows), Metric::Euclidean);
+    (cond, labels)
+}
+
+#[test]
+fn silhouette_matches_bruteforce_oracle() {
+    cases(32, |_, rng| {
+        let (cond, labels) = labelled(rng);
+        let fast = silhouette_score(&cond, &labels);
+        let slow = naive_silhouette(&cond, &labels);
+        assert!(
+            (fast - slow).abs() < 1e-12,
+            "silhouette {fast} vs oracle {slow}"
+        );
+    });
+}
+
+#[test]
+fn dunn_matches_bruteforce_oracle() {
+    cases(32, |_, rng| {
+        let (cond, labels) = labelled(rng);
+        let fast = dunn_index(&cond, &labels);
+        let slow = naive_dunn(&cond, &labels);
+        assert!(
+            fast == slow || (fast - slow).abs() < 1e-12,
+            "dunn {fast} vs oracle {slow}"
+        );
+    });
+}
+
+#[test]
+fn indices_invariant_to_cluster_relabeling() {
+    // Swapping which cluster is called "0" and which "1" must not move
+    // either quality index: they score the partition, not the names.
+    cases(32, |_, rng| {
+        let (cond, labels) = labelled(rng);
+        let k = labels.iter().max().unwrap() + 1;
+        let p = permutation(rng, k);
+        check::record(format!("label perm {p:?}"));
+        let renamed = permute_labels(&labels, &p);
+        assert_eq!(
+            silhouette_score(&cond, &labels).to_bits(),
+            silhouette_score(&cond, &renamed).to_bits(),
+            "silhouette changed under relabeling"
+        );
+        assert_eq!(
+            dunn_index(&cond, &labels).to_bits(),
+            dunn_index(&cond, &renamed).to_bits(),
+            "dunn changed under relabeling"
+        );
+    });
+}
+
+#[test]
+fn sweep_reports_scores_of_its_own_cuts() {
+    // Differential check on the sweep plumbing: every (k, silhouette, dunn)
+    // triple must equal a direct evaluation of the cut at that k.
+    cases(12, |_, rng| {
+        let n = check::len_in(rng, 10, 20);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![rng.normal((i % 3) as f64 * 5.0, 0.6), rng.normal(0.0, 0.6)])
+            .collect();
+        let m = Matrix::from_rows(&rows);
+        let history = agglomerate(&m, Linkage::Ward);
+        let cond = Condensed::from_rows(&m, Metric::Euclidean);
+        let sweep = sweep_k(&history, &cond, 2..=6.min(n - 1));
+        assert!(!sweep.is_empty());
+        for q in &sweep {
+            let labels = history.cut(q.k);
+            assert_eq!(
+                q.silhouette.to_bits(),
+                silhouette_score(&cond, &labels).to_bits(),
+                "k={}: sweep silhouette drifted",
+                q.k
+            );
+            assert_eq!(
+                q.dunn.to_bits(),
+                dunn_index(&cond, &labels).to_bits(),
+                "k={}: sweep dunn drifted",
+                q.k
+            );
+        }
+    });
+}

@@ -1,0 +1,129 @@
+//! Stage 1 (RCA/RSCA transform): differential oracle + metamorphic
+//! invariants against `icn-testkit`.
+//!
+//! Oracle: the optimized transform shares marginals across cells; the
+//! testkit reference recomputes every marginal per cell straight from
+//! Eq. (1)/(2). Metamorphic: RCA is built to remove popularity bias, so it
+//! must be *invariant* to uniform per-row rescales and *equivariant* to
+//! row/column permutations.
+
+use icn_core::{outdoor_rca, rca, rsca};
+use icn_stats::check::{self, cases};
+use icn_stats::Matrix;
+use icn_testkit::{naive_rca, naive_rsca, permutation, permute_cols, permute_rows, scale_rows};
+
+fn assert_matrix_close(a: &Matrix, b: &Matrix, tol: f64, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert!(
+            (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+            "{what}: cell {i} differs: {x} vs {y}"
+        );
+    }
+}
+
+/// A random traffic matrix, occasionally with a dead row and a dead column
+/// so the zero-handling paths are exercised too.
+fn traffic(rng: &mut icn_stats::Rng) -> Matrix {
+    let n = check::len_in(rng, 2, 12);
+    let m = check::len_in(rng, 2, 10);
+    let mut t = check::uniform_matrix(rng, n, m, 0.1, 50.0);
+    if n > 2 && rng.chance(0.3) {
+        let dead = rng.index(n);
+        for j in 0..m {
+            t.set(dead, j, 0.0);
+        }
+        check::record(format!("dead row {dead}"));
+    }
+    if m > 2 && rng.chance(0.3) {
+        let dead = rng.index(m);
+        for i in 0..n {
+            t.set(i, dead, 0.0);
+        }
+        check::record(format!("dead col {dead}"));
+    }
+    t
+}
+
+#[test]
+fn rca_matches_per_cell_oracle() {
+    cases(48, |_, rng| {
+        let t = traffic(rng);
+        assert_matrix_close(&rca(&t), &naive_rca(&t), 1e-12, "rca vs naive");
+    });
+}
+
+#[test]
+fn rsca_matches_per_cell_oracle() {
+    cases(48, |_, rng| {
+        let t = traffic(rng);
+        assert_matrix_close(&rsca(&t), &naive_rsca(&t), 1e-12, "rsca vs naive");
+    });
+}
+
+#[test]
+fn rca_invariant_to_uniform_rescale() {
+    // Rescaling every antenna's traffic by the same positive factor (a unit
+    // change, a sampling-rate change) cancels exactly in Eq. (1): both the
+    // row share and the reference column share are ratios.
+    cases(48, |_, rng| {
+        let t = traffic(rng);
+        let factor = rng.uniform(0.05, 20.0);
+        check::record(format!("uniform factor {factor}"));
+        let factors = vec![factor; t.rows()];
+        let scaled = scale_rows(&t, &factors);
+        assert_matrix_close(&rca(&t), &rca(&scaled), 1e-9, "rca uniform rescale");
+        assert_matrix_close(&rsca(&t), &rsca(&scaled), 1e-9, "rsca uniform rescale");
+    });
+}
+
+#[test]
+fn outdoor_rca_invariant_to_per_row_rescale() {
+    // Eq. (5) references each outdoor antenna against the *indoor* service
+    // mix, so multiplying one outdoor antenna's traffic by any positive
+    // factor (popularity change, same mix) must not move its RCA at all.
+    // (Plain indoor RCA only enjoys this per-row invariance approximately,
+    // because each row also feeds the shared column marginals.)
+    cases(48, |_, rng| {
+        let t_in = traffic(rng);
+        let rows = check::len_in(rng, 2, 8);
+        let t_out = check::uniform_matrix(rng, rows, t_in.cols(), 0.1, 50.0);
+        let factors: Vec<f64> = (0..rows).map(|_| rng.uniform(0.05, 20.0)).collect();
+        check::record(format!("outdoor row factors {factors:?}"));
+        let scaled = scale_rows(&t_out, &factors);
+        assert_matrix_close(
+            &outdoor_rca(&t_out, &t_in),
+            &outdoor_rca(&scaled, &t_in),
+            1e-9,
+            "outdoor rca row-rescale",
+        );
+    });
+}
+
+#[test]
+fn rca_equivariant_to_row_permutation() {
+    // Antenna order is arbitrary: transforming a shuffled matrix must equal
+    // shuffling the transformed matrix.
+    cases(32, |_, rng| {
+        let t = traffic(rng);
+        let p = permutation(rng, t.rows());
+        check::record(format!("row perm {p:?}"));
+        let lhs = rsca(&permute_rows(&t, &p));
+        let rhs = permute_rows(&rsca(&t), &p);
+        assert_matrix_close(&lhs, &rhs, 1e-12, "rsca row-permutation");
+    });
+}
+
+#[test]
+fn rca_equivariant_to_column_permutation() {
+    // Service order is arbitrary too (the catalogue could list services in
+    // any order): the transform must commute with column shuffles.
+    cases(32, |_, rng| {
+        let t = traffic(rng);
+        let p = permutation(rng, t.cols());
+        check::record(format!("col perm {p:?}"));
+        let lhs = rsca(&permute_cols(&t, &p));
+        let rhs = permute_cols(&rsca(&t), &p);
+        assert_matrix_close(&lhs, &rhs, 1e-12, "rsca col-permutation");
+    });
+}

@@ -1,0 +1,145 @@
+//! Stage 4 (random-forest surrogate): differential oracle + metamorphic
+//! invariants against `icn-testkit`.
+//!
+//! Oracle: the batched/parallel prediction paths are compared to the
+//! testkit's per-sample, hand-walked tree traversal. Metamorphic: Gini
+//! impurity is invariant under class renaming, so training on permuted
+//! class labels (same seed) must permute the predicted probabilities; and
+//! a feature-permuted forest must predict identically on column-permuted
+//! inputs.
+
+use icn_forest::{ForestConfig, RandomForest, TrainSet};
+use icn_stats::check::{self, cases};
+use icn_stats::Matrix;
+use icn_testkit::{
+    naive_accuracy, naive_predict_batch, naive_predict_proba, permutation, permute_cols,
+    permute_forest_features, permute_labels,
+};
+
+/// Gaussian blobs: k classes, each concentrated on its own axis.
+fn blobs(rng: &mut icn_stats::Rng) -> TrainSet {
+    let k = check::len_in(rng, 2, 4);
+    let m = check::len_in(rng, 3, 6);
+    let per = check::len_in(rng, 8, 14);
+    let mut rows = Vec::new();
+    let mut y = Vec::new();
+    for c in 0..k {
+        for _ in 0..per {
+            rows.push(
+                (0..m)
+                    .map(|j| rng.normal(if j % k == c { 3.0 } else { 0.0 }, 0.6))
+                    .collect::<Vec<f64>>(),
+            );
+            y.push(c);
+        }
+    }
+    check::record(format!("{k} classes x {per} samples, {m} features"));
+    TrainSet::new(Matrix::from_rows(&rows), y)
+}
+
+fn small_forest(ts: &TrainSet, seed: u64) -> RandomForest {
+    RandomForest::fit(
+        ts,
+        &ForestConfig {
+            n_trees: 12,
+            seed,
+            ..ForestConfig::default()
+        },
+    )
+}
+
+#[test]
+fn predict_batch_matches_per_sample_oracle() {
+    cases(16, |case, rng| {
+        let ts = blobs(rng);
+        let forest = small_forest(&ts, case + 1);
+        assert_eq!(
+            forest.predict_batch(&ts.x),
+            naive_predict_batch(&forest, &ts.x),
+            "batched and per-sample predictions diverge"
+        );
+    });
+}
+
+#[test]
+fn predict_proba_matches_hand_walked_trees() {
+    cases(16, |case, rng| {
+        let ts = blobs(rng);
+        let forest = small_forest(&ts, case + 1);
+        for i in 0..ts.x.rows() {
+            let fast = forest.predict_proba(ts.x.row(i));
+            let slow = naive_predict_proba(&forest, ts.x.row(i));
+            for (c, (f, s)) in fast.iter().zip(&slow).enumerate() {
+                assert!(
+                    (f - s).abs() < 1e-12,
+                    "row {i} class {c}: proba {f} vs oracle {s}"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn accuracy_matches_per_sample_recount() {
+    cases(16, |case, rng| {
+        let ts = blobs(rng);
+        let forest = small_forest(&ts, case + 1);
+        let fast = forest.accuracy(&ts);
+        let slow = naive_accuracy(&forest, &ts);
+        assert!((fast - slow).abs() < 1e-12, "accuracy {fast} vs {slow}");
+    });
+}
+
+#[test]
+fn training_equivariant_to_class_relabeling() {
+    // Gini impurity only sees class *counts*, so renaming the classes and
+    // refitting with the same seed must permute every probability vector.
+    cases(12, |case, rng| {
+        let ts = blobs(rng);
+        let k = ts.n_classes;
+        let p = permutation(rng, k);
+        check::record(format!("class perm {p:?}"));
+        let renamed = TrainSet::new(ts.x.clone(), permute_labels(&ts.y, &p));
+        let base = small_forest(&ts, case + 1);
+        let permuted = small_forest(&renamed, case + 1);
+        for i in 0..ts.x.rows() {
+            let pb = base.predict_proba(ts.x.row(i));
+            let pp = permuted.predict_proba(ts.x.row(i));
+            for c in 0..k {
+                assert!(
+                    (pb[c] - pp[p[c]]).abs() < 1e-12,
+                    "row {i}: proba[{c}]={} but renamed proba[{}]={}",
+                    pb[c],
+                    p[c],
+                    pp[p[c]]
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn prediction_invariant_under_consistent_feature_permutation() {
+    // Rewiring every split to the permuted column layout and feeding the
+    // permuted columns must reproduce the original predictions exactly.
+    cases(12, |case, rng| {
+        let ts = blobs(rng);
+        let forest = small_forest(&ts, case + 1);
+        let p = permutation(rng, ts.x.cols());
+        check::record(format!("feature perm {p:?}"));
+        let rewired = permute_forest_features(&forest, &p);
+        let x_perm = permute_cols(&ts.x, &p);
+        for i in 0..ts.x.rows() {
+            let a = forest.predict_proba(ts.x.row(i));
+            let b = rewired.predict_proba(x_perm.row(i));
+            for c in 0..ts.n_classes {
+                assert!(
+                    (a[c] - b[c]).abs() < 1e-15,
+                    "row {i} class {c}: {} vs rewired {}",
+                    a[c],
+                    b[c]
+                );
+            }
+        }
+    });
+}

@@ -1,0 +1,143 @@
+//! Stage 5 (TreeSHAP explanations): differential oracle + metamorphic
+//! invariants against `icn-testkit`.
+//!
+//! Oracle: the batched SHAP pass is compared to per-sample recomputation,
+//! and single-tree TreeSHAP to the 2^M exact Shapley definition.
+//! Metamorphic: relabeling the services (permuting feature columns and
+//! rewiring the fitted trees accordingly) must permute the attributions,
+//! and local accuracy must survive both.
+
+use icn_forest::{ForestConfig, RandomForest, TrainSet};
+use icn_shap::{exact_tree_shap, forest_base_value, forest_shap, forest_shap_batch, tree_shap};
+use icn_stats::check::{self, cases};
+use icn_stats::Matrix;
+use icn_testkit::{
+    per_sample_shap_batch, permutation, permute_cols, permute_forest_features, permute_slice,
+};
+
+/// Small labelled blobs (feature count kept ≤ 6 so the 2^M oracle stays
+/// cheap).
+fn blobs(rng: &mut icn_stats::Rng) -> TrainSet {
+    let k = check::len_in(rng, 2, 4);
+    let m = check::len_in(rng, 3, 7);
+    let per = check::len_in(rng, 6, 12);
+    let mut rows = Vec::new();
+    let mut y = Vec::new();
+    for c in 0..k {
+        for _ in 0..per {
+            rows.push(
+                (0..m)
+                    .map(|j| rng.normal(if j % k == c { 3.0 } else { 0.0 }, 0.7))
+                    .collect::<Vec<f64>>(),
+            );
+            y.push(c);
+        }
+    }
+    check::record(format!("{k} classes x {per} samples, {m} features"));
+    TrainSet::new(Matrix::from_rows(&rows), y)
+}
+
+fn small_forest(ts: &TrainSet, seed: u64) -> RandomForest {
+    RandomForest::fit(
+        ts,
+        &ForestConfig {
+            n_trees: 8,
+            seed,
+            ..ForestConfig::default()
+        },
+    )
+}
+
+#[test]
+fn batched_shap_matches_per_sample_recomputation() {
+    cases(10, |case, rng| {
+        let ts = blobs(rng);
+        let forest = small_forest(&ts, case + 1);
+        let batched = forest_shap_batch(&forest, &ts.x);
+        let oracle = per_sample_shap_batch(&forest, &ts.x);
+        assert_eq!(batched.len(), oracle.len());
+        for (c, (b, o)) in batched.iter().zip(&oracle).enumerate() {
+            assert_eq!(b.shape(), o.shape());
+            for (i, (x, y)) in b.as_slice().iter().zip(o.as_slice()).enumerate() {
+                assert!(
+                    (x - y).abs() < 1e-12,
+                    "class {c} cell {i}: batched {x} vs per-sample {y}"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn treeshap_matches_exact_shapley_enumeration() {
+    cases(6, |case, rng| {
+        let ts = blobs(rng);
+        let forest = small_forest(&ts, case + 1);
+        for tree in &forest.trees {
+            for i in (0..ts.x.rows()).step_by(5) {
+                let x = ts.x.row(i);
+                let fast = tree_shap(tree, x);
+                let (slow, _base) = exact_tree_shap(tree, x);
+                for (j, (f, s)) in fast.iter().zip(&slow).enumerate() {
+                    for (c, (a, b)) in f.iter().zip(s).enumerate() {
+                        assert!(
+                            (a - b).abs() < 1e-9,
+                            "row {i} feature {j} class {c}: {a} vs exact {b}"
+                        );
+                    }
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn attributions_equivariant_to_service_relabeling() {
+    // Renaming the services — permuting the feature columns and rewiring
+    // the fitted forest to match — must permute each sample's attribution
+    // vector the same way, for every class.
+    cases(10, |case, rng| {
+        let ts = blobs(rng);
+        let forest = small_forest(&ts, case + 1);
+        let p = permutation(rng, ts.x.cols());
+        check::record(format!("service perm {p:?}"));
+        let rewired = permute_forest_features(&forest, &p);
+        let x_perm = permute_cols(&ts.x, &p);
+        for i in 0..ts.x.rows() {
+            let phi = forest_shap(&forest, ts.x.row(i));
+            let phi_perm = forest_shap(&rewired, x_perm.row(i));
+            let expected = permute_slice(&phi, &p);
+            for (j, (a, b)) in phi_perm.iter().zip(&expected).enumerate() {
+                for (c, (x, y)) in a.iter().zip(b).enumerate() {
+                    assert!(
+                        (x - y).abs() < 1e-12,
+                        "row {i} permuted feature {j} class {c}: {x} vs {y}"
+                    );
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn local_accuracy_holds_on_random_forests() {
+    // Shapley completeness: attributions plus the base value reconstruct
+    // the model output exactly, class by class.
+    cases(10, |case, rng| {
+        let ts = blobs(rng);
+        let forest = small_forest(&ts, case + 1);
+        let base = forest_base_value(&forest);
+        for i in 0..ts.x.rows() {
+            let phi = forest_shap(&forest, ts.x.row(i));
+            let pred = forest.predict_proba(ts.x.row(i));
+            for c in 0..forest.n_classes {
+                let total: f64 = phi.iter().map(|f| f[c]).sum::<f64>() + base[c];
+                assert!(
+                    (total - pred[c]).abs() < 1e-9,
+                    "row {i} class {c}: completeness {total} vs prediction {}",
+                    pred[c]
+                );
+            }
+        }
+    });
+}

@@ -14,29 +14,301 @@
 //!     assert!(x >= 0.0, "case {case}: {x}");
 //! });
 //! ```
+//!
+//! Beyond [`cases`], the module offers a shrinking harness in the spirit of
+//! proptest/QuickCheck: [`cases_persisted`] generates inputs through a
+//! [`Shrink`] type, minimises any counterexample by halve-and-retry, and
+//! persists the failing seed to `target/testkit-regressions/<name>.seeds`
+//! so the exact counterexample replays *first* on the next run.
 
+use crate::matrix::Matrix;
 use crate::rng::Rng;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+thread_local! {
+    /// Per-case log of what the generators produced, printed on failure.
+    static INPUT_LOG: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Records a line in the current case's input log. The harness prints the
+/// log when a case panics, so failures reproduce without re-running the
+/// whole suite; generator helpers ([`len_in`], [`uniform_vec`],
+/// [`uniform_matrix`]) call this automatically and test bodies may add
+/// their own entries for bespoke inputs.
+pub fn record(entry: impl Into<String>) {
+    INPUT_LOG.with(|log| log.borrow_mut().push(entry.into()));
+}
+
+/// The deterministic seed for case `case` (golden-ratio stride decorrelates
+/// neighbouring case seeds). Exposed so a failure printed by [`cases`] can
+/// be replayed in isolation with `Rng::seed_from(seed)`.
+pub fn case_seed(case: u64) -> u64 {
+    0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case + 1)
+}
 
 /// Runs `body` for `n` independent cases, each with a fresh deterministic
 /// RNG derived from the case index. The case index is passed through so
-/// assertion messages can name the failing case.
+/// assertion messages can name the failing case. If a case panics, the
+/// harness prints the case index, its seed, and a summary of every input
+/// the generator helpers produced, then re-raises the panic.
 pub fn cases(n: u64, mut body: impl FnMut(u64, &mut Rng)) {
     for case in 0..n {
-        // Golden-ratio stride decorrelates neighbouring case seeds.
-        let mut rng = Rng::seed_from(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case + 1));
-        body(case, &mut rng);
+        let seed = case_seed(case);
+        let mut rng = Rng::seed_from(seed);
+        INPUT_LOG.with(|log| log.borrow_mut().clear());
+        let outcome = catch_unwind(AssertUnwindSafe(|| body(case, &mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!("icn_stats::check: case {case} of {n} failed (seed {seed:#018x})");
+            eprintln!("  replay: icn_stats::Rng::seed_from({seed:#x})");
+            INPUT_LOG.with(|log| {
+                let log = log.borrow();
+                if log.is_empty() {
+                    eprintln!("  inputs: (none recorded)");
+                } else {
+                    eprintln!("  inputs:");
+                    for line in log.iter() {
+                        eprintln!("    {line}");
+                    }
+                }
+            });
+            resume_unwind(payload);
+        }
     }
 }
 
 /// A random length inside `lo..hi` (exclusive upper bound).
 pub fn len_in(rng: &mut Rng, lo: usize, hi: usize) -> usize {
     assert!(lo < hi, "len_in: empty range");
-    lo + rng.index(hi - lo)
+    let len = lo + rng.index(hi - lo);
+    record(format!("len_in({lo}..{hi}) -> {len}"));
+    len
 }
 
 /// A vector of `len` uniform values in `[lo, hi)`.
 pub fn uniform_vec(rng: &mut Rng, len: usize, lo: f64, hi: f64) -> Vec<f64> {
-    (0..len).map(|_| rng.uniform(lo, hi)).collect()
+    let v: Vec<f64> = (0..len).map(|_| rng.uniform(lo, hi)).collect();
+    record(format!("uniform_vec(len={len}, [{lo}, {hi})) -> {v:?}"));
+    v
+}
+
+/// A `rows x cols` matrix of uniform values in `[lo, hi)`.
+pub fn uniform_matrix(rng: &mut Rng, rows: usize, cols: usize, lo: f64, hi: f64) -> Matrix {
+    let data: Vec<f64> = (0..rows * cols).map(|_| rng.uniform(lo, hi)).collect();
+    record(format!("uniform_matrix({rows}x{cols}, [{lo}, {hi}))"));
+    Matrix::from_vec(rows, cols, data)
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking + regression persistence
+// ---------------------------------------------------------------------------
+
+/// An input type the shrinking harness can minimise. `shrinks` returns
+/// strictly-smaller candidates (the harness tries them in order and recurses
+/// into the first that still fails); `summary` is the human-readable form
+/// printed in failure reports.
+pub trait Shrink: Clone {
+    /// Candidate smaller inputs, largest reduction first.
+    fn shrinks(&self) -> Vec<Self>;
+    /// One-line description used in failure reports.
+    fn summary(&self) -> String;
+}
+
+impl Shrink for Vec<f64> {
+    fn shrinks(&self) -> Vec<Self> {
+        let n = self.len();
+        if n <= 1 {
+            return Vec::new();
+        }
+        // Halve-and-retry: drop the back half, drop the front half, then
+        // single-element removals once the vector is already small.
+        let mut out = vec![self[..n / 2].to_vec(), self[n - n / 2..].to_vec()];
+        if n <= 8 {
+            for i in 0..n {
+                let mut v = self.clone();
+                v.remove(i);
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    fn summary(&self) -> String {
+        format!("Vec<f64> len={} {:?}", self.len(), self)
+    }
+}
+
+impl Shrink for Matrix {
+    fn shrinks(&self) -> Vec<Self> {
+        let (r, c) = self.shape();
+        let mut out = Vec::new();
+        // Halve rows (keep front / back half), then halve columns.
+        if r > 1 {
+            out.push(self.select_rows(&(0..r / 2).collect::<Vec<_>>()));
+            out.push(self.select_rows(&(r - r / 2..r).collect::<Vec<_>>()));
+        }
+        if c > 1 {
+            for keep in [0..c / 2, c - c / 2..c] {
+                let cols: Vec<usize> = keep.collect();
+                let mut m = Matrix::zeros(r, cols.len());
+                for i in 0..r {
+                    for (jj, &j) in cols.iter().enumerate() {
+                        m.set(i, jj, self.get(i, j));
+                    }
+                }
+                out.push(m);
+            }
+        }
+        out
+    }
+
+    fn summary(&self) -> String {
+        let (r, c) = self.shape();
+        format!("Matrix {r}x{c} {:?}", self.as_slice())
+    }
+}
+
+impl<A: Shrink, B: Shrink> Shrink for (A, B) {
+    fn shrinks(&self) -> Vec<Self> {
+        let mut out: Vec<Self> = self
+            .0
+            .shrinks()
+            .into_iter()
+            .map(|a| (a, self.1.clone()))
+            .collect();
+        out.extend(self.1.shrinks().into_iter().map(|b| (self.0.clone(), b)));
+        out
+    }
+
+    fn summary(&self) -> String {
+        format!("({}, {})", self.0.summary(), self.1.summary())
+    }
+}
+
+/// Where failing seeds are persisted. Honors `ICN_TESTKIT_REGRESSIONS`
+/// (used by the harness's own tests); otherwise walks up from the current
+/// directory to the workspace root (identified by `Cargo.lock`) and uses
+/// `target/testkit-regressions/` there, so every crate in the workspace
+/// shares one corpus.
+pub fn regression_dir() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("ICN_TESTKIT_REGRESSIONS") {
+        return std::path::PathBuf::from(dir);
+    }
+    let mut cur = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    loop {
+        if cur.join("Cargo.lock").is_file() {
+            return cur.join("target").join("testkit-regressions");
+        }
+        if !cur.pop() {
+            return std::path::PathBuf::from("target").join("testkit-regressions");
+        }
+    }
+}
+
+fn seeds_file(name: &str) -> std::path::PathBuf {
+    regression_dir().join(format!("{name}.seeds"))
+}
+
+fn load_seeds(name: &str) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(seeds_file(name)) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|l| {
+            let l = l.trim();
+            l.strip_prefix("0x")
+                .map(|h| u64::from_str_radix(h, 16).ok())
+                .unwrap_or_else(|| l.parse().ok())
+        })
+        .collect()
+}
+
+fn persist_seed(name: &str, seed: u64) {
+    let mut seeds = load_seeds(name);
+    if seeds.contains(&seed) {
+        return;
+    }
+    seeds.push(seed);
+    let dir = regression_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return; // read-only filesystem: persistence is best-effort
+    }
+    let body: String = seeds.iter().map(|s| format!("{s:#018x}\n")).collect();
+    let _ = std::fs::write(seeds_file(name), body);
+}
+
+/// `true` when the property holds on `input` — a returned `false` and a
+/// panic both count as failures, so plain `assert!` bodies shrink too.
+fn holds<T>(prop: &impl Fn(&T) -> bool, input: &T) -> bool {
+    catch_unwind(AssertUnwindSafe(|| prop(input))).unwrap_or(false)
+}
+
+/// Greedy halve-and-retry minimisation: repeatedly replaces the
+/// counterexample with its first still-failing shrink until none fails or
+/// the iteration budget runs out. Returns the minimal input and the number
+/// of successful shrink steps.
+pub fn shrink_to_minimal<T: Shrink>(input: T, prop: &impl Fn(&T) -> bool) -> (T, usize) {
+    let mut current = input;
+    let mut steps = 0usize;
+    'outer: for _ in 0..64 {
+        for candidate in current.shrinks() {
+            if !holds(prop, &candidate) {
+                current = candidate;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, steps)
+}
+
+/// Property check with generation, shrinking, and failure persistence.
+///
+/// Runs `n` fresh cases (plus any previously-persisted counterexamples for
+/// `name`, which replay *first*): each case derives a deterministic seed,
+/// builds an input with `gen`, and requires `prop` to return `true` without
+/// panicking. On failure the input is minimised by halve-and-retry
+/// ([`Shrink::shrinks`]), the seed is appended to
+/// `target/testkit-regressions/<name>.seeds`, and the harness panics with
+/// the seed plus the original and shrunken input summaries.
+pub fn cases_persisted<T, G, P>(name: &str, n: u64, mut gen: G, prop: P)
+where
+    T: Shrink,
+    G: FnMut(&mut Rng) -> T,
+    P: Fn(&T) -> bool,
+{
+    let fail = |seed: u64, input: T, replayed: bool| {
+        let original = input.summary();
+        let (minimal, steps) = shrink_to_minimal(input, &prop);
+        persist_seed(name, seed);
+        let origin = if replayed {
+            "persisted regression"
+        } else {
+            "fresh case"
+        };
+        panic!(
+            "property '{name}' failed ({origin}, seed {seed:#018x})\n  \
+             original: {original}\n  \
+             shrunk ({steps} steps): {}\n  \
+             seed persisted to {}",
+            minimal.summary(),
+            seeds_file(name).display()
+        );
+    };
+    for seed in load_seeds(name) {
+        let input = gen(&mut Rng::seed_from(seed));
+        if !holds(&prop, &input) {
+            fail(seed, input, true);
+        }
+    }
+    for case in 0..n {
+        let seed = case_seed(case);
+        let input = gen(&mut Rng::seed_from(seed));
+        if !holds(&prop, &input) {
+            fail(seed, input, false);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -72,5 +344,123 @@ mod tests {
             assert_eq!(v.len(), 20);
             assert!(v.iter().all(|&x| (-2.0..3.0).contains(&x)));
         });
+    }
+
+    #[test]
+    fn case_seed_matches_cases_stream() {
+        // The seed printed on failure must regenerate the exact stream the
+        // failing case saw.
+        cases(4, |case, rng| {
+            let mut replay = Rng::seed_from(case_seed(case));
+            assert_eq!(rng.next_u64(), replay.next_u64());
+        });
+    }
+
+    #[test]
+    fn failing_case_reports_and_propagates() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            cases(8, |case, rng| {
+                let v = uniform_vec(rng, 4, 0.0, 1.0);
+                assert!(case < 3, "boom {v:?}");
+            });
+        }));
+        assert!(caught.is_err(), "panic must propagate out of cases()");
+    }
+
+    #[test]
+    fn vec_shrinking_finds_small_counterexample() {
+        // Property: fails whenever the vector has >= 3 elements. The
+        // minimal counterexample is any 3-element vector.
+        let prop = |v: &Vec<f64>| v.len() < 3;
+        let input: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let (minimal, steps) = shrink_to_minimal(input, &prop);
+        assert_eq!(minimal.len(), 3, "minimal: {:?}", minimal);
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn matrix_shrinking_reduces_both_dimensions() {
+        // Fails whenever the matrix has >= 2 rows and >= 2 cols.
+        let prop = |m: &Matrix| m.rows() < 2 || m.cols() < 2;
+        let input = Matrix::from_vec(8, 8, (0..64).map(|i| i as f64).collect());
+        let (minimal, _) = shrink_to_minimal(input, &prop);
+        assert_eq!(minimal.shape(), (2, 2), "minimal: {:?}", minimal.shape());
+    }
+
+    #[test]
+    fn pair_shrinking_reduces_both_components() {
+        let prop = |(a, b): &(Vec<f64>, Vec<f64>)| a.len() < 2 || b.len() < 2;
+        let input: (Vec<f64>, Vec<f64>) = (vec![0.0; 32], vec![1.0; 32]);
+        let (minimal, _) = shrink_to_minimal(input, &prop);
+        assert_eq!((minimal.0.len(), minimal.1.len()), (2, 2));
+    }
+
+    #[test]
+    fn persisted_counterexample_replays_first() {
+        // Point persistence at a scratch dir so this test is hermetic.
+        let dir = std::env::temp_dir().join(format!("icn-testkit-{}", std::process::id()));
+        std::env::set_var("ICN_TESTKIT_REGRESSIONS", &dir);
+        let _ = std::fs::remove_dir_all(&dir);
+        let name = "replay-first-demo";
+
+        // First run: property fails on long vectors; a seed gets persisted.
+        let first = catch_unwind(AssertUnwindSafe(|| {
+            cases_persisted(
+                name,
+                16,
+                |rng| {
+                    let len = len_in(rng, 1, 12);
+                    uniform_vec(rng, len, 0.0, 1.0)
+                },
+                |v: &Vec<f64>| v.len() < 2,
+            );
+        }));
+        assert!(first.is_err(), "property should have failed");
+        let seeds = load_seeds(name);
+        assert_eq!(seeds.len(), 1, "one seed persisted: {seeds:?}");
+
+        // Second run with a property that only fails on the persisted
+        // seed's input: replay happens before any fresh case, so the order
+        // of failure messages names the persisted regression.
+        let persisted_seed = seeds[0];
+        let second = catch_unwind(AssertUnwindSafe(|| {
+            cases_persisted(
+                name,
+                0, // no fresh cases: only the replayed regression runs
+                |rng| {
+                    let len = len_in(rng, 1, 12);
+                    uniform_vec(rng, len, 0.0, 1.0)
+                },
+                |v: &Vec<f64>| v.len() < 2,
+            );
+        }));
+        let msg = second
+            .err()
+            .and_then(|p| {
+                p.downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| panic!("payload is a String"))
+            })
+            .unwrap();
+        assert!(
+            msg.contains("persisted regression"),
+            "replayed failure labelled as persisted: {msg}"
+        );
+        assert!(msg.contains(&format!("{persisted_seed:#018x}")), "{msg}");
+
+        std::env::remove_var("ICN_TESTKIT_REGRESSIONS");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn passing_property_persists_nothing() {
+        let dir = regression_dir();
+        cases_persisted(
+            "always-passes",
+            8,
+            |rng| uniform_vec(rng, 4, 0.0, 1.0),
+            |v: &Vec<f64>| v.iter().all(|x| x.is_finite()),
+        );
+        assert!(!dir.join("always-passes.seeds").exists());
     }
 }

@@ -1,0 +1,71 @@
+//! Generator-level properties under the seeded `icn_stats::check` harness:
+//! the synthetic campaign must be a pure function of its config, and its
+//! outputs must stay physically sensible at every scale and seed.
+
+use icn_stats::check::{self, cases};
+use icn_synth::{Dataset, SynthConfig};
+
+fn config(rng: &mut icn_stats::Rng) -> SynthConfig {
+    let seed = rng.uniform(0.0, 1e6) as u64;
+    let scale = rng.uniform(0.01, 0.05);
+    check::record(format!("seed {seed}, scale {scale:.4}"));
+    SynthConfig::small().with_seed(seed).with_scale(scale)
+}
+
+#[test]
+fn generation_is_deterministic_in_its_config() {
+    cases(6, |_, rng| {
+        let cfg = config(rng);
+        let a = Dataset::generate(cfg);
+        let b = Dataset::generate(cfg);
+        assert_eq!(
+            a.indoor_totals.as_slice(),
+            b.indoor_totals.as_slice(),
+            "indoor totals drifted between identical configs"
+        );
+        assert_eq!(a.outdoor_totals.as_slice(), b.outdoor_totals.as_slice());
+        assert_eq!(a.planted_labels(), b.planted_labels());
+    });
+}
+
+#[test]
+fn totals_are_finite_and_non_negative_at_all_scales_and_seeds() {
+    cases(6, |_, rng| {
+        let ds = Dataset::generate(config(rng));
+        for (name, m) in [
+            ("indoor", &ds.indoor_totals),
+            ("outdoor", &ds.outdoor_totals),
+        ] {
+            assert!(
+                m.as_slice().iter().all(|v| v.is_finite() && *v >= 0.0),
+                "{name} totals contain negative or non-finite traffic"
+            );
+            assert!(m.total() > 0.0, "{name} campaign carries no traffic");
+        }
+        // Every antenna has a planted archetype within range.
+        let n_arch = ds
+            .planted_labels()
+            .iter()
+            .copied()
+            .max()
+            .expect("no antennas")
+            + 1;
+        assert_eq!(ds.planted_labels().len(), ds.num_antennas());
+        assert!(n_arch <= 9, "more planted archetypes than the paper's 9");
+    });
+}
+
+#[test]
+fn different_seeds_synthesise_different_campaigns() {
+    cases(6, |_, rng| {
+        let cfg = config(rng);
+        let other = cfg.with_seed(cfg.seed.wrapping_add(1));
+        let a = Dataset::generate(cfg);
+        let b = Dataset::generate(other);
+        assert_ne!(
+            a.indoor_totals.as_slice(),
+            b.indoor_totals.as_slice(),
+            "adjacent seeds must not collide"
+        );
+    });
+}

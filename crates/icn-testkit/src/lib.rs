@@ -1,0 +1,44 @@
+//! # icn-testkit — correctness tooling for the ICN reproduction
+//!
+//! The analysis pipeline (RCA/RSCA → Ward agglomeration → k-selection →
+//! RF surrogate → TreeSHAP) is a chain of numeric stages where a silent
+//! regression in any link corrupts every downstream figure. This crate is
+//! the workspace's defence in depth, three tiers of checks that every
+//! pipeline crate pulls in as a dev-dependency:
+//!
+//! * [`oracle`] — **differential oracles**: small, obviously-correct naive
+//!   reference implementations (per-cell RCA/RSCA, O(n³) greedy Ward,
+//!   brute-force silhouette/Dunn, per-sample SHAP recomputation) that the
+//!   optimized paths are compared against over seeded random inputs.
+//! * [`metamorphic`] — **metamorphic invariants**: input-transformation
+//!   helpers (row/column permutations, uniform row rescales, label
+//!   relabelings) plus the partition/equivalence predicates that assert
+//!   the pipeline commutes with them.
+//! * [`golden`] — **golden snapshots**: a stable canonical hash
+//!   (fixed-precision float formatting, sorted keys) of every pipeline
+//!   stage's output at a pinned synthetic scale, stored under
+//!   `tests/golden/` and regenerated via `icn testkit --bless`.
+//!
+//! The shrinking/persistence side of the property harness lives in
+//! [`icn_stats::check`] so that even the zero-dependency numeric substrate
+//! can use it; this crate builds the pipeline-aware tiers on top.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod golden;
+pub mod metamorphic;
+pub mod oracle;
+
+pub use golden::{
+    compare_golden, default_golden_dir, golden_file, render_golden, snapshot_pipeline,
+    write_golden, PipelineSnapshot,
+};
+pub use metamorphic::{
+    identity_permutation, invert_permutation, permutation, permute_cols, permute_forest_features,
+    permute_labels, permute_rows, permute_slice, same_partition, scale_rows,
+};
+pub use oracle::{
+    naive_accuracy, naive_agglomerate, naive_dunn, naive_predict_batch, naive_predict_proba,
+    naive_rca, naive_rsca, naive_silhouette, per_sample_shap_batch,
+};

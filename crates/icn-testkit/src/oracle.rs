@@ -1,0 +1,256 @@
+//! Naive reference implementations (differential oracles).
+//!
+//! Each function here is a deliberately slow, obviously-correct
+//! re-statement of a pipeline algorithm, written straight from the
+//! defining equation with no shared marginals, no NN-chain, no batching
+//! and no parallelism. Tests generate random inputs and require the
+//! optimized path to agree within floating-point tolerance — any
+//! divergence is a real algorithmic regression, not a tuning artefact.
+
+use icn_cluster::{Condensed, Linkage, Merge, MergeHistory};
+use icn_forest::{RandomForest, TrainSet};
+use icn_stats::Matrix;
+
+/// Eq. (1) computed per cell with all four marginals re-derived from
+/// scratch inside the inner loop — O(N²M²) on purpose, so no intermediate
+/// can be silently wrong.
+pub fn naive_rca(t: &Matrix) -> Matrix {
+    let (n, m) = t.shape();
+    let mut total = 0.0;
+    for i in 0..n {
+        for j in 0..m {
+            total += t.get(i, j);
+        }
+    }
+    assert!(total > 0.0, "naive_rca: matrix has no traffic");
+    let mut out = Matrix::zeros(n, m);
+    for i in 0..n {
+        for j in 0..m {
+            let ti: f64 = (0..m).map(|jj| t.get(i, jj)).sum();
+            let tj: f64 = (0..n).map(|ii| t.get(ii, j)).sum();
+            if ti > 0.0 && tj > 0.0 {
+                out.set(i, j, (t.get(i, j) / ti) / (tj / total));
+            }
+        }
+    }
+    out
+}
+
+/// Eq. (1) then Eq. (2), cell by cell.
+pub fn naive_rsca(t: &Matrix) -> Matrix {
+    naive_rca(t).map(|v| (v - 1.0) / (v + 1.0))
+}
+
+/// O(n³) greedy agglomeration: scan every alive pair for the global
+/// minimum, merge it, update the remaining distances with the
+/// Lance-Williams recurrence. For reducible linkages (all four in
+/// [`Linkage::ALL`]) this produces the same hierarchy as the NN-chain
+/// algorithm; it is the oracle `agglomerate` is tested against.
+pub fn naive_agglomerate(data: &Matrix, linkage: Linkage) -> MergeHistory {
+    let n = data.rows();
+    assert!(n >= 2, "naive_agglomerate: need at least 2 observations");
+    let metric = linkage.base_metric();
+    let mut d = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            d[i][j] = metric.distance(data.row(i), data.row(j));
+        }
+    }
+    let mut alive: Vec<usize> = (0..n).collect();
+    let mut size = vec![1usize; n];
+    let mut label: Vec<usize> = (0..n).collect();
+    let mut merges = Vec::with_capacity(n - 1);
+    while alive.len() > 1 {
+        let (mut bi, mut bj, mut bd) = (usize::MAX, usize::MAX, f64::INFINITY);
+        for (ai, &i) in alive.iter().enumerate() {
+            for &j in &alive[ai + 1..] {
+                if d[i][j] < bd {
+                    bd = d[i][j];
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        for &k in &alive {
+            if k == bi || k == bj {
+                continue;
+            }
+            let v = linkage.update(
+                d[bi][k],
+                d[bj][k],
+                bd,
+                size[bi] as f64,
+                size[bj] as f64,
+                size[k] as f64,
+            );
+            d[bi][k] = v;
+            d[k][bi] = v;
+        }
+        merges.push(Merge {
+            a: label[bi],
+            b: label[bj],
+            height: linkage.to_height(bd),
+            size: size[bi] + size[bj],
+        });
+        size[bi] += size[bj];
+        label[bi] = n + merges.len() - 1;
+        alive.retain(|&x| x != bj);
+    }
+    MergeHistory { n, linkage, merges }
+}
+
+/// Rousseeuw's silhouette computed point by point from the definition,
+/// with no shared per-cluster sums and no parallel reduction.
+pub fn naive_silhouette(cond: &Condensed, labels: &[usize]) -> f64 {
+    let n = cond.len();
+    assert_eq!(labels.len(), n, "naive_silhouette: label length mismatch");
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    assert!(k >= 2, "naive_silhouette: need at least 2 clusters");
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = labels[i];
+        let own_size = labels.iter().filter(|&&l| l == own).count();
+        if own_size <= 1 {
+            continue; // singleton convention: contributes 0
+        }
+        let mean_to = |c: usize| -> f64 {
+            let members: Vec<usize> = (0..n).filter(|&j| j != i && labels[j] == c).collect();
+            members.iter().map(|&j| cond.get(i, j)).sum::<f64>() / members.len() as f64
+        };
+        let a = mean_to(own);
+        let b = (0..k)
+            .filter(|&c| c != own && labels.contains(&c))
+            .map(mean_to)
+            .fold(f64::INFINITY, f64::min);
+        if a.max(b) > 0.0 {
+            total += (b - a) / a.max(b);
+        }
+    }
+    total / n as f64
+}
+
+/// Dunn index from the definition: min over inter-cluster pairs divided by
+/// max over intra-cluster pairs, each found by a full pair scan.
+pub fn naive_dunn(cond: &Condensed, labels: &[usize]) -> f64 {
+    let n = cond.len();
+    assert_eq!(labels.len(), n, "naive_dunn: label length mismatch");
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    assert!(k >= 2, "naive_dunn: need at least 2 clusters");
+    let mut min_inter = f64::INFINITY;
+    let mut max_diam = 0.0f64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = cond.get(i, j);
+            if labels[i] == labels[j] {
+                max_diam = max_diam.max(d);
+            } else {
+                min_inter = min_inter.min(d);
+            }
+        }
+    }
+    if max_diam == 0.0 {
+        f64::INFINITY
+    } else {
+        min_inter / max_diam
+    }
+}
+
+/// Per-sample forest prediction, one row at a time (oracle for the
+/// parallel `predict_batch`).
+pub fn naive_predict_batch(forest: &RandomForest, x: &Matrix) -> Vec<usize> {
+    (0..x.rows()).map(|i| forest.predict(x.row(i))).collect()
+}
+
+/// Soft-voting class probabilities recomputed by walking every tree by
+/// hand through the public node layout, bypassing the forest's own
+/// traversal code entirely.
+pub fn naive_predict_proba(forest: &RandomForest, x: &[f64]) -> Vec<f64> {
+    let mut acc = vec![0.0f64; forest.n_classes];
+    for tree in &forest.trees {
+        let mut node = 0usize;
+        loop {
+            let nd = &tree.nodes[node];
+            if nd.is_leaf() {
+                for (c, &p) in nd.distribution.iter().enumerate() {
+                    acc[c] += p;
+                }
+                break;
+            }
+            node = if x[nd.feature] <= nd.threshold {
+                nd.left
+            } else {
+                nd.right
+            };
+        }
+    }
+    for p in &mut acc {
+        *p /= forest.trees.len() as f64;
+    }
+    acc
+}
+
+/// Training-set accuracy recomputed sample by sample.
+pub fn naive_accuracy(forest: &RandomForest, ts: &TrainSet) -> f64 {
+    let hits = (0..ts.x.rows())
+        .filter(|&i| forest.predict(ts.x.row(i)) == ts.y[i])
+        .count();
+    hits as f64 / ts.x.rows() as f64
+}
+
+/// Per-sample SHAP recomputation: runs the single-sample [`forest_shap`]
+/// path row by row and reassembles the per-class matrices that the batched
+/// `forest_shap_batch` produces in one pass.
+///
+/// [`forest_shap`]: icn_shap::forest_shap
+pub fn per_sample_shap_batch(forest: &RandomForest, x: &Matrix) -> Vec<Matrix> {
+    let (n, m) = x.shape();
+    let mut per_class = vec![Matrix::zeros(n, m); forest.n_classes];
+    for i in 0..n {
+        let phi = icn_shap::forest_shap(forest, x.row(i));
+        for (j, per_feature) in phi.iter().enumerate() {
+            for (c, &v) in per_feature.iter().enumerate() {
+                per_class[c].set(i, j, v);
+            }
+        }
+    }
+    per_class
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icn_stats::Metric;
+
+    #[test]
+    fn naive_rca_hand_computed() {
+        let t = Matrix::from_vec(2, 2, vec![30.0, 10.0, 10.0, 30.0]);
+        let r = naive_rca(&t);
+        assert!((r.get(0, 0) - 1.5).abs() < 1e-12);
+        assert!((r.get(0, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn naive_agglomerate_two_obvious_groups() {
+        let m = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![9.0], vec![9.1]]);
+        let h = naive_agglomerate(&m, Linkage::Ward);
+        let labels = h.cut(2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    fn naive_dunn_hand_computed() {
+        let m = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![10.0], vec![12.0]]);
+        let cond = Condensed::from_rows(&m, Metric::Euclidean);
+        assert!((naive_dunn(&cond, &[0, 0, 1, 1]) - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn naive_silhouette_singleton_convention() {
+        let m = Matrix::from_rows(&[vec![0.0, 0.0], vec![0.0, 0.0], vec![9.0, 9.0]]);
+        let cond = Condensed::from_rows(&m, Metric::Euclidean);
+        let s = naive_silhouette(&cond, &[0, 0, 1]);
+        assert!((s - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -6,6 +6,7 @@
 //! icn explain  --scale 0.1 --cluster 3 --top 15 # SHAP explanation of one cluster
 //! icn temporal --scale 0.1 --cluster 0          # Figure 10-style heatmap of one cluster
 //! icn probe    --scale 0.05 --days 3            # Section 3 collection-path simulation
+//! icn testkit  [--bless]                        # golden-snapshot check / regeneration
 //! ```
 //!
 //! Flags are parsed by hand (the workspace deliberately avoids extra
@@ -29,6 +30,7 @@ fn main() {
         "explain" => cmd_explain(&opts),
         "temporal" => cmd_temporal(&opts),
         "probe" => cmd_probe(&opts),
+        "testkit" => cmd_testkit(&opts),
         "help" | "--help" | "-h" => usage_and_exit(None),
         other => usage_and_exit(Some(other)),
     }
@@ -46,13 +48,16 @@ fn main() {
 /// Common flags.
 struct Opts {
     scale: f64,
+    scale_explicit: bool,
     seed: u64,
     sweep: bool,
     json: bool,
+    bless: bool,
     cluster: usize,
     top: usize,
     days: usize,
     out: Option<String>,
+    golden_dir: Option<String>,
     metrics_out: Option<String>,
 }
 
@@ -60,13 +65,16 @@ impl Opts {
     fn parse(args: &[String]) -> Opts {
         let mut o = Opts {
             scale: 0.1,
+            scale_explicit: false,
             seed: SynthConfig::default().seed,
             sweep: false,
             json: false,
+            bless: false,
             cluster: 0,
             top: 10,
             days: 3,
             out: None,
+            golden_dir: None,
             metrics_out: None,
         };
         let mut i = 0;
@@ -75,6 +83,7 @@ impl Opts {
             match args[i].as_str() {
                 "--scale" => {
                     o.scale = take(i).and_then(|v| v.parse().ok()).unwrap_or(o.scale);
+                    o.scale_explicit = true;
                     i += 2;
                 }
                 "--seed" => {
@@ -96,6 +105,14 @@ impl Opts {
                 "--out" => {
                     o.out = take(i).cloned();
                     i += 2;
+                }
+                "--golden-dir" => {
+                    o.golden_dir = take(i).cloned();
+                    i += 2;
+                }
+                "--bless" => {
+                    o.bless = true;
+                    i += 1;
                 }
                 "--metrics-out" => {
                     o.metrics_out = take(i).cloned();
@@ -154,7 +171,8 @@ fn usage_and_exit(bad: Option<&str>) -> ! {
          study      run the full analysis pipeline and print the findings\n  \
          explain    SHAP explanation of one cluster\n  \
          temporal   Figure 10-style temporal heatmap of one cluster\n  \
-         probe      simulate the Section 3 collection path\n\n\
+         probe      simulate the Section 3 collection path\n  \
+         testkit    check pipeline golden snapshots (--bless to regenerate)\n\n\
          FLAGS:\n  \
          --scale <f>    population scale, 1.0 = 4,762 antennas (default 0.1)\n  \
          --seed <u64>   master seed\n  \
@@ -164,6 +182,8 @@ fn usage_and_exit(bad: Option<&str>) -> ! {
          --top <n>      services to list (explain, default 10)\n  \
          --days <n>     probe window length (probe, default 3)\n  \
          --out <dir>    export directory (generate)\n  \
+         --bless        regenerate golden snapshots instead of checking (testkit)\n  \
+         --golden-dir <dir>  golden snapshot directory (testkit, default tests/golden)\n  \
          --metrics-out <path>  write an icn-obs benchmark report (JSON)"
     );
     std::process::exit(if bad.is_some() { 2 } else { 0 });
@@ -322,6 +342,61 @@ fn cmd_temporal(o: &Opts) {
         "{}",
         icn_repro::icn_report::heatmap::render_sequential(&hm.values, Some(&labels))
     );
+}
+
+fn cmd_testkit(o: &Opts) {
+    use icn_repro::icn_testkit::golden;
+    // Golden snapshots are pinned at scale 0.05 (not the CLI's usual 0.1
+    // default); an explicit --scale still wins for ad-hoc comparisons.
+    let scale = if o.scale_explicit {
+        o.scale
+    } else {
+        golden::GOLDEN_SCALE
+    };
+    let dir = o
+        .golden_dir
+        .clone()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(golden::default_golden_dir);
+    eprintln!("computing pipeline snapshot at scale {scale}...");
+    let snap = golden::snapshot_pipeline(scale);
+    if o.bless {
+        match golden::write_golden(&dir, &snap) {
+            Ok(path) => {
+                println!(
+                    "blessed {} stage hashes -> {}",
+                    snap.stages.len(),
+                    path.display()
+                );
+            }
+            Err(e) => {
+                eprintln!("failed to write golden file: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    match golden::compare_golden(&dir, &snap) {
+        Ok(()) => {
+            for (name, hash) in &snap.stages {
+                println!("ok  {name}  {hash}");
+            }
+            println!(
+                "{} stages match {}",
+                snap.stages.len(),
+                golden::golden_file(&dir, scale).display()
+            );
+        }
+        Err(drift) => {
+            for line in &drift {
+                eprintln!("DRIFT  {line}");
+            }
+            eprintln!(
+                "golden drift detected; inspect the change, then re-run with --bless to accept"
+            );
+            std::process::exit(1);
+        }
+    }
 }
 
 fn cmd_probe(o: &Opts) {

@@ -18,7 +18,8 @@
 //! clustering), [`icn_forest`] (random forest), [`icn_shap`] (TreeSHAP /
 //! KernelSHAP), [`icn_core`] (the study pipeline), [`icn_report`]
 //! (terminal figures), [`icn_stats`] (numerics), [`icn_obs`]
-//! (stage tracing, metrics and benchmark reports).
+//! (stage tracing, metrics and benchmark reports), [`icn_testkit`]
+//! (differential oracles, metamorphic helpers, golden snapshots).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +33,7 @@ pub use icn_report;
 pub use icn_shap;
 pub use icn_stats;
 pub use icn_synth;
+pub use icn_testkit;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {

@@ -2,11 +2,13 @@
 //! clusters that the existing methodology detects without modification.
 
 use icn_repro::prelude::*;
+
+mod common;
 use icn_synth::emerging::{inject_emerging, EMERGING_LABEL};
 
 #[test]
 fn injected_emerging_profile_is_recovered_as_tenth_cluster() {
-    let base = Dataset::generate(SynthConfig::small());
+    let base = common::dataset();
     let n_inject = (base.num_antennas() / 20).max(8);
     let emerging = inject_emerging(&base, n_inject, 0xE317);
 
@@ -45,7 +47,7 @@ fn without_injection_k10_adds_no_new_structure() {
     // Control: on the base population, forcing k = 10 just splits an
     // existing archetype — the extra cluster has no distinct identity
     // (its members' planted labels already exist elsewhere).
-    let base = Dataset::generate(SynthConfig::small());
+    let base = common::dataset();
     let (t, live_rows) = filter_dead_rows(&base.indoor_totals);
     let features = rsca(&t);
     let history = agglomerate(&features, Linkage::Ward);

@@ -6,11 +6,13 @@
 //! catastrophically — under classifier noise.
 
 use icn_repro::prelude::*;
+
+mod common;
 use icn_synth::noise;
 
 #[test]
 fn dead_antennas_are_filtered_not_crashed() {
-    let dataset = Dataset::generate(SynthConfig::small().with_scale(0.05));
+    let dataset = common::dataset_at(0.05);
     let mut t = dataset.indoor_totals.clone();
     let mut rng = Rng::seed_from(3);
     let killed = noise::kill_rows(&mut t, 0.1, &mut rng);
@@ -28,7 +30,7 @@ fn dead_antennas_are_filtered_not_crashed() {
 
 #[test]
 fn nan_poisoning_is_detected_before_clustering() {
-    let dataset = Dataset::generate(SynthConfig::small().with_scale(0.05));
+    let dataset = common::dataset_at(0.05);
     let mut t = dataset.indoor_totals.clone();
     let mut rng = Rng::seed_from(5);
     noise::poison_nan(&mut t, 4, &mut rng);
@@ -42,7 +44,7 @@ fn nan_poisoning_is_detected_before_clustering() {
 
 #[test]
 fn misclassification_noise_degrades_gracefully() {
-    let dataset = Dataset::generate(SynthConfig::small());
+    let dataset = common::dataset();
     let planted_all = dataset.planted_labels();
 
     let ari_with_noise = |fraction: f64| -> f64 {
@@ -72,7 +74,7 @@ fn misclassification_noise_degrades_gracefully() {
 
 #[test]
 fn multiplicative_noise_tolerated() {
-    let dataset = Dataset::generate(SynthConfig::small());
+    let dataset = common::dataset();
     let mut t = dataset.indoor_totals.clone();
     let mut rng = Rng::seed_from(13);
     noise::multiplicative_noise(&mut t, 0.3, &mut rng);
@@ -91,8 +93,8 @@ fn multiplicative_noise_tolerated() {
 fn surrogate_robust_to_unseen_noisy_antennas() {
     // Train the surrogate on the clean study, then classify noisy copies
     // of the same antennas — predictions should mostly stick.
-    let dataset = Dataset::generate(SynthConfig::small().with_scale(0.05));
-    let study = IcnStudy::run(&dataset, StudyConfig::fast());
+    let dataset = common::dataset_at(0.05);
+    let study = common::study_for(&dataset);
     let mut t = dataset.indoor_totals.select_rows(&study.live_rows);
     let mut rng = Rng::seed_from(17);
     noise::multiplicative_noise(&mut t, 0.2, &mut rng);

@@ -1,0 +1,74 @@
+//! Golden-snapshot regression gate for the full pipeline.
+//!
+//! The canonical hashes of every stage's output at the reference scale
+//! live under `tests/golden/`. Any numeric change anywhere in the
+//! pipeline — transform, clustering, k-selection, surrogate, SHAP,
+//! environments, outdoor comparison — moves at least one stage hash and
+//! fails `blessed_golden_matches_current_pipeline`. If the change is
+//! intentional, re-bless with `cargo run --bin icn -- testkit --bless`
+//! and commit the updated JSON; the per-stage oracle suites then explain
+//! *what* changed.
+
+use icn_repro::icn_testkit::golden::GOLDEN_SCALE;
+use icn_repro::icn_testkit::{
+    compare_golden, default_golden_dir, golden_file, render_golden, snapshot_pipeline, write_golden,
+};
+
+mod common;
+
+#[test]
+fn blessed_golden_matches_current_pipeline() {
+    let snap = snapshot_pipeline(GOLDEN_SCALE);
+    if let Err(drift) = compare_golden(&default_golden_dir(), &snap) {
+        panic!(
+            "pipeline output drifted from tests/golden (re-bless with \
+             `cargo run --bin icn -- testkit --bless` if intentional):\n  {}",
+            drift.join("\n  ")
+        );
+    }
+}
+
+#[test]
+fn snapshot_is_deterministic() {
+    let a = snapshot_pipeline(GOLDEN_SCALE);
+    let b = snapshot_pipeline(GOLDEN_SCALE);
+    assert_eq!(a.stages, b.stages, "same scale, same hashes — always");
+}
+
+#[test]
+fn bless_round_trip_is_byte_identical() {
+    let dir = std::env::temp_dir().join(format!("icn-golden-roundtrip-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = snapshot_pipeline(GOLDEN_SCALE);
+
+    let path = write_golden(&dir, &snap).unwrap();
+    let first = std::fs::read(&path).unwrap();
+    write_golden(&dir, &snap).unwrap();
+    let second = std::fs::read(&path).unwrap();
+    assert_eq!(first, second, "re-blessing must be byte-identical");
+    assert_eq!(path, golden_file(&dir, snap.scale));
+    assert_eq!(first, render_golden(&snap).into_bytes());
+
+    // A freshly blessed directory always passes its own check.
+    assert!(compare_golden(&dir, &snap).is_ok());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn drift_reports_name_the_stage() {
+    // Corrupt one stage hash in a temp copy and check the comparator
+    // pinpoints it rather than failing opaquely.
+    let dir = std::env::temp_dir().join(format!("icn-golden-drift-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut snap = snapshot_pipeline(GOLDEN_SCALE);
+    write_golden(&dir, &snap).unwrap();
+
+    let victim = snap.stages[2].0.clone();
+    snap.stages[2].1 = format!("{:016x}", 0xdead_beefu64);
+    let drift = compare_golden(&dir, &snap).unwrap_err();
+    assert!(
+        drift.iter().any(|d| d.contains(&victim)),
+        "drift lines {drift:?} must name stage {victim}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -7,6 +7,8 @@
 
 use icn_repro::icn_obs::{self, BenchReport, PIPELINE_STAGES};
 use icn_repro::prelude::*;
+
+mod common;
 use std::sync::Mutex;
 
 static LOCK: Mutex<()> = Mutex::new(());
@@ -17,8 +19,8 @@ fn metered_run(seed: u64) -> BenchReport {
     let obs = icn_obs::global();
     obs.reset();
     obs.enable();
-    let ds = Dataset::generate(SynthConfig::small().with_seed(seed));
-    let st = IcnStudy::run(&ds, StudyConfig::fast());
+    let ds = common::dataset_seeded(seed);
+    let st = common::study_for(&ds);
     assert_eq!(st.cluster_sizes().len(), 9);
     let report = BenchReport::build(&obs.snapshot(), "observability-test", ds.config.scale);
     obs.disable();
@@ -93,8 +95,8 @@ fn probe_campaign_counters_flow_into_reports() {
     let obs = icn_obs::global();
     obs.reset();
     obs.enable();
-    let ds = Dataset::generate(SynthConfig::small().with_scale(0.01));
-    let window = StudyCalendar::custom(Date::new(2023, 1, 9), 2);
+    let ds = common::dataset_at(0.01);
+    let window = common::probe_window(2);
     let result = run_campaign(&ds, &window, &CampaignConfig::default());
     let report = BenchReport::build(&obs.snapshot(), "probe-test", 0.01);
     obs.disable();

@@ -5,14 +5,16 @@
 
 use icn_repro::icn_obs;
 use icn_repro::prelude::*;
+
+mod common;
 use std::sync::Mutex;
 use std::time::Instant;
 
 static LOCK: Mutex<()> = Mutex::new(());
 
 fn study(seed: u64) -> (Dataset, IcnStudy) {
-    let ds = Dataset::generate(SynthConfig::small().with_seed(seed));
-    let st = IcnStudy::run(&ds, StudyConfig::fast());
+    let ds = common::dataset_seeded(seed);
+    let st = common::study_for(&ds);
     (ds, st)
 }
 

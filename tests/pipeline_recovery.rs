@@ -5,9 +5,11 @@
 
 use icn_repro::prelude::*;
 
+mod common;
+
 fn study_fixture() -> (Dataset, IcnStudy) {
-    let dataset = Dataset::generate(SynthConfig::small());
-    let study = IcnStudy::run(&dataset, StudyConfig::fast());
+    let dataset = common::dataset();
+    let study = common::study_for(&dataset);
     (dataset, study)
 }
 
@@ -210,10 +212,10 @@ fn shap_identifies_signature_services() {
 
 #[test]
 fn full_run_is_deterministic() {
-    let d1 = Dataset::generate(SynthConfig::small());
-    let d2 = Dataset::generate(SynthConfig::small());
-    let s1 = IcnStudy::run(&d1, StudyConfig::fast());
-    let s2 = IcnStudy::run(&d2, StudyConfig::fast());
+    let d1 = common::dataset();
+    let d2 = common::dataset();
+    let s1 = common::study_for(&d1);
+    let s2 = common::study_for(&d2);
     assert_eq!(s1.labels, s2.labels);
     assert_eq!(s1.outdoor.predicted, s2.outdoor.predicted);
     assert_eq!(s1.surrogate_accuracy, s2.surrogate_accuracy);

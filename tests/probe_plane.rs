@@ -4,14 +4,15 @@
 //! the structure.
 
 use icn_repro::prelude::*;
-use icn_synth::Date;
+
+mod common;
 
 #[test]
 fn clustering_recovers_structure_from_probe_data() {
     // Small population, short window: the probe plane synthesises every IP
     // session individually, so keep the volume manageable.
-    let ds = Dataset::generate(SynthConfig::small().with_scale(0.04));
-    let window = StudyCalendar::custom(Date::new(2023, 1, 9), 3);
+    let ds = common::dataset_at(0.04);
+    let window = common::probe_window(3);
     let result = run_campaign(&ds, &window, &CampaignConfig::default());
 
     // The probe matrix covers the window only; cluster it directly.
@@ -27,8 +28,8 @@ fn clustering_recovers_structure_from_probe_data() {
 
 #[test]
 fn probe_and_direct_matrices_agree_per_antenna() {
-    let ds = Dataset::generate(SynthConfig::small().with_scale(0.02));
-    let window = StudyCalendar::custom(Date::new(2023, 1, 9), 2);
+    let ds = common::dataset_at(0.02);
+    let window = common::probe_window(2);
     let result = run_campaign(
         &ds,
         &window,
@@ -50,8 +51,8 @@ fn probe_and_direct_matrices_agree_per_antenna() {
 
 #[test]
 fn suppression_trades_coverage_for_privacy() {
-    let ds = Dataset::generate(SynthConfig::small().with_scale(0.02));
-    let window = StudyCalendar::custom(Date::new(2023, 1, 9), 2);
+    let ds = common::dataset_at(0.02);
+    let window = common::probe_window(2);
     let open = run_campaign(&ds, &window, &CampaignConfig::default());
     let k2 = run_campaign(
         &ds,

@@ -6,11 +6,13 @@
 //! approximate TreeSHAP, and local accuracy must hold on real study data.
 
 use icn_repro::prelude::*;
+
+mod common;
 use icn_shap::{forest_base_value, kernel_shap, KernelShapConfig};
 
 fn small_study() -> (Dataset, IcnStudy) {
-    let dataset = Dataset::generate(SynthConfig::small().with_scale(0.04));
-    let study = IcnStudy::run(&dataset, StudyConfig::fast());
+    let dataset = common::dataset_at(0.04);
+    let study = common::study_for(&dataset);
     (dataset, study)
 }
 

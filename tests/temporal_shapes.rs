@@ -3,6 +3,8 @@
 
 use icn_repro::prelude::*;
 
+mod common;
+
 struct Fixture {
     dataset: Dataset,
     study: IcnStudy,
@@ -10,8 +12,8 @@ struct Fixture {
 }
 
 fn fixture() -> Fixture {
-    let dataset = Dataset::generate(SynthConfig::small());
-    let study = IcnStudy::run(&dataset, StudyConfig::fast());
+    let dataset = common::dataset();
+    let study = common::study_for(&dataset);
     Fixture {
         dataset,
         study,

@@ -7,6 +7,8 @@
 //! better than volume-based clustering.
 
 use icn_repro::prelude::*;
+
+mod common;
 use icn_stats::normalize;
 
 fn ari_of(matrix: &Matrix, planted: &[usize]) -> f64 {
@@ -17,7 +19,7 @@ fn ari_of(matrix: &Matrix, planted: &[usize]) -> f64 {
 
 #[test]
 fn rsca_beats_raw_and_normalised_clustering() {
-    let dataset = Dataset::generate(SynthConfig::small());
+    let dataset = common::dataset();
     let (t_live, live_rows) = filter_dead_rows(&dataset.indoor_totals);
     let planted: Vec<usize> = live_rows
         .iter()
@@ -52,7 +54,7 @@ fn rsca_beats_raw_and_normalised_clustering() {
 fn raw_clustering_groups_by_volume() {
     // Confirm the failure mode: clusters on raw traffic correlate with
     // total volume, not with archetype.
-    let dataset = Dataset::generate(SynthConfig::small());
+    let dataset = common::dataset();
     let (t_live, _) = filter_dead_rows(&dataset.indoor_totals);
     let history = agglomerate(&t_live, Linkage::Ward);
     let labels = history.cut(9);
@@ -85,7 +87,7 @@ fn kmeans_baseline_recovers_with_rsca_features() {
     // B3: the k-means baseline also works on RSCA (the structure is real,
     // not an artefact of the agglomerative algorithm), though the paper
     // prefers hierarchy for interpretability.
-    let dataset = Dataset::generate(SynthConfig::small());
+    let dataset = common::dataset();
     let (t_live, live_rows) = filter_dead_rows(&dataset.indoor_totals);
     let planted: Vec<usize> = live_rows
         .iter()
@@ -102,7 +104,7 @@ fn kmeans_baseline_recovers_with_rsca_features() {
 fn linkage_ablation_ward_is_competitive() {
     // B2: Ward should dominate single linkage (which chains) and be at
     // least competitive with complete/average on archetype recovery.
-    let dataset = Dataset::generate(SynthConfig::small());
+    let dataset = common::dataset();
     let (t_live, live_rows) = filter_dead_rows(&dataset.indoor_totals);
     let planted: Vec<usize> = live_rows
         .iter()
