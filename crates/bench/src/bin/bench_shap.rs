@@ -1,0 +1,146 @@
+//! SHAP micro-benchmark: sweeps the full pipeline over population scales
+//! and worker-thread counts, reporting the stage-3 `shap_batch` wall time
+//! and throughput gauges per configuration.
+//!
+//! ```text
+//! cargo run --release --bin bench_shap -- \
+//!     --scales 0.05,0.25,1.0 --threads 1,max --metrics-out BENCH_pr3.json
+//! ```
+//!
+//! Each configuration runs `IcnStudy::run` on a freshly generated dataset
+//! with the global metrics registry reset, `ICN_THREADS` pinned (or
+//! removed for `max`), and prints one summary line. The `--metrics-out`
+//! report is the `icn-obs/v1` snapshot of the **last** configuration —
+//! the sweep orders configurations so that is the largest scale at the
+//! highest thread count, directly comparable to `BENCH_baseline.json`.
+
+use icn_core::{IcnStudy, StudyConfig};
+use icn_obs::BenchReport;
+use icn_synth::{Dataset, SynthConfig};
+
+struct ShapBenchOpts {
+    scales: Vec<f64>,
+    threads: Vec<Option<usize>>, // None = hardware max
+    seed: u64,
+    metrics_out: Option<String>,
+}
+
+fn parse_args() -> ShapBenchOpts {
+    let args: Vec<String> = std::env::args().collect();
+    let mut opts = ShapBenchOpts {
+        scales: vec![0.05, 0.25, 1.0],
+        threads: vec![Some(1), None],
+        seed: SynthConfig::default().seed,
+        metrics_out: None,
+    };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scales" => {
+                if let Some(v) = args.get(i + 1) {
+                    opts.scales = v.split(',').filter_map(|s| s.parse().ok()).collect();
+                }
+                i += 2;
+            }
+            "--threads" => {
+                if let Some(v) = args.get(i + 1) {
+                    opts.threads = v
+                        .split(',')
+                        .map(|s| {
+                            if s == "max" {
+                                None
+                            } else {
+                                Some(s.parse().unwrap_or(1).max(1))
+                            }
+                        })
+                        .collect();
+                }
+                i += 2;
+            }
+            "--seed" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    opts.seed = v;
+                }
+                i += 2;
+            }
+            "--metrics-out" => {
+                opts.metrics_out = args.get(i + 1).cloned();
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    assert!(!opts.scales.is_empty(), "bench_shap: no scales given");
+    assert!(
+        !opts.threads.is_empty(),
+        "bench_shap: no thread counts given"
+    );
+    opts
+}
+
+fn span_ms(report: &BenchReport, path: &str) -> f64 {
+    report
+        .spans
+        .get(path)
+        .map_or(0.0, |&(_, wall)| wall.as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let opts = parse_args();
+    let obs = icn_obs::global();
+    obs.enable();
+
+    println!("=== bench shap: scale x thread sweep ===");
+    println!(
+        "{:>7} {:>7} {:>9} {:>13} {:>15} {:>17}",
+        "scale", "threads", "antennas", "shap_ms", "samples/sec", "predict_rows/sec"
+    );
+
+    let mut last_report: Option<BenchReport> = None;
+    // Thread count is the outer dimension so the final configuration is
+    // the largest scale at the highest thread count — that report is the
+    // one exported, baseline-comparable.
+    for &threads in &opts.threads {
+        match threads {
+            Some(t) => std::env::set_var("ICN_THREADS", t.to_string()),
+            None => std::env::remove_var("ICN_THREADS"),
+        }
+        for &scale in &opts.scales {
+            obs.reset();
+            let ds = Dataset::generate(SynthConfig::paper().with_scale(scale).with_seed(opts.seed));
+            let study = IcnStudy::run(&ds, StudyConfig::paper());
+            let snap = obs.snapshot();
+            let report = BenchReport::build(&snap, "bench_shap", scale);
+            println!(
+                "{:>7.2} {:>7} {:>9} {:>13.1} {:>15.1} {:>17.1}",
+                scale,
+                report.env.threads,
+                study.num_antennas(),
+                span_ms(&report, "stage3_surrogate/shap_batch"),
+                report
+                    .gauges
+                    .get("shap.samples_per_sec")
+                    .copied()
+                    .unwrap_or(0.0),
+                report
+                    .gauges
+                    .get("forest.predict_rows_per_sec")
+                    .copied()
+                    .unwrap_or(0.0),
+            );
+            last_report = Some(report);
+        }
+    }
+    std::env::remove_var("ICN_THREADS");
+
+    if let Some(path) = &opts.metrics_out {
+        let report = last_report.expect("at least one configuration ran");
+        match report.write_to_file(path) {
+            Ok(()) => eprintln!("metrics written to {path}"),
+            Err(e) => {
+                eprintln!("failed to write metrics to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -18,16 +18,37 @@ pub struct Condensed {
 impl Condensed {
     /// Computes all pairwise distances between the rows of `data` under
     /// `metric`, in parallel.
+    ///
+    /// Rows are processed in chunks of the lower-triangle's i-dimension;
+    /// each worker fills its chunk's contiguous slice of the condensed
+    /// layout directly (one allocation per chunk instead of one per row),
+    /// and the j-dimension is tiled so a block of right-hand rows stays
+    /// cache-resident across all of the chunk's left-hand rows. Every pair
+    /// is computed by the same single `metric.distance` call as before, so
+    /// the values are bit-identical to the untiled version.
     pub fn from_rows(data: &Matrix, metric: Metric) -> Condensed {
         let _span = icn_obs::Span::enter("condensed");
         let n = data.rows();
         let rows: Vec<&[f64]> = (0..n).map(|i| data.row(i)).collect();
-        // Parallelise over i; each i owns the contiguous block of pairs
-        // (i, i+1..n), so concatenating the blocks in index order yields
-        // exactly the condensed row-block layout.
-        let blocks: Vec<Vec<f64>> = par::map_indexed(n, |i| {
-            let ri = rows[i];
-            (i + 1..n).map(|j| metric.distance(ri, rows[j])).collect()
+        const TILE: usize = 64;
+        let chunk = (n / (par::thread_count() * 8)).clamp(1, 256);
+        let blocks: Vec<Vec<f64>> = par::map_chunks(n, chunk, |range| {
+            let (lo, hi) = (range.start, range.end);
+            let base = block_start(n, lo);
+            let mut out = vec![0.0f64; block_start(n, hi) - base];
+            let mut jt = lo + 1;
+            while jt < n {
+                let jhi = (jt + TILE).min(n);
+                for i in lo..hi.min(jhi) {
+                    let ri = rows[i];
+                    let row_off = block_start(n, i) - base;
+                    for j in jt.max(i + 1)..jhi {
+                        out[row_off + (j - i - 1)] = metric.distance(ri, rows[j]);
+                    }
+                }
+                jt = jhi;
+            }
+            out
         });
         let mut d = Vec::with_capacity(n * (n.max(1) - 1) / 2);
         for block in blocks {

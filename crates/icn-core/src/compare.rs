@@ -10,7 +10,7 @@
 //! distribution plus the concentration statistics the prose quotes.
 
 use crate::rca::outdoor_rsca;
-use icn_forest::RandomForest;
+use icn_forest::{RandomForest, SoaForest};
 use icn_stats::Matrix;
 
 /// Outcome of classifying the outdoor population through the surrogate.
@@ -32,6 +32,17 @@ pub fn classify_outdoor(
     t_out: &Matrix,
     t_in: &Matrix,
     surrogate: &RandomForest,
+) -> OutdoorComparison {
+    classify_outdoor_with(t_out, t_in, &SoaForest::from_forest(surrogate))
+}
+
+/// [`classify_outdoor`] over an already-frozen surrogate — the pipeline
+/// freezes the forest once in stage 3 and reuses it here for the ~20k
+/// outdoor antennas.
+pub fn classify_outdoor_with(
+    t_out: &Matrix,
+    t_in: &Matrix,
+    surrogate: &SoaForest,
 ) -> OutdoorComparison {
     let rsca = outdoor_rsca(t_out, t_in);
     assert_eq!(

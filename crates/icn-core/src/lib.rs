@@ -36,7 +36,10 @@ pub mod profiles;
 pub mod rca;
 pub mod temporal;
 
-pub use compare::{classify_outdoor, distribution_entropy, label_distribution, OutdoorComparison};
+pub use compare::{
+    classify_outdoor, classify_outdoor_with, distribution_entropy, label_distribution,
+    OutdoorComparison,
+};
 pub use config::StudyConfig;
 pub use error::StudyError;
 pub use insights::{env_index, EnvCrosstab, Flow};

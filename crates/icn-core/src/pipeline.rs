@@ -16,7 +16,7 @@
 //! Temporal analysis (Section 6) is exposed separately via
 //! [`crate::temporal`] because it synthesises hourly series on demand.
 
-use crate::compare::{classify_outdoor, OutdoorComparison};
+use crate::compare::{classify_outdoor_with, OutdoorComparison};
 use crate::config::StudyConfig;
 use crate::insights::EnvCrosstab;
 use crate::profiles::{cluster_profiles, ClusterProfile};
@@ -24,7 +24,7 @@ use crate::rca::{filter_dead_rows, rsca};
 use icn_cluster::{
     agglomerate_condensed, sweep_k, Condensed, Dendrogram, KQuality, Linkage, MergeHistory,
 };
-use icn_forest::{RandomForest, TrainSet};
+use icn_forest::{RandomForest, SoaForest, TrainSet};
 use icn_shap::ClassExplanation;
 use icn_stats::{Matrix, Metric};
 use icn_synth::Dataset;
@@ -170,21 +170,33 @@ impl IcnStudy {
         };
 
         // 3. Surrogate + SHAP.
-        let (surrogate, surrogate_accuracy, surrogate_oob, explanations) = {
+        let (surrogate, frozen, surrogate_accuracy, surrogate_oob, explanations) = {
             let _span = icn_obs::Span::enter("stage3_surrogate");
             let ts = TrainSet::new(rsca_m.clone(), labels.clone());
             let surrogate = RandomForest::fit(&ts, &config.forest_config());
-            let surrogate_accuracy = surrogate.accuracy(&ts);
+            // Freeze the fitted forest into its structure-of-arrays form
+            // once; training accuracy, the SHAP batch and the stage-5
+            // outdoor classification all walk this shared layout.
+            let frozen = SoaForest::from_forest(&surrogate);
+            let preds = frozen.predict_batch(&ts.x);
+            let hits = preds.iter().zip(&ts.y).filter(|(p, y)| p == y).count();
+            let surrogate_accuracy = hits as f64 / ts.len() as f64;
             let surrogate_oob = surrogate.oob_accuracy;
             // One batched SHAP pass shares the per-sample tree walks across
             // all k classes (9x cheaper than explaining class by class).
-            let shap_per_class = icn_shap::forest_shap_batch(&surrogate, &rsca_m);
+            let shap_per_class = icn_shap::forest_shap_batch_soa(&frozen, &rsca_m);
             let explanations: Vec<ClassExplanation> = shap_per_class
                 .iter()
                 .enumerate()
                 .map(|(c, shap)| icn_shap::explain_class(shap, &rsca_m, &labels, c))
                 .collect();
-            (surrogate, surrogate_accuracy, surrogate_oob, explanations)
+            (
+                surrogate,
+                frozen,
+                surrogate_accuracy,
+                surrogate_oob,
+                explanations,
+            )
         };
 
         // 4. Environments.
@@ -204,7 +216,7 @@ impl IcnStudy {
         // 5. Outdoor.
         let outdoor = {
             let _span = icn_obs::Span::enter("stage5_outdoor");
-            let outdoor = classify_outdoor(&dataset.outdoor_totals, &t_live, &surrogate);
+            let outdoor = classify_outdoor_with(&dataset.outdoor_totals, &t_live, &frozen);
             if obs.is_enabled() {
                 obs.add_counter("outdoor.antennas", outdoor.predicted.len() as u64);
             }

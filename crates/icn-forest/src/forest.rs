@@ -128,10 +128,13 @@ impl RandomForest {
         icn_stats::rank::argmax(&self.predict_proba(x))
     }
 
-    /// Predicts every row of a matrix (in parallel).
+    /// Predicts every row of a matrix (in parallel). Freezes the forest
+    /// into its structure-of-arrays form first; callers that classify many
+    /// batches should freeze once via [`crate::soa::SoaForest`] and reuse
+    /// it.
     pub fn predict_batch(&self, x: &Matrix) -> Vec<usize> {
         assert_eq!(x.cols(), self.n_features, "predict_batch: feature mismatch");
-        par::map_indexed(x.rows(), |i| self.predict(x.row(i)))
+        crate::soa::SoaForest::from_forest(self).predict_batch(x)
     }
 
     /// Training accuracy on a labelled set.

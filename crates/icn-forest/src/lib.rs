@@ -15,6 +15,9 @@
 //!   second opinion next to SHAP).
 //! * [`metrics`] — accuracy, confusion matrices, macro-F1 for the
 //!   surrogate-fidelity experiment.
+//! * [`soa`] — fitted trees frozen into structure-of-arrays form, the
+//!   hot-path layout shared by batch prediction, TreeSHAP and the stage-5
+//!   outdoor classification.
 //! * [`crossval`] — stratified k-fold cross-validation, the sturdier
 //!   generalisation estimate next to OOB error (B4).
 
@@ -26,6 +29,7 @@ pub mod data;
 pub mod forest;
 pub mod importance;
 pub mod metrics;
+pub mod soa;
 pub mod tree;
 
 pub use crossval::{cross_validate, stratified_folds, CvResult};
@@ -33,4 +37,5 @@ pub use data::{gini, TrainSet};
 pub use forest::{ForestConfig, RandomForest};
 pub use importance::{gini_importance, permutation_importance};
 pub use metrics::{accuracy, class_scores, confusion_matrix, macro_f1, ClassScore};
+pub use soa::{SoaForest, SoaTree};
 pub use tree::{DecisionTree, MaxFeatures, Node, TreeConfig};

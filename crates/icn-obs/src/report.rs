@@ -15,7 +15,8 @@
 //!      "counters": {"cluster.merges": 4761, "cluster.pairs": 11335641}}
 //!   ],
 //!   "spans": [{"path": "stage2_cluster/condensed", "calls": 1, "wall_ms": 200.0}],
-//!   "counters": {"cluster.merges": 4761}
+//!   "counters": {"cluster.merges": 4761},
+//!   "gauges": {"shap.samples_per_sec": 1234.5}
 //! }
 //! ```
 //!
@@ -80,7 +81,10 @@ pub struct EnvInfo {
     pub os: String,
     /// CPU architecture (`std::env::consts::ARCH`).
     pub arch: String,
-    /// Available hardware parallelism.
+    /// Worker-thread count the run actually used: the `ICN_THREADS`
+    /// override when set, otherwise the available hardware parallelism —
+    /// the same resolution rule as `icn_stats::par::thread_count` (this
+    /// crate is dependency-free, so it reads the variable itself).
     pub threads: usize,
     /// Seconds since the Unix epoch when the report was built.
     pub unix_time: u64,
@@ -89,10 +93,16 @@ pub struct EnvInfo {
 impl EnvInfo {
     /// Captures the current environment.
     pub fn capture() -> EnvInfo {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let threads = std::env::var("ICN_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&v| v >= 1)
+            .unwrap_or(hw);
         EnvInfo {
             os: std::env::consts::OS.to_string(),
             arch: std::env::consts::ARCH.to_string(),
-            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            threads,
             unix_time: std::time::SystemTime::now()
                 .duration_since(std::time::UNIX_EPOCH)
                 .map_or(0, |d| d.as_secs()),
@@ -115,6 +125,9 @@ pub struct BenchReport {
     pub spans: BTreeMap<String, (u64, Duration)>,
     /// All counters, unattributed.
     pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges (throughputs such as `shap.samples_per_sec`
+    /// and `forest.predict_rows_per_sec`).
+    pub gauges: BTreeMap<String, f64>,
 }
 
 impl BenchReport {
@@ -146,6 +159,7 @@ impl BenchReport {
             stages: stages.into_values().collect(),
             spans: snapshot.spans.clone(),
             counters: snapshot.counters.clone(),
+            gauges: snapshot.gauges.clone(),
         }
     }
 
@@ -189,6 +203,15 @@ impl BenchReport {
             ("stages", Json::Arr(stages)),
             ("spans", Json::Arr(spans)),
             ("counters", counters_obj(&self.counters)),
+            (
+                "gauges",
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::Num(v)))
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -279,6 +302,13 @@ impl BenchReport {
                 counters.insert(k.clone(), v.as_f64().ok_or("non-numeric counter")? as u64);
             }
         }
+        // Absent in pre-gauge reports (e.g. BENCH_baseline.json) — optional.
+        let mut gauges = BTreeMap::new();
+        if let Some(entries) = doc.get("gauges").and_then(Json::entries) {
+            for (k, v) in entries {
+                gauges.insert(k.clone(), v.as_f64().ok_or("non-numeric gauge")?);
+            }
+        }
         Ok(BenchReport {
             run_id,
             scale,
@@ -286,6 +316,7 @@ impl BenchReport {
             stages,
             spans,
             counters,
+            gauges,
         })
     }
 
@@ -306,6 +337,7 @@ mod tests {
         r.add_counter("cluster.merges", 99);
         r.add_counter("forest.trees", 30);
         r.add_counter("unprefixed", 1);
+        r.set_gauge("shap.samples_per_sec", 321.5);
         r.record_span("stage2_cluster".into(), Duration::from_millis(20));
         r.record_span("stage2_cluster/condensed".into(), Duration::from_millis(5));
         r.record_span("stage3_surrogate".into(), Duration::from_millis(10));
@@ -336,12 +368,27 @@ mod tests {
         assert_eq!(back.run_id, "rt");
         assert_eq!(back.scale, 1.0);
         assert_eq!(back.counters, rep.counters);
+        assert_eq!(back.gauges, rep.gauges);
+        assert_eq!(back.gauges["shap.samples_per_sec"], 321.5);
         assert_eq!(back.stages.len(), rep.stages.len());
         for (a, b) in back.stages.iter().zip(&rep.stages) {
             assert_eq!(a.name, b.name);
             assert_eq!(a.counters, b.counters);
             assert!((a.wall_ms - b.wall_ms).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn env_threads_honors_icn_threads_override() {
+        std::env::set_var("ICN_THREADS", "3");
+        let env = EnvInfo::capture();
+        std::env::remove_var("ICN_THREADS");
+        assert_eq!(env.threads, 3);
+        // Garbage and zero fall back to hardware parallelism.
+        std::env::set_var("ICN_THREADS", "0");
+        let fallback = EnvInfo::capture();
+        std::env::remove_var("ICN_THREADS");
+        assert!(fallback.threads >= 1);
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! * [`treeshap`] — the polynomial-time, path-dependent TreeSHAP algorithm
 //!   for single trees and forests, exact for the tree's conditional
 //!   expectation and validated against brute force.
+//! * [`quad`] — Gauss–Legendre nodes/weights on [0, 1]; the TreeSHAP
+//!   kernel evaluates the Shapley subset weights in integral form, which
+//!   an `⌈l/2⌉`-point rule integrates exactly.
 //! * [`exact`] — the 2^M Shapley definition (Eq. 4 of the paper) for small
 //!   feature counts; the oracle the fast algorithm is tested against.
 //! * [`kernelshap`] — model-agnostic Kernel SHAP: coalition sampling with
@@ -23,6 +26,7 @@ pub mod exact;
 pub mod explain;
 pub mod kernelshap;
 pub mod linalg;
+pub mod quad;
 pub mod treeshap;
 
 pub use exact::{exact_tree_shap, tree_expectation};
@@ -30,7 +34,8 @@ pub use explain::{
     explain_class, explain_forest_class, ClassExplanation, Direction, FeatureInfluence,
 };
 pub use kernelshap::{kernel_shap, KernelShapConfig, ScalarModel};
+pub use quad::gauss_legendre_01;
 pub use treeshap::{
-    base_value, forest_base_value, forest_shap, forest_shap_batch, forest_shap_class_matrix,
-    tree_shap,
+    base_value, forest_base_value, forest_shap, forest_shap_batch, forest_shap_batch_soa,
+    forest_shap_class_matrix, forest_shap_soa, tree_shap, Scratch,
 };

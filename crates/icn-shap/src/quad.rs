@@ -1,0 +1,131 @@
+//! Gauss–Legendre quadrature on the unit interval.
+//!
+//! The TreeSHAP kernel in [`crate::treeshap`] evaluates, per leaf and
+//! feature, the Shapley subset sum in its integral form
+//! `∫₀¹ ∏_j (one_j·t + zero_j·(1−t)) dt` — a polynomial of degree at
+//! most the unique path length, which an `m`-point Gauss–Legendre rule
+//! integrates *exactly* whenever `2m − 1` covers that degree. Nodes and
+//! weights are computed once per tree by Newton iteration on the
+//! Legendre polynomial (no tables, no dependencies) to full `f64`
+//! precision.
+
+/// Nodes and weights of the `m`-point Gauss–Legendre rule mapped to
+/// `[0, 1]`. Exact for polynomials of degree ≤ `2m − 1`; the weights
+/// are positive and sum to 1.
+///
+/// ```
+/// let (t, w) = icn_shap::gauss_legendre_01(4);
+/// // ∫₀¹ t³ dt = 1/4, degree 3 ≤ 2·4 − 1.
+/// let integral: f64 = t.iter().zip(&w).map(|(t, w)| w * t * t * t).sum();
+/// assert!((integral - 0.25).abs() < 1e-15);
+/// ```
+pub fn gauss_legendre_01(m: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(m >= 1, "gauss_legendre_01: need at least one node");
+    let mut t = vec![0.0; m];
+    let mut w = vec![0.0; m];
+    // Roots come in ± pairs on [-1, 1]; solve the positive half and
+    // mirror.
+    for i in 0..m.div_ceil(2) {
+        // Tricomi's initial guess for the i-th root (descending order).
+        let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (m as f64 + 0.5)).cos();
+        let mut dp = 0.0;
+        for _ in 0..100 {
+            let (p, d) = legendre_with_derivative(m, x);
+            dp = d;
+            let step = p / d;
+            x -= step;
+            if step.abs() < 1e-15 {
+                let (_, d2) = legendre_with_derivative(m, x);
+                dp = d2;
+                break;
+            }
+        }
+        let weight = 2.0 / ((1.0 - x * x) * dp * dp);
+        // Map [-1, 1] → [0, 1]: t = (1 + x)/2, weight halves.
+        t[i] = (1.0 - x) / 2.0;
+        w[i] = weight / 2.0;
+        t[m - 1 - i] = (1.0 + x) / 2.0;
+        w[m - 1 - i] = weight / 2.0;
+    }
+    (t, w)
+}
+
+/// Legendre polynomial `P_m(x)` and its derivative via the three-term
+/// recurrence.
+fn legendre_with_derivative(m: usize, x: f64) -> (f64, f64) {
+    let mut p_prev = 1.0; // P_0
+    let mut p = x; // P_1
+    for k in 2..=m {
+        let kf = k as f64;
+        let next = ((2.0 * kf - 1.0) * x * p - (kf - 1.0) * p_prev) / kf;
+        p_prev = p;
+        p = next;
+    }
+    let d = m as f64 * (x * p - p_prev) / (x * x - 1.0);
+    (p, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_are_positive_and_sum_to_one() {
+        for m in 1..=24 {
+            let (t, w) = gauss_legendre_01(m);
+            assert_eq!(t.len(), m);
+            let sum: f64 = w.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-13, "m={m}: weights sum {sum}");
+            for (&ti, &wi) in t.iter().zip(&w) {
+                assert!(wi > 0.0, "m={m}: non-positive weight");
+                assert!((0.0..1.0).contains(&ti), "m={m}: node {ti} outside (0,1)");
+            }
+        }
+    }
+
+    #[test]
+    fn nodes_are_sorted_and_symmetric() {
+        for m in 2..=16 {
+            let (t, w) = gauss_legendre_01(m);
+            for i in 1..m {
+                assert!(t[i] > t[i - 1], "m={m}: nodes not increasing");
+            }
+            for i in 0..m {
+                assert!(
+                    (t[i] + t[m - 1 - i] - 1.0).abs() < 1e-14,
+                    "m={m}: asymmetric"
+                );
+                assert!(
+                    (w[i] - w[m - 1 - i]).abs() < 1e-14,
+                    "m={m}: asymmetric weight"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn integrates_monomials_exactly_up_to_degree() {
+        // ∫₀¹ t^k dt = 1/(k+1), exact for k ≤ 2m − 1.
+        for m in 1..=16 {
+            let (t, w) = gauss_legendre_01(m);
+            for k in 0..=(2 * m - 1) {
+                let got: f64 = t.iter().zip(&w).map(|(t, w)| w * t.powi(k as i32)).sum();
+                let want = 1.0 / (k as f64 + 1.0);
+                assert!(
+                    (got - want).abs() < 1e-13 * want.max(1.0),
+                    "m={m} k={k}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_point_rule_matches_known_values() {
+        let (t, w) = gauss_legendre_01(2);
+        let s = 0.5 / 3.0f64.sqrt();
+        assert!((t[0] - (0.5 - s)).abs() < 1e-15);
+        assert!((t[1] - (0.5 + s)).abs() < 1e-15);
+        assert!((w[0] - 0.5).abs() < 1e-15);
+        assert!((w[1] - 0.5).abs() < 1e-15);
+    }
+}

@@ -3,158 +3,470 @@
 //! The paper uses the TreeShap model-specific approximation "employed for
 //! tree-based ML algorithms such as random forests" because it is
 //! "dramatically faster" than model-agnostic estimation (Section 5.1.1).
-//! This is the path-dependent algorithm of Lundberg et al.: a single
-//! recursive descent per tree maintains, for every unique feature on the
-//! current root-to-node path, the proportion of feature-subsets in which
-//! the path is followed with the feature present (`one_fraction`) or absent
-//! (`zero_fraction`), together with subset-cardinality weights. At a leaf,
-//! unwinding each path feature yields its exact Shapley contribution.
+//! This module computes the same path-dependent attributions as the
+//! algorithm of Lundberg et al., but through its **integral form**: for a
+//! leaf with unique path features `P` (repeated splits merged), feature
+//! `i`'s Shapley weight is
 //!
-//! Complexity is O(L·D²) per tree and sample (L leaves, D depth) instead of
-//! the 2^M enumeration of [`crate::exact`], against which the unit tests
-//! verify exact agreement.
+//! ```text
+//! phi_i(leaf) = (one_i − zero_i) · v_leaf · ∫₀¹ ∏_{j ∈ P∖{i}} u_j(t) dt,
+//!               u_j(t) = one_j·t + zero_j·(1 − t)
+//! ```
+//!
+//! Expanding the product and integrating term-by-term (the Beta integral
+//! `∫ t^k (1−t)^{l−1−k} dt = k!(l−1−k)!/l!`) reproduces exactly the
+//! `|S|!(l−1−|S|)!/l!` subset weights of the classic recurrence. The
+//! integrand is a polynomial of degree `< l`, so an `m = ⌈l_max/2⌉`-point
+//! Gauss–Legendre rule ([`crate::quad`]) integrates it **exactly** — this
+//! is a reformulation, not an approximation (only ordinary ~1e-15 f64
+//! rounding differs from the recursive formulation).
+//!
+//! ## Kernel
+//!
+//! The descent keeps `V_q = ∏_j u_j(t_q)` at the `m` quadrature points,
+//! updated with one fused multiply per point per node — no
+//! cardinality-weight recurrences, no divisions on the hot path. At a
+//! leaf, with `W_q = ω_q·V_q`:
+//!
+//! * **absent-branch features** (`one = 0`): `u_i(t) = zero_i·(1−t)`, so
+//!   `zero_i` cancels and every such feature shares one sum
+//!   `−Σ_q W_q/(1−t_q)` — O(1) per feature, `1/(1−t_q)` precomputed.
+//! * **present-branch features** (`one = 1`): `Σ_q W_q / u_i(t_q)` with
+//!   the inverse row `1/(t_q + ratio·(1−t_q))` precomputed **once per
+//!   tree** for every node and amortized across all samples of a batch
+//!   chunk; repeated-feature merges compute their own inverse row into a
+//!   per-depth scratch arena.
+//!
+//! The walk itself is iterative (explicit frame stack) and allocation-free:
+//! a [`Scratch`] arena holds per-depth path/product buffers plus the
+//! per-tree tables, allocated once per worker and reused for every
+//! (tree, sample) walk. Complexity is O(nodes·m) per tree and sample with
+//! `m = ⌈l_max/2⌉`, versus the O(L·D²) of the recurrence and the 2^M
+//! enumeration of [`crate::exact`], against which the unit tests verify
+//! agreement (and `icn_testkit::naive_forest_shap` keeps the recursive
+//! formulation as a differential oracle).
 
-use icn_forest::{DecisionTree, RandomForest};
+use crate::quad::gauss_legendre_01;
+use icn_forest::{DecisionTree, RandomForest, SoaForest, SoaTree};
 use icn_stats::{par, Matrix};
 
-/// One element of the feature path maintained during the descent.
+/// Marker for "no node / no slot" in `u32` fields.
+const NONE: u32 = u32::MAX;
+
+/// One unique feature on the current root→node path, packed to 16 bytes —
+/// the per-depth buffers are copied parent→child at every node visit, so
+/// element size is memcpy bandwidth on the hot path.
 #[derive(Clone, Copy, Debug)]
 struct PathElem {
-    /// Feature index (usize::MAX for the dummy first element).
-    feature: usize,
-    /// Fraction of "absent" subsets flowing down this branch.
-    zero_fraction: f64,
-    /// 1.0 if `x` follows this branch, else 0.0.
-    one_fraction: f64,
-    /// Permutation-weight accumulator per path cardinality.
-    weight: f64,
+    /// Feature index.
+    feature: u32,
+    /// Depth whose row of the per-depth `riu` arena holds this element's
+    /// inverse row `1/u(t_q)` (the depth the element was appended or last
+    /// merged at). Only meaningful while the element is present-branch.
+    src: u32,
+    /// Product of cover ratios over the feature's occurrences, with the
+    /// one-fraction folded into the sign: positive while every occurrence
+    /// followed the sample's branch (`one = 1`), negated once any
+    /// occurrence went the other way (`one = 0`). Cover ratios are
+    /// strictly positive, so the sign is never ambiguous.
+    zero: f64,
 }
 
-/// Extends the path with a new feature split.
-fn extend(path: &mut Vec<PathElem>, zero_fraction: f64, one_fraction: f64, feature: usize) {
-    let l = path.len();
-    path.push(PathElem {
-        feature,
-        zero_fraction,
-        one_fraction,
-        weight: if l == 0 { 1.0 } else { 0.0 },
-    });
-    // Update cardinality weights from the back.
-    for i in (0..l).rev() {
-        path[i + 1].weight += one_fraction * path[i].weight * (i + 1) as f64 / (l + 1) as f64;
-        path[i].weight = zero_fraction * path[i].weight * (l - i) as f64 / (l + 1) as f64;
-    }
+const EMPTY_ELEM: PathElem = PathElem {
+    feature: NONE,
+    src: NONE,
+    zero: 0.0,
+};
+
+/// One pending node visit of the iterative descent. The frame carries the
+/// full delta to apply at its own depth: which feature the parent split
+/// on, whether that feature already sat on the path (`merged_slot`), and
+/// the branch fractions of this child.
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    node: u32,
+    depth: u32,
+    parent_len: u32,
+    feature: u32,
+    /// Path slot of an earlier occurrence of `feature`, or [`NONE`].
+    merged_slot: u32,
+    /// 1.0 on the branch the sample follows, 0.0 on the other.
+    one: f64,
+    /// Cover ratio of descending into `node`.
+    ratio: f64,
 }
 
-/// Removes path element `i`, undoing its `extend` contribution.
-fn unwind(path: &mut Vec<PathElem>, i: usize) {
-    let l = path.len() - 1;
-    let one = path[i].one_fraction;
-    let zero = path[i].zero_fraction;
-    let mut n = path[l].weight;
-    if one != 0.0 {
-        for j in (0..l).rev() {
-            let t = path[j].weight;
-            path[j].weight = n * (l + 1) as f64 / ((j + 1) as f64 * one);
-            n = t - path[j].weight * zero * (l - j) as f64 / (l + 1) as f64;
+/// Reusable per-worker scratch for the TreeSHAP kernel — the walk itself
+/// performs no heap allocation. Holds the per-depth path and
+/// quadrature-product arenas (a node's buffers are derived from its
+/// parent's, one level up, which stays intact while the whole subtree is
+/// processed) plus the per-tree quadrature tables installed by `prepare`.
+#[derive(Clone, Debug)]
+pub struct Scratch {
+    /// Arena depth capacity (levels = max tree depth + 1).
+    levels: usize,
+    /// Slots per level of the `elems` arena.
+    elem_stride: usize,
+    /// Quadrature order of the prepared tree.
+    m: usize,
+    /// Per-depth unique-feature path buffers.
+    elems: Vec<PathElem>,
+    /// Per-depth weighted products `ω_q · ∏_j u_j(t_q)`, `m` per level —
+    /// the quadrature weights are folded in at the root, so leaves sum
+    /// lanes directly.
+    v: Vec<f64>,
+    /// Per-depth inverse rows of the path's present-branch elements, `m`
+    /// per level — copied from `iu` on descent (or computed, after a
+    /// merge), so every leaf dot reads this one small resident arena.
+    riu: Vec<f64>,
+    /// Leaf staging: the product row of a leaf child, derived in place
+    /// from its parent's row (leaves never get a frame or an arena level).
+    vleaf: Vec<f64>,
+    /// Leaf staging: inverse row of a merge happening at a leaf child.
+    rleaf: Vec<f64>,
+    /// Pending node visits.
+    stack: Vec<Frame>,
+    /// Gauss–Legendre nodes on [0, 1].
+    qt: Vec<f64>,
+    /// Gauss–Legendre weights (sum 1).
+    qw: Vec<f64>,
+    /// `1 − t_q`.
+    omt: Vec<f64>,
+    /// `1 / (1 − t_q)` — the shared absent-feature leaf sum folds this.
+    ic: Vec<f64>,
+    /// Per-node inverse rows `1/(t_q + ratio·(1−t_q))`, `m` per node of
+    /// the prepared tree.
+    iu: Vec<f64>,
+}
+
+impl Scratch {
+    /// Scratch sized for trees of depth ≤ `max_depth` (root = 0). The
+    /// quadrature tables are installed per tree by the kernel; buffers
+    /// grow on demand if a deeper tree shows up.
+    pub fn for_depth(max_depth: usize) -> Scratch {
+        Scratch {
+            levels: max_depth + 1,
+            elem_stride: max_depth + 1,
+            m: 0,
+            elems: Vec::new(),
+            v: Vec::new(),
+            riu: Vec::new(),
+            vleaf: Vec::new(),
+            rleaf: Vec::new(),
+            stack: Vec::with_capacity(max_depth + 2),
+            qt: Vec::new(),
+            qw: Vec::new(),
+            omt: Vec::new(),
+            ic: Vec::new(),
+            iu: Vec::new(),
         }
-    } else {
-        for j in (0..l).rev() {
-            path[j].weight = path[j].weight * (l + 1) as f64 / (zero * (l - j) as f64);
+    }
+
+    /// Installs the quadrature tables for `tree`: rule order
+    /// `m = ⌈max_unique_path/2⌉` (exact for every leaf polynomial of this
+    /// tree), derived point tables, and the per-node inverse rows shared
+    /// by every sample subsequently walked through this tree.
+    fn prepare(&mut self, tree: &SoaTree) {
+        if tree.max_depth + 1 > self.levels {
+            self.levels = tree.max_depth + 1;
+            self.elem_stride = tree.max_depth + 1;
         }
-    }
-    for j in i..l {
-        path[j].feature = path[j + 1].feature;
-        path[j].zero_fraction = path[j + 1].zero_fraction;
-        path[j].one_fraction = path[j + 1].one_fraction;
-    }
-    path.pop();
-}
-
-/// Sum of weights after (virtually) unwinding element `i` — the permutation
-/// mass attributable to that feature at a leaf. Implemented by unwinding a
-/// scratch copy; O(D) extra per call, O(D²) per leaf, negligible at our
-/// depths.
-fn unwound_weight_sum(path: &[PathElem], i: usize) -> f64 {
-    let mut scratch = path.to_vec();
-    unwind(&mut scratch, i);
-    scratch.iter().map(|e| e.weight).sum()
-}
-
-/// Recursive TreeSHAP descent.
-#[allow(clippy::too_many_arguments)]
-fn recurse(
-    tree: &DecisionTree,
-    x: &[f64],
-    phi: &mut [Vec<f64>],
-    node_idx: usize,
-    mut path: Vec<PathElem>,
-    zero_fraction: f64,
-    one_fraction: f64,
-    feature: usize,
-) {
-    extend(&mut path, zero_fraction, one_fraction, feature);
-    let node = &tree.nodes[node_idx];
-
-    if node.is_leaf() {
-        // Attribute to every real feature on the path.
-        for i in 1..path.len() {
-            let w = unwound_weight_sum(&path, i);
-            let el = path[i];
-            let scale = w * (el.one_fraction - el.zero_fraction);
-            let f = el.feature;
-            for (c, &v) in node.distribution.iter().enumerate() {
-                phi[f][c] += scale * v;
+        let m = tree.max_unique_path.div_ceil(2).max(1);
+        if m != self.m {
+            let (t, w) = gauss_legendre_01(m);
+            self.omt = t.iter().map(|&t| 1.0 - t).collect();
+            self.ic = self.omt.iter().map(|&o| 1.0 / o).collect();
+            self.qt = t;
+            self.qw = w;
+            self.m = m;
+        }
+        self.elems.clear();
+        self.elems
+            .resize(self.levels * self.elem_stride, EMPTY_ELEM);
+        self.v.clear();
+        self.v.resize(self.levels * m, 0.0);
+        self.riu.clear();
+        self.riu.resize(self.levels * m, 0.0);
+        self.vleaf.clear();
+        self.vleaf.resize(m, 0.0);
+        self.rleaf.clear();
+        self.rleaf.resize(m, 0.0);
+        let n = tree.num_nodes();
+        self.iu.clear();
+        self.iu.resize(n * m, 0.0);
+        for i in 0..n {
+            let r = tree.ratio[i];
+            let row = &mut self.iu[i * m..(i + 1) * m];
+            for q in 0..m {
+                row[q] = 1.0 / (self.qt[q] + r * self.omt[q]);
             }
         }
+    }
+}
+
+/// Four-lane dot product — the quadrature sums at a leaf are short
+/// (`m = ⌈l_max/2⌉`) serial reductions, so splitting the accumulator
+/// breaks the add-latency chain. Deterministic: the fold order depends
+/// only on the slice lengths.
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    let ca = a.chunks_exact(4);
+    let cb = b.chunks_exact(4);
+    let ra = ca.remainder();
+    let rb = cb.remainder();
+    for (x, y) in ca.zip(cb) {
+        acc[0] += x[0] * y[0];
+        acc[1] += x[1] * y[1];
+        acc[2] += x[2] * y[2];
+        acc[3] += x[3] * y[3];
+    }
+    let mut s = (acc[0] + acc[2]) + (acc[1] + acc[3]);
+    for (x, y) in ra.iter().zip(rb) {
+        s += x * y;
+    }
+    s
+}
+
+/// Iterative TreeSHAP walk of one tree (already installed in `scratch` by
+/// `Scratch::prepare`) for one sample, accumulating into the flat
+/// row-major `phi[feature * n_classes + class]` buffer (zeroed first).
+fn walk(tree: &SoaTree, x: &[f64], scratch: &mut Scratch, phi: &mut [f64]) {
+    phi.fill(0.0);
+    if tree.is_leaf(0) {
+        // Single-node tree: no features to credit.
         return;
     }
+    let m = scratch.m;
+    let stride = scratch.elem_stride;
+    let n_classes = tree.n_classes;
+    scratch.stack.clear();
+    scratch.stack.push(Frame {
+        node: 0,
+        depth: 0,
+        parent_len: 0,
+        feature: NONE,
+        merged_slot: NONE,
+        one: 1.0,
+        ratio: 1.0,
+    });
+    while let Some(fr) = scratch.stack.pop() {
+        let depth = fr.depth as usize;
+        let ebase = depth * stride;
+        let vbase = depth * m;
+        let mut len = fr.parent_len as usize;
+        if depth == 0 {
+            // Root: empty path — seed each lane with its quadrature
+            // weight, so leaf sums integrate by summing lanes directly.
+            scratch.v[vbase..vbase + m].copy_from_slice(&scratch.qw[..m]);
+        } else {
+            // Derive this depth's path and product from the parent's
+            // buffers one level up, which stay intact while the whole
+            // subtree is processed (descendants only write deeper levels).
+            let psrc = (depth - 1) * stride;
+            scratch.elems.copy_within(psrc..psrc + len, ebase);
+            let qt = &scratch.qt[..m];
+            let omt = &scratch.omt[..m];
+            let (lo, hi) = scratch.v.split_at_mut(vbase);
+            let pv = &lo[vbase - m..];
+            let vrow = &mut hi[..m];
+            if fr.merged_slot == NONE {
+                let r = fr.ratio;
+                scratch.elems[ebase + len] = PathElem {
+                    feature: fr.feature,
+                    src: fr.depth,
+                    zero: if fr.one != 0.0 { r } else { -r },
+                };
+                len += 1;
+                if fr.one != 0.0 {
+                    // Stage the node's precomputed inverse row in this
+                    // depth's slot, so leaf dots read one resident arena.
+                    let src = fr.node as usize * m;
+                    let irow_src = &scratch.iu[src..src + m];
+                    let irow = &mut scratch.riu[vbase..vbase + m];
+                    for q in 0..m {
+                        vrow[q] = pv[q] * (qt[q] + r * omt[q]);
+                        irow[q] = irow_src[q];
+                    }
+                } else {
+                    // Absent-branch elements never dereference a row.
+                    for q in 0..m {
+                        vrow[q] = pv[q] * (r * omt[q]);
+                    }
+                }
+            } else {
+                // The feature already sits on the path: a feature's
+                // presence decision is made once, so the two occurrences
+                // merge — fractions multiply, and the product swaps the
+                // old factor for the merged one.
+                let k = ebase + fr.merged_slot as usize;
+                let old = scratch.elems[k];
+                let old_zero = old.zero.abs();
+                let old_one = if old.zero > 0.0 { 1.0 } else { 0.0 };
+                let one = old_one * fr.one;
+                let zero = old_zero * fr.ratio;
+                scratch.elems[k] = PathElem {
+                    feature: fr.feature,
+                    src: fr.depth,
+                    zero: if one != 0.0 { zero } else { -zero },
+                };
+                let irow = &mut scratch.riu[vbase..vbase + m];
+                for q in 0..m {
+                    let u_old = old_one * qt[q] + old_zero * omt[q];
+                    let u_new = one * qt[q] + zero * omt[q];
+                    vrow[q] = pv[q] * u_new / u_old;
+                    irow[q] = 1.0 / u_new;
+                }
+            }
+        }
 
-    let (hot, cold) = if x[node.feature] <= node.threshold {
-        (node.left, node.right)
-    } else {
-        (node.right, node.left)
-    };
-    let hot_zero = tree.nodes[hot].cover / node.cover;
-    let cold_zero = tree.nodes[cold].cover / node.cover;
-    let mut incoming_zero = 1.0;
-    let mut incoming_one = 1.0;
-
-    // If this feature already appeared on the path, undo its earlier entry
-    // and inherit its fractions (a feature's presence decision is made
-    // once).
-    if let Some(k) = path
-        .iter()
-        .enumerate()
-        .skip(1)
-        .find(|(_, e)| e.feature == node.feature)
-        .map(|(k, _)| k)
-    {
-        incoming_zero = path[k].zero_fraction;
-        incoming_one = path[k].one_fraction;
-        unwind(&mut path, k);
+        let node = fr.node as usize;
+        let feature = tree.feature[node];
+        let (hot, cold) = if x[feature as usize] <= tree.threshold[node] {
+            (tree.left[node], tree.right[node])
+        } else {
+            (tree.right[node], tree.left[node])
+        };
+        let merged_slot = scratch.elems[ebase..ebase + len]
+            .iter()
+            .position(|e| e.feature == feature)
+            .map_or(NONE, |p| p as u32);
+        // Cold pushed below hot: popping processes the hot subtree first,
+        // so its arrays stay cache-warm along the sample's own decision
+        // path. Leaf children never get a frame — their contribution is
+        // folded right here from the parent's buffers.
+        for (child, one) in [(cold, 0.0f64), (hot, 1.0f64)] {
+            let cnode = child as usize;
+            let r = tree.ratio[cnode];
+            if !tree.is_leaf(cnode) {
+                scratch.stack.push(Frame {
+                    node: child,
+                    depth: fr.depth + 1,
+                    parent_len: len as u32,
+                    feature,
+                    merged_slot,
+                    one,
+                    ratio: r,
+                });
+                continue;
+            }
+            // Derive the leaf's product row (and, after a merge, its
+            // inverse row) from the parent's without touching the arenas.
+            let hot_child = one != 0.0;
+            let own_zero;
+            let own_hot;
+            {
+                let vrow = &scratch.v[vbase..vbase + m];
+                let qt = &scratch.qt[..m];
+                let omt = &scratch.omt[..m];
+                let vleaf = &mut scratch.vleaf[..m];
+                if merged_slot == NONE {
+                    own_zero = r;
+                    own_hot = hot_child;
+                    if hot_child {
+                        for q in 0..m {
+                            vleaf[q] = vrow[q] * (qt[q] + r * omt[q]);
+                        }
+                    } else {
+                        for q in 0..m {
+                            vleaf[q] = vrow[q] * (r * omt[q]);
+                        }
+                    }
+                } else {
+                    let old = scratch.elems[ebase + merged_slot as usize];
+                    let old_zero = old.zero.abs();
+                    let old_one = if old.zero > 0.0 { 1.0 } else { 0.0 };
+                    let one_m = if hot_child { old_one } else { 0.0 };
+                    own_zero = old_zero * r;
+                    own_hot = one_m != 0.0;
+                    let rleaf = &mut scratch.rleaf[..m];
+                    for q in 0..m {
+                        let u_old = old_one * qt[q] + old_zero * omt[q];
+                        let u_new = one_m * qt[q] + own_zero * omt[q];
+                        vleaf[q] = vrow[q] * u_new / u_old;
+                        rleaf[q] = 1.0 / u_new;
+                    }
+                }
+            }
+            // V carries ω_q, so the shared absent-feature integral is
+            // Σ_q V_q/(1−t_q) (each feature's own zero fraction cancels
+            // algebraically).
+            let vleaf = &scratch.vleaf[..m];
+            let s_cold = dot(&scratch.ic[..m], vleaf);
+            let (classes, vals) = tree.leaf_nonzero(cnode);
+            let skip = if merged_slot == NONE {
+                usize::MAX
+            } else {
+                merged_slot as usize
+            };
+            for (idx, e) in scratch.elems[ebase..ebase + len].iter().enumerate() {
+                if idx == skip {
+                    continue;
+                }
+                let scale = if e.zero < 0.0 {
+                    -s_cold
+                } else {
+                    let off = e.src as usize * m;
+                    (1.0 - e.zero) * dot(vleaf, &scratch.riu[off..off + m])
+                };
+                let f = e.feature as usize * n_classes;
+                for (&c, &v) in classes.iter().zip(vals) {
+                    phi[f + c as usize] += scale * v;
+                }
+            }
+            // The split feature's own element at this leaf.
+            let own_scale = if !own_hot {
+                -s_cold
+            } else if merged_slot == NONE {
+                let src = cnode * m;
+                (1.0 - own_zero) * dot(vleaf, &scratch.iu[src..src + m])
+            } else {
+                (1.0 - own_zero) * dot(vleaf, &scratch.rleaf[..m])
+            };
+            let f = feature as usize * n_classes;
+            for (&c, &v) in classes.iter().zip(vals) {
+                phi[f + c as usize] += own_scale * v;
+            }
+        }
     }
+}
 
-    recurse(
-        tree,
-        x,
-        phi,
-        hot,
-        path.clone(),
-        incoming_zero * hot_zero,
-        incoming_one,
-        node.feature,
-    );
-    recurse(
-        tree,
-        x,
-        phi,
-        cold,
-        path,
-        incoming_zero * cold_zero,
-        0.0,
-        node.feature,
-    );
+/// `Scratch::prepare` + [`walk`] for one (tree, sample) pair. Batch
+/// callers prepare once per tree and call [`walk`] directly.
+fn soa_tree_shap(tree: &SoaTree, x: &[f64], scratch: &mut Scratch, phi: &mut [f64]) {
+    scratch.prepare(tree);
+    walk(tree, x, scratch, phi);
+}
+
+/// Forest SHAP for one sample into a flat `features × classes` accumulator:
+/// per-tree walks accumulate in strict forest order, then scale by 1/T.
+/// `phi_tree` and `acc` must both hold `n_features * n_classes` slots.
+fn soa_forest_shap_into(
+    forest: &SoaForest,
+    x: &[f64],
+    scratch: &mut Scratch,
+    phi_tree: &mut [f64],
+    acc: &mut [f64],
+) {
+    acc.fill(0.0);
+    for tree in &forest.trees {
+        soa_tree_shap(tree, x, scratch, phi_tree);
+        for (a, &p) in acc.iter_mut().zip(phi_tree.iter()) {
+            *a += p;
+        }
+    }
+    let inv = 1.0 / forest.trees.len() as f64;
+    for a in acc.iter_mut() {
+        *a *= inv;
+    }
+}
+
+/// Unflattens a row-major `features × classes` buffer into the historical
+/// `phi[feature][class]` shape.
+fn unflatten(flat: &[f64], n_features: usize, n_classes: usize) -> Vec<Vec<f64>> {
+    (0..n_features)
+        .map(|f| flat[f * n_classes..(f + 1) * n_classes].to_vec())
+        .collect()
 }
 
 /// TreeSHAP explanation of one tree for one sample.
@@ -183,22 +495,11 @@ fn recurse(
 /// ```
 pub fn tree_shap(tree: &DecisionTree, x: &[f64]) -> Vec<Vec<f64>> {
     assert_eq!(x.len(), tree.n_features, "tree_shap: feature mismatch");
-    let mut phi = vec![vec![0.0f64; tree.n_classes]; tree.n_features];
-    // Single-node tree: no features to credit.
-    if tree.nodes[0].is_leaf() {
-        return phi;
-    }
-    recurse(
-        tree,
-        x,
-        &mut phi,
-        0,
-        Vec::with_capacity(16),
-        1.0,
-        1.0,
-        usize::MAX,
-    );
-    phi
+    let soa = SoaTree::from_tree(tree);
+    let mut scratch = Scratch::for_depth(soa.max_depth);
+    let mut phi = vec![0.0f64; tree.n_features * tree.n_classes];
+    soa_tree_shap(&soa, x, &mut scratch, &mut phi);
+    unflatten(&phi, tree.n_features, tree.n_classes)
 }
 
 /// The base (expected) value of a tree: its output with every feature
@@ -215,23 +516,22 @@ pub fn base_value(tree: &DecisionTree) -> Vec<f64> {
 /// TreeSHAP explanation of a random forest for one sample: the average of
 /// per-tree explanations (Shapley values are linear in the model).
 /// Returns `phi[feature][class]`.
+///
+/// Freezes the forest into [`SoaForest`] form first; callers explaining
+/// many samples should freeze once and use [`forest_shap_soa`] or the
+/// batch APIs.
 pub fn forest_shap(forest: &RandomForest, x: &[f64]) -> Vec<Vec<f64>> {
-    let mut acc = vec![vec![0.0f64; forest.n_classes]; forest.n_features];
-    for tree in &forest.trees {
-        let phi = tree_shap(tree, x);
-        for (a_row, p_row) in acc.iter_mut().zip(&phi) {
-            for (a, &p) in a_row.iter_mut().zip(p_row) {
-                *a += p;
-            }
-        }
-    }
-    let inv = 1.0 / forest.trees.len() as f64;
-    for row in &mut acc {
-        for v in row.iter_mut() {
-            *v *= inv;
-        }
-    }
-    acc
+    forest_shap_soa(&SoaForest::from_forest(forest), x)
+}
+
+/// [`forest_shap`] over an already-frozen forest.
+pub fn forest_shap_soa(forest: &SoaForest, x: &[f64]) -> Vec<Vec<f64>> {
+    let mut scratch = Scratch::for_depth(forest.max_depth);
+    let fc = forest.n_features * forest.n_classes;
+    let mut phi_tree = vec![0.0f64; fc];
+    let mut acc = vec![0.0f64; fc];
+    soa_forest_shap_into(forest, x, &mut scratch, &mut phi_tree, &mut acc);
+    unflatten(&acc, forest.n_features, forest.n_classes)
 }
 
 /// Forest base values: mean of per-tree base values.
@@ -268,20 +568,76 @@ pub fn forest_shap_class_matrix(forest: &RandomForest, x: &Matrix, class: usize)
 /// [`forest_shap_class_matrix`] per class.
 pub fn forest_shap_batch(forest: &RandomForest, x: &Matrix) -> Vec<Matrix> {
     assert_eq!(x.cols(), forest.n_features, "feature mismatch");
+    forest_shap_batch_soa(&SoaForest::from_forest(forest), x)
+}
+
+/// [`forest_shap_batch`] over an already-frozen forest — the stage-3 hot
+/// path. Samples are processed in parallel chunks; within a chunk the walk
+/// is tree-major (every sample of the chunk walks tree t before any walks
+/// tree t+1), so one tree's quadrature tables are installed once and its
+/// arrays stay cache-hot, while each sample's accumulator still folds
+/// trees in strict forest order. Chunk boundaries never enter any
+/// floating-point expression, so results are bit-identical for every
+/// thread count and chunk size.
+pub fn forest_shap_batch_soa(forest: &SoaForest, x: &Matrix) -> Vec<Matrix> {
+    assert_eq!(x.cols(), forest.n_features, "feature mismatch");
     let _span = icn_obs::Span::enter("shap_batch");
-    let per_sample: Vec<Vec<Vec<f64>>> =
-        par::map_indexed(x.rows(), |i| forest_shap(forest, x.row(i)));
+    let obs = icn_obs::global();
+    let started = obs.is_enabled().then(std::time::Instant::now);
+
+    let n = x.rows();
+    let fc = forest.n_features * forest.n_classes;
+    let inv = 1.0 / forest.trees.len().max(1) as f64;
+    let chunk = shap_chunk_size(n);
+    // Each chunk returns its samples' flat phi buffers concatenated.
+    let chunks: Vec<Vec<f64>> = par::map_chunks(n, chunk, |range| {
+        let mut scratch = Scratch::for_depth(forest.max_depth);
+        let mut phi_tree = vec![0.0f64; fc];
+        let mut acc = vec![0.0f64; fc * range.len()];
+        for tree in &forest.trees {
+            scratch.prepare(tree);
+            for (si, i) in range.clone().enumerate() {
+                walk(tree, x.row(i), &mut scratch, &mut phi_tree);
+                for (a, &p) in acc[si * fc..(si + 1) * fc].iter_mut().zip(phi_tree.iter()) {
+                    *a += p;
+                }
+            }
+        }
+        for a in acc.iter_mut() {
+            *a *= inv;
+        }
+        acc
+    });
+
     // One flush for the whole batch: every sample walks every tree once.
-    icn_obs::global().add_counter("shap.tree_walks", (x.rows() * forest.trees.len()) as u64);
+    obs.add_counter("shap.tree_walks", (n * forest.trees.len()) as u64);
+    if let Some(t0) = started {
+        let secs = t0.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            obs.set_gauge("shap.samples_per_sec", n as f64 / secs);
+        }
+    }
+
+    let flat: Vec<f64> = chunks.into_iter().flatten().collect();
     (0..forest.n_classes)
         .map(|c| {
-            let rows: Vec<Vec<f64>> = per_sample
-                .iter()
-                .map(|phi| phi.iter().map(|per_class| per_class[c]).collect())
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|i| {
+                    (0..forest.n_features)
+                        .map(|f| flat[i * fc + f * forest.n_classes + c])
+                        .collect()
+                })
                 .collect();
             Matrix::from_rows(&rows)
         })
         .collect()
+}
+
+/// Sample-chunk width for the batched SHAP walk: large enough that the
+/// per-tree table preparation amortizes over a chunk's samples, small
+/// enough to load-balance chunks across workers. Never affects results.
+fn shap_chunk_size(n: usize) -> usize {
+    (n / (par::thread_count() * 2)).clamp(16, 4096)
 }
 
 #[cfg(test)]
@@ -390,7 +746,7 @@ mod tests {
     #[test]
     fn repeated_feature_on_path_handled() {
         // Deep tree on a single feature: splits reuse the same feature at
-        // several depths, exercising the unwind-inherit branch.
+        // several depths, exercising the merge/imu branch.
         let mut rng = Rng::seed_from(6);
         let mut rows = Vec::new();
         let mut labels = Vec::new();
@@ -409,6 +765,39 @@ mod tests {
             for c in 0..tree.n_classes {
                 let total = phi[0][c] + base[c];
                 assert!((total - pred[c]).abs() < 1e-9, "x {x:?} class {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_feature_matches_exact_enumeration() {
+        // Two features, deep tree: features recur along paths in both hot
+        // and cold positions, covering every merge combination against the
+        // 2^M oracle.
+        let mut rng = Rng::seed_from(13);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..150 {
+            let a = rng.uniform(0.0, 4.0);
+            let b = rng.uniform(0.0, 4.0);
+            rows.push(vec![a, b]);
+            labels.push(((a + b) as usize / 2).min(3));
+        }
+        let ts = TrainSet::new(Matrix::from_rows(&rows), labels);
+        let tree = fit_tree(&ts, 13);
+        for i in (0..ts.len()).step_by(11) {
+            let x = ts.x.row(i);
+            let fast = tree_shap(&tree, x);
+            let (slow, _) = exact_tree_shap(&tree, x);
+            for f in 0..2 {
+                for c in 0..tree.n_classes {
+                    assert!(
+                        (fast[f][c] - slow[f][c]).abs() < 1e-9,
+                        "sample {i} feature {f} class {c}: {} vs {}",
+                        fast[f][c],
+                        slow[f][c]
+                    );
+                }
             }
         }
     }
@@ -453,6 +842,66 @@ mod tests {
         }
         for (b, p) in base.iter().zip(&prior) {
             assert!((b - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_dissimilar_trees() {
+        // One Scratch must serve trees of different depths and quadrature
+        // orders back to back (the batch kernel reuses it tree-major);
+        // stale arena contents must never leak into a later walk.
+        let deep_ts = training_set(10, 5, 150);
+        let deep = fit_tree(&deep_ts, 10);
+        let shallow_ts = training_set(11, 5, 12);
+        let shallow = fit_tree(&shallow_ts, 11);
+        let soa_deep = SoaTree::from_tree(&deep);
+        let soa_shallow = SoaTree::from_tree(&shallow);
+        let max_depth = soa_deep.max_depth.max(soa_shallow.max_depth);
+        let mut scratch = Scratch::for_depth(max_depth);
+        let x = deep_ts.x.row(3);
+        let fc = 5 * deep.n_classes;
+        let mut phi = vec![0.0f64; fc];
+        // Dirty the arena with the deep tree, then walk the shallow one.
+        soa_tree_shap(&soa_deep, x, &mut scratch, &mut phi);
+        let first = {
+            let mut p = vec![0.0f64; 5 * shallow.n_classes];
+            soa_tree_shap(&soa_shallow, x, &mut scratch, &mut p);
+            p
+        };
+        let fresh = {
+            let mut s = Scratch::for_depth(soa_shallow.max_depth);
+            let mut p = vec![0.0f64; 5 * shallow.n_classes];
+            soa_tree_shap(&soa_shallow, x, &mut s, &mut p);
+            p
+        };
+        for (a, b) in first.iter().zip(&fresh) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_soa_matches_per_sample_bitwise() {
+        let ts = training_set(12, 5, 90);
+        let forest = icn_forest::RandomForest::fit(
+            &ts,
+            &ForestConfig {
+                n_trees: 8,
+                ..ForestConfig::default()
+            },
+        );
+        let soa = SoaForest::from_forest(&forest);
+        let batched = forest_shap_batch_soa(&soa, &ts.x);
+        for i in 0..ts.len() {
+            let phi = forest_shap_soa(&soa, ts.x.row(i));
+            for c in 0..forest.n_classes {
+                for f in 0..forest.n_features {
+                    assert_eq!(
+                        batched[c].get(i, f).to_bits(),
+                        phi[f][c].to_bits(),
+                        "sample {i} class {c} feature {f}"
+                    );
+                }
+            }
         }
     }
 }

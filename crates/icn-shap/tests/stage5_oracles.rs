@@ -12,7 +12,8 @@ use icn_shap::{exact_tree_shap, forest_base_value, forest_shap, forest_shap_batc
 use icn_stats::check::{self, cases};
 use icn_stats::Matrix;
 use icn_testkit::{
-    per_sample_shap_batch, permutation, permute_cols, permute_forest_features, permute_slice,
+    naive_forest_shap, naive_tree_shap, per_sample_shap_batch, permutation, permute_cols,
+    permute_forest_features, permute_slice,
 };
 
 /// Small labelled blobs (feature count kept ≤ 6 so the 2^M oracle stays
@@ -66,6 +67,81 @@ fn batched_shap_matches_per_sample_recomputation() {
             }
         }
     });
+}
+
+#[test]
+fn quadrature_kernel_matches_recursive_oracle() {
+    // The Gauss–Legendre quadrature kernel evaluates the same Shapley
+    // weights as the historical recursive recurrence (preserved verbatim
+    // in icn-testkit) through an exact integral reformulation — only f64
+    // rounding may differ, so the diff must sit at accumulation-noise
+    // level, far below any value the pipeline renders.
+    cases(10, |case, rng| {
+        let ts = blobs(rng);
+        let forest = small_forest(&ts, case + 1);
+        for i in 0..ts.x.rows() {
+            let x = ts.x.row(i);
+            let kernel = forest_shap(&forest, x);
+            let oracle = naive_forest_shap(&forest, x);
+            for (f, (kf, of)) in kernel.iter().zip(&oracle).enumerate() {
+                for (c, (a, b)) in kf.iter().zip(of).enumerate() {
+                    assert!(
+                        (a - b).abs() < 1e-11,
+                        "row {i} feature {f} class {c}: kernel {a} vs recursive {b}"
+                    );
+                }
+            }
+        }
+        // Single-tree path too (covers the repeated-feature merge).
+        for tree in &forest.trees {
+            let x = ts.x.row(0);
+            let kernel = tree_shap(tree, x);
+            let oracle = naive_tree_shap(tree, x);
+            for (kf, of) in kernel.iter().zip(&oracle) {
+                for (a, b) in kf.iter().zip(of) {
+                    assert!((a - b).abs() < 1e-11, "kernel {a} vs recursive {b}");
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn batched_shap_invariant_to_thread_count() {
+    // ICN_THREADS only changes the schedule, never any floating-point
+    // expression: the batched SHAP matrices must be bit-identical with 1
+    // worker, 3 workers, and the hardware default.
+    let mut rng = icn_stats::Rng::seed_from(42);
+    let ts = blobs(&mut rng);
+    let forest = small_forest(&ts, 7);
+    let run_with = |threads: Option<&str>| {
+        match threads {
+            Some(t) => std::env::set_var("ICN_THREADS", t),
+            None => std::env::remove_var("ICN_THREADS"),
+        }
+        let out = forest_shap_batch(&forest, &ts.x);
+        std::env::remove_var("ICN_THREADS");
+        out
+    };
+    let serial = run_with(Some("1"));
+    let three = run_with(Some("3"));
+    let default = run_with(None);
+    for (c, s) in serial.iter().enumerate() {
+        for (i, (&a, &b)) in s.as_slice().iter().zip(three[c].as_slice()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "class {c} cell {i}: 1 vs 3 threads"
+            );
+        }
+        for (i, (&a, &b)) in s.as_slice().iter().zip(default[c].as_slice()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "class {c} cell {i}: 1 vs default threads"
+            );
+        }
+    }
 }
 
 #[test]

@@ -10,23 +10,32 @@
 //! an atomic cursor (so fast threads steal remaining chunks), and each
 //! chunk's results are stitched back in index order at the end.
 //!
-//! Thread count comes from `std::thread::available_parallelism`, capped by
-//! the `ICN_THREADS` environment variable when set (useful for overhead
-//! experiments and CI determinism checks — though results never depend on
-//! it).
+//! Thread count comes from `std::thread::available_parallelism`, overridden
+//! by the `ICN_THREADS` environment variable when set (useful for overhead
+//! experiments, CI determinism checks and bench sweeps — though results
+//! never depend on it). The override may exceed the hardware count, so
+//! benches can pin a worker count on any machine.
 
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Number of worker threads to use for `n` items.
-fn thread_count(n: usize) -> usize {
+/// Effective worker-thread count for parallel sections: the `ICN_THREADS`
+/// environment override when set (≥ 1, may exceed the hardware count),
+/// otherwise `std::thread::available_parallelism`. This is also the value
+/// bench reports record as `env.threads`; results never depend on it.
+pub fn thread_count() -> usize {
     let hw = std::thread::available_parallelism().map_or(1, |v| v.get());
-    let cap = std::env::var("ICN_THREADS")
+    std::env::var("ICN_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&v| v >= 1)
-        .unwrap_or(hw);
-    hw.min(cap).min(n.max(1))
+        .unwrap_or(hw)
+}
+
+/// Number of worker threads to use for `n` items.
+fn workers_for(n: usize) -> usize {
+    thread_count().min(n.max(1))
 }
 
 /// Maps `f` over `0..n` in parallel, returning results in index order.
@@ -39,7 +48,7 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let threads = thread_count(n);
+    let threads = workers_for(n);
     if threads <= 1 || n < 2 {
         return (0..n).map(f).collect();
     }
@@ -71,6 +80,32 @@ where
     }
     debug_assert_eq!(out.len(), n);
     out
+}
+
+/// Maps `f` over contiguous index chunks of width `chunk`, in parallel,
+/// returning the per-chunk results in chunk order.
+///
+/// This is the deterministic chunk-reduction building block for kernels
+/// that fold many work items into one accumulator per chunk (e.g. one SHAP
+/// matrix per sample chunk, summed over trees in a fixed order): because a
+/// chunk is processed start-to-finish by exactly one worker, any in-chunk
+/// reduction order the caller chooses is preserved bit-for-bit regardless
+/// of the thread count, and stitching the chunk results back in index
+/// order yields a schedule-independent total result.
+///
+/// The final chunk may be shorter than `chunk` when `chunk` does not
+/// divide `n`.
+pub fn map_chunks<R, F>(n: usize, chunk: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    assert!(chunk >= 1, "par::map_chunks: chunk must be >= 1");
+    let n_chunks = n.div_ceil(chunk);
+    map_indexed(n_chunks, |ci| {
+        let start = ci * chunk;
+        f(start..(start + chunk).min(n))
+    })
 }
 
 /// Parallel sum of `f(i)` over `0..n` (order-independent reduction of an
@@ -121,5 +156,47 @@ mod tests {
     fn non_copy_results_supported() {
         let out = map_indexed(50, |i| vec![i; i % 5]);
         assert_eq!(out[4], vec![4; 4]);
+    }
+
+    #[test]
+    fn map_chunks_covers_ranges_in_order() {
+        // 10 items in chunks of 3: ragged tail chunk of 1.
+        let ranges = map_chunks(10, 3, |r| (r.start, r.end));
+        assert_eq!(ranges, vec![(0, 3), (3, 6), (6, 9), (9, 10)]);
+        // Chunk wider than n: one chunk.
+        assert_eq!(map_chunks(4, 100, |r| r.len()), vec![4]);
+        // Empty input: no chunks.
+        assert_eq!(map_chunks(0, 5, |r| r.len()), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn map_chunks_matches_sequential_fold() {
+        let f = |i: usize| (i as f64).cos();
+        let chunked: Vec<f64> = map_chunks(523, 17, |r| r.map(f).sum::<f64>());
+        let seq: Vec<f64> = (0..523)
+            .collect::<Vec<usize>>()
+            .chunks(17)
+            .map(|c| c.iter().map(|&i| f(i)).sum::<f64>())
+            .collect();
+        assert_eq!(chunked, seq); // bit-for-bit: in-chunk order is preserved
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk must be >= 1")]
+    fn map_chunks_rejects_zero_chunk() {
+        map_chunks(10, 0, |r| r.len());
+    }
+
+    #[test]
+    fn thread_count_honors_env_override() {
+        std::env::set_var("ICN_THREADS", "3");
+        let n = thread_count();
+        std::env::remove_var("ICN_THREADS");
+        assert_eq!(n, 3);
+        // Invalid values fall back to hardware parallelism.
+        std::env::set_var("ICN_THREADS", "zero");
+        let fallback = thread_count();
+        std::env::remove_var("ICN_THREADS");
+        assert!(fallback >= 1);
     }
 }

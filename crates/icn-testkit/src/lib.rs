@@ -39,6 +39,7 @@ pub use metamorphic::{
     permute_labels, permute_rows, permute_slice, same_partition, scale_rows,
 };
 pub use oracle::{
-    naive_accuracy, naive_agglomerate, naive_dunn, naive_predict_batch, naive_predict_proba,
-    naive_rca, naive_rsca, naive_silhouette, per_sample_shap_batch,
+    naive_accuracy, naive_agglomerate, naive_dunn, naive_forest_shap, naive_predict_batch,
+    naive_predict_proba, naive_rca, naive_rsca, naive_silhouette, naive_tree_shap,
+    per_sample_shap_batch,
 };

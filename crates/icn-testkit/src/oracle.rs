@@ -8,7 +8,7 @@
 //! divergence is a real algorithmic regression, not a tuning artefact.
 
 use icn_cluster::{Condensed, Linkage, Merge, MergeHistory};
-use icn_forest::{RandomForest, TrainSet};
+use icn_forest::{DecisionTree, RandomForest, TrainSet};
 use icn_stats::Matrix;
 
 /// Eq. (1) computed per cell with all four marginals re-derived from
@@ -195,6 +195,180 @@ pub fn naive_accuracy(forest: &RandomForest, ts: &TrainSet) -> f64 {
         .filter(|&i| forest.predict(ts.x.row(i)) == ts.y[i])
         .count();
     hits as f64 / ts.x.rows() as f64
+}
+
+/// The original **recursive** path-dependent TreeSHAP implementation,
+/// preserved verbatim as the differential oracle for the iterative,
+/// allocation-free kernel that replaced it in `icn-shap`: it clones the
+/// path `Vec` at every descent step and clone-unwinds per leaf feature,
+/// exactly as the historical code did, so a `to_bits` comparison against
+/// `icn_shap::tree_shap` pins the rewrite to bit-identical arithmetic.
+pub fn naive_tree_shap(tree: &DecisionTree, x: &[f64]) -> Vec<Vec<f64>> {
+    #[derive(Clone, Copy)]
+    struct PathElem {
+        feature: usize,
+        zero_fraction: f64,
+        one_fraction: f64,
+        weight: f64,
+    }
+
+    fn extend(path: &mut Vec<PathElem>, zero_fraction: f64, one_fraction: f64, feature: usize) {
+        let l = path.len();
+        path.push(PathElem {
+            feature,
+            zero_fraction,
+            one_fraction,
+            weight: if l == 0 { 1.0 } else { 0.0 },
+        });
+        for i in (0..l).rev() {
+            path[i + 1].weight += one_fraction * path[i].weight * (i + 1) as f64 / (l + 1) as f64;
+            path[i].weight = zero_fraction * path[i].weight * (l - i) as f64 / (l + 1) as f64;
+        }
+    }
+
+    fn unwind(path: &mut Vec<PathElem>, i: usize) {
+        let l = path.len() - 1;
+        let one = path[i].one_fraction;
+        let zero = path[i].zero_fraction;
+        let mut n = path[l].weight;
+        if one != 0.0 {
+            for j in (0..l).rev() {
+                let t = path[j].weight;
+                path[j].weight = n * (l + 1) as f64 / ((j + 1) as f64 * one);
+                n = t - path[j].weight * zero * (l - j) as f64 / (l + 1) as f64;
+            }
+        } else {
+            for j in (0..l).rev() {
+                path[j].weight = path[j].weight * (l + 1) as f64 / (zero * (l - j) as f64);
+            }
+        }
+        for j in i..l {
+            path[j].feature = path[j + 1].feature;
+            path[j].zero_fraction = path[j + 1].zero_fraction;
+            path[j].one_fraction = path[j + 1].one_fraction;
+        }
+        path.pop();
+    }
+
+    fn unwound_weight_sum(path: &[PathElem], i: usize) -> f64 {
+        let mut scratch = path.to_vec();
+        unwind(&mut scratch, i);
+        scratch.iter().map(|e| e.weight).sum()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        tree: &DecisionTree,
+        x: &[f64],
+        phi: &mut [Vec<f64>],
+        node_idx: usize,
+        mut path: Vec<PathElem>,
+        zero_fraction: f64,
+        one_fraction: f64,
+        feature: usize,
+    ) {
+        extend(&mut path, zero_fraction, one_fraction, feature);
+        let node = &tree.nodes[node_idx];
+
+        if node.is_leaf() {
+            for i in 1..path.len() {
+                let w = unwound_weight_sum(&path, i);
+                let el = path[i];
+                let scale = w * (el.one_fraction - el.zero_fraction);
+                let f = el.feature;
+                for (c, &v) in node.distribution.iter().enumerate() {
+                    phi[f][c] += scale * v;
+                }
+            }
+            return;
+        }
+
+        let (hot, cold) = if x[node.feature] <= node.threshold {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        let hot_zero = tree.nodes[hot].cover / node.cover;
+        let cold_zero = tree.nodes[cold].cover / node.cover;
+        let mut incoming_zero = 1.0;
+        let mut incoming_one = 1.0;
+
+        if let Some(k) = path
+            .iter()
+            .enumerate()
+            .skip(1)
+            .find(|(_, e)| e.feature == node.feature)
+            .map(|(k, _)| k)
+        {
+            incoming_zero = path[k].zero_fraction;
+            incoming_one = path[k].one_fraction;
+            unwind(&mut path, k);
+        }
+
+        recurse(
+            tree,
+            x,
+            phi,
+            hot,
+            path.clone(),
+            incoming_zero * hot_zero,
+            incoming_one,
+            node.feature,
+        );
+        recurse(
+            tree,
+            x,
+            phi,
+            cold,
+            path,
+            incoming_zero * cold_zero,
+            0.0,
+            node.feature,
+        );
+    }
+
+    assert_eq!(
+        x.len(),
+        tree.n_features,
+        "naive_tree_shap: feature mismatch"
+    );
+    let mut phi = vec![vec![0.0f64; tree.n_classes]; tree.n_features];
+    if tree.nodes[0].is_leaf() {
+        return phi;
+    }
+    recurse(
+        tree,
+        x,
+        &mut phi,
+        0,
+        Vec::with_capacity(16),
+        1.0,
+        1.0,
+        usize::MAX,
+    );
+    phi
+}
+
+/// Forest SHAP through [`naive_tree_shap`]: per-tree explanations summed
+/// in forest order and scaled by 1/T — the historical accumulation
+/// pattern, for bit-exact differential tests against the batched kernel.
+pub fn naive_forest_shap(forest: &RandomForest, x: &[f64]) -> Vec<Vec<f64>> {
+    let mut acc = vec![vec![0.0f64; forest.n_classes]; forest.n_features];
+    for tree in &forest.trees {
+        let phi = naive_tree_shap(tree, x);
+        for (a_row, p_row) in acc.iter_mut().zip(&phi) {
+            for (a, &p) in a_row.iter_mut().zip(p_row) {
+                *a += p;
+            }
+        }
+    }
+    let inv = 1.0 / forest.trees.len() as f64;
+    for row in &mut acc {
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+    acc
 }
 
 /// Per-sample SHAP recomputation: runs the single-sample [`forest_shap`]
