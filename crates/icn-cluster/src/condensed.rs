@@ -83,6 +83,21 @@ impl Condensed {
     pub fn as_slice(&self) -> &[f64] {
         &self.d
     }
+
+    /// The entry-wise square root of this matrix.
+    ///
+    /// `Metric::Euclidean.distance` is defined as
+    /// `Metric::SqEuclidean.distance(..).sqrt()`, so for a condensed matrix
+    /// built with `Metric::SqEuclidean` (Ward's base metric) this is
+    /// **bit-identical** to recomputing `from_rows(data, Metric::Euclidean)`
+    /// — at O(N²) instead of O(N²·M), skipping the second full pairwise
+    /// pass the k-sweep used to pay for.
+    pub fn sqrt_values(&self) -> Condensed {
+        Condensed {
+            n: self.n,
+            d: self.d.iter().map(|&v| v.sqrt()).collect(),
+        }
+    }
 }
 
 #[inline]
@@ -142,6 +157,22 @@ mod tests {
         let c = Condensed::from_rows(&data(), Metric::Euclidean);
         assert_eq!(c.as_slice().len(), 6);
         assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn sqrt_values_matches_euclidean_bitwise() {
+        let mut rng = icn_stats::Rng::seed_from(11);
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|_| (0..5).map(|_| rng.gaussian()).collect())
+            .collect();
+        let m = Matrix::from_rows(&rows);
+        let sq = Condensed::from_rows(&m, Metric::SqEuclidean);
+        let direct = Condensed::from_rows(&m, Metric::Euclidean);
+        let derived = sq.sqrt_values();
+        assert_eq!(derived.len(), direct.len());
+        for (a, b) in direct.as_slice().iter().zip(derived.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -25,8 +25,9 @@ use icn_cluster::{
     agglomerate_condensed, sweep_k, Condensed, Dendrogram, KQuality, Linkage, MergeHistory,
 };
 use icn_forest::{RandomForest, SoaForest, TrainSet};
+use icn_ingest::IngestResult;
 use icn_shap::ClassExplanation;
-use icn_stats::{Matrix, Metric};
+use icn_stats::Matrix;
 use icn_synth::Dataset;
 
 /// All artefacts of one study run.
@@ -72,41 +73,36 @@ impl IcnStudy {
     /// panicking [`IcnStudy::run`] is the convenience for examples and
     /// harnesses that control their inputs.
     pub fn try_run(dataset: &Dataset, config: StudyConfig) -> Result<IcnStudy, crate::StudyError> {
+        if dataset.num_antennas() == 0 {
+            return Err(crate::StudyError::EmptyDataset);
+        }
+        validate_totals(&dataset.indoor_totals, &config)?;
+        Ok(IcnStudy::run(dataset, config))
+    }
+
+    /// Runs the pipeline on a **streaming-built** totals matrix: the
+    /// `icn-ingest` entry point. The dataset still supplies the antenna
+    /// metadata, service catalog and outdoor matrices; `ingest.totals`
+    /// replaces `dataset.indoor_totals` as the study's `T`. For a clean
+    /// stream the two are bit-identical and so is the whole study.
+    pub fn from_ingest(
+        dataset: &Dataset,
+        ingest: &IngestResult,
+        config: StudyConfig,
+    ) -> Result<IcnStudy, crate::StudyError> {
         use crate::StudyError;
         if dataset.num_antennas() == 0 {
             return Err(StudyError::EmptyDataset);
         }
-        if config.k < 2 {
+        if ingest.totals.shape() != dataset.indoor_totals.shape() {
+            let (ir, ic) = ingest.totals.shape();
+            let (dr, dc) = dataset.indoor_totals.shape();
             return Err(StudyError::BadConfig(format!(
-                "k = {} must be ≥ 2",
-                config.k
+                "ingest totals are {ir}×{ic} but the dataset is {dr}×{dc}"
             )));
         }
-        if config.k_coarse < 1 || config.k_coarse > config.k {
-            return Err(StudyError::BadConfig(format!(
-                "k_coarse = {} must be in 1..=k ({})",
-                config.k_coarse, config.k
-            )));
-        }
-        if config.n_trees == 0 {
-            return Err(StudyError::BadConfig("n_trees = 0".into()));
-        }
-        if dataset.indoor_totals.has_non_finite() {
-            return Err(StudyError::NonFiniteTraffic);
-        }
-        if dataset.indoor_totals.total() <= 0.0 {
-            return Err(StudyError::NoTraffic);
-        }
-        let live = dataset
-            .indoor_totals
-            .row_sums()
-            .iter()
-            .filter(|&&s| s > 0.0)
-            .count();
-        if live < config.k {
-            return Err(StudyError::TooFewAntennas { live, k: config.k });
-        }
-        Ok(IcnStudy::run(dataset, config))
+        validate_totals(&ingest.totals, &config)?;
+        Ok(IcnStudy::run_on(dataset, &ingest.totals, config))
     }
 
     /// Runs the full pipeline on a dataset.
@@ -117,15 +113,22 @@ impl IcnStudy {
     /// [`icn_obs::PIPELINE_STAGES`]) and feeds stage-scoped counters, so a
     /// [`icn_obs::BenchReport`] snapshot covers the whole pipeline.
     pub fn run(dataset: &Dataset, config: StudyConfig) -> IcnStudy {
+        IcnStudy::run_on(dataset, &dataset.indoor_totals, config)
+    }
+
+    /// The shared pipeline body: `totals` is the `T` matrix to analyse —
+    /// `dataset.indoor_totals` for [`IcnStudy::run`], a streaming-built
+    /// matrix for [`IcnStudy::from_ingest`].
+    fn run_on(dataset: &Dataset, totals: &Matrix, config: StudyConfig) -> IcnStudy {
         let obs = icn_obs::global();
 
         // 1. Transform.
         let (t_live, live_rows, rsca_m) = {
             let _span = icn_obs::Span::enter("stage1_transform");
-            let (t_live, live_rows) = filter_dead_rows(&dataset.indoor_totals);
+            let (t_live, live_rows) = filter_dead_rows(totals);
             let rsca_m = rsca(&t_live);
             if obs.is_enabled() {
-                obs.add_counter("transform.input_rows", dataset.indoor_totals.rows() as u64);
+                obs.add_counter("transform.input_rows", totals.rows() as u64);
                 obs.add_counter("transform.live_rows", live_rows.len() as u64);
                 obs.add_counter("transform.services", rsca_m.cols() as u64);
             }
@@ -140,8 +143,11 @@ impl IcnStudy {
             let dendrogram = Dendrogram::from_history(&history);
             let k_sweep = if config.run_k_sweep {
                 // Quality indices use Euclidean geometry (not the squared
-                // distances Ward works in).
-                let cond_eucl = Condensed::from_rows(&rsca_m, Metric::Euclidean);
+                // distances Ward works in). Ward's base metric is
+                // SqEuclidean, so the Euclidean matrix is the entry-wise
+                // square root of the one already computed — no second
+                // O(N²·M) pairwise pass.
+                let cond_eucl = cond.sqrt_values();
                 sweep_k(
                     &history,
                     &cond_eucl,
@@ -270,6 +276,38 @@ impl IcnStudy {
             .map(|v| icn_stats::rank::argmax(&v.iter().map(|&x| x as f64).collect::<Vec<_>>()))
             .collect()
     }
+}
+
+/// Validates a totals matrix and configuration pair: the shared checks
+/// behind [`IcnStudy::try_run`] and [`IcnStudy::from_ingest`].
+fn validate_totals(totals: &Matrix, config: &StudyConfig) -> Result<(), crate::StudyError> {
+    use crate::StudyError;
+    if config.k < 2 {
+        return Err(StudyError::BadConfig(format!(
+            "k = {} must be ≥ 2",
+            config.k
+        )));
+    }
+    if config.k_coarse < 1 || config.k_coarse > config.k {
+        return Err(StudyError::BadConfig(format!(
+            "k_coarse = {} must be in 1..=k ({})",
+            config.k_coarse, config.k
+        )));
+    }
+    if config.n_trees == 0 {
+        return Err(StudyError::BadConfig("n_trees = 0".into()));
+    }
+    if totals.has_non_finite() {
+        return Err(StudyError::NonFiniteTraffic);
+    }
+    if totals.total() <= 0.0 {
+        return Err(StudyError::NoTraffic);
+    }
+    let live = totals.row_sums().iter().filter(|&&s| s > 0.0).count();
+    if live < config.k {
+        return Err(StudyError::TooFewAntennas { live, k: config.k });
+    }
+    Ok(())
 }
 
 #[cfg(test)]

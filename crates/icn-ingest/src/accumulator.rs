@@ -1,0 +1,320 @@
+//! Watermark-bucketed accumulation of validated records into `T`.
+//!
+//! The determinism contract of the whole subsystem lives here. Records may
+//! arrive chunked arbitrarily, interleaved, duplicated, or reordered within
+//! a bounded lateness window, yet the final matrix must be **bit-identical**
+//! to the batch construction. Float addition is not associative, so the
+//! accumulator never folds in arrival order. Instead:
+//!
+//! 1. incoming records land in an *open bucket* per hour, keyed by
+//!    `(antenna, service)` in a `BTreeMap` — insertion order is forgotten;
+//! 2. a watermark (`max_hour_seen − lateness`) seals hours that can no
+//!    longer legally receive records;
+//! 3. sealed hours are folded in ascending hour order, cells in ascending
+//!    key order.
+//!
+//! Every cell of `T` therefore accumulates its per-hour contributions in
+//! exactly one canonical order — ascending hour — no matter how the stream
+//! was chunked, threaded, or (boundedly) reordered. Duplicate and late
+//! records are rejected here because only the accumulator holds the
+//! sequencing state needed to detect them.
+
+use std::collections::BTreeMap;
+
+use icn_stats::Matrix;
+
+use crate::record::{HourlyRecord, IngestSchema, QuarantineReason};
+
+/// Open (not yet sealed) records of one hour: cell key → (dl, ul).
+type HourBucket = BTreeMap<(u32, u32), (f64, f64)>;
+
+/// Incrementally maintained `T` plus per-hour temporal accumulators.
+#[derive(Clone, Debug)]
+pub struct StreamAccumulator {
+    schema: IngestSchema,
+    lateness: u32,
+    /// Committed totals (rows = antennas, cols = services).
+    totals: Matrix,
+    /// Committed per-hour volume (temporal accumulator).
+    hourly_volume: Vec<f64>,
+    /// Committed per-hour accepted-record counts.
+    hourly_records: Vec<u64>,
+    /// Open buckets, keyed by hour. `BTreeMap` so sealing walks hours in
+    /// ascending order.
+    open: BTreeMap<u32, HourBucket>,
+    /// Highest hour observed on any accepted record.
+    max_hour_seen: Option<u32>,
+    /// All hours `< committed_below` have been folded into `totals`.
+    committed_below: u32,
+}
+
+/// The folded output of an accumulator: `T`, per-hour volume, per-hour
+/// accepted-record counts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AccumulatedTotals {
+    /// The antenna × service totals matrix.
+    pub totals: Matrix,
+    /// Total accepted volume per window hour.
+    pub hourly_volume: Vec<f64>,
+    /// Accepted records per window hour.
+    pub hourly_records: Vec<u64>,
+}
+
+impl StreamAccumulator {
+    /// Creates an empty accumulator. `lateness` is the number of hours a
+    /// record may trail the newest hour seen before it is quarantined as
+    /// [`QuarantineReason::LateArrival`].
+    pub fn new(schema: IngestSchema, lateness: u32) -> StreamAccumulator {
+        StreamAccumulator {
+            schema,
+            lateness,
+            totals: Matrix::zeros(schema.antennas as usize, schema.services as usize),
+            hourly_volume: vec![0.0; schema.hours as usize],
+            hourly_records: vec![0; schema.hours as usize],
+            open: BTreeMap::new(),
+            max_hour_seen: None,
+            committed_below: 0,
+        }
+    }
+
+    /// The schema this accumulator was built for.
+    pub fn schema(&self) -> &IngestSchema {
+        &self.schema
+    }
+
+    /// The configured lateness window, in hours.
+    pub fn lateness(&self) -> u32 {
+        self.lateness
+    }
+
+    /// Highest hour observed so far, if any record was accepted.
+    pub fn max_hour_seen(&self) -> Option<u32> {
+        self.max_hour_seen
+    }
+
+    /// All hours below this bound have been folded into the totals.
+    pub fn committed_below(&self) -> u32 {
+        self.committed_below
+    }
+
+    /// Number of records currently held in open (unsealed) buckets.
+    pub fn open_records(&self) -> usize {
+        self.open.values().map(|b| b.len()).sum()
+    }
+
+    /// Committed totals so far (open buckets not included).
+    pub fn committed_totals(&self) -> &Matrix {
+        &self.totals
+    }
+
+    /// Inserts one schema-valid record. The caller must have run
+    /// [`IngestSchema::validate`] first; this method performs only the
+    /// stateful checks (late arrival, duplicate key).
+    ///
+    /// The lateness check compares against `max_hour_seen` — a property of
+    /// the record *sequence*, not of chunk boundaries — so the accept /
+    /// quarantine decision for every record is invariant to how the stream
+    /// is chunked.
+    pub fn insert(&mut self, r: &HourlyRecord) -> Result<(), QuarantineReason> {
+        debug_assert!(
+            self.schema.validate(r).is_ok(),
+            "insert() requires a schema-valid record"
+        );
+        if let Some(max) = self.max_hour_seen {
+            if r.hour + self.lateness < max {
+                return Err(QuarantineReason::LateArrival);
+            }
+        }
+        let bucket = self.open.entry(r.hour).or_default();
+        match bucket.entry((r.antenna, r.service)) {
+            std::collections::btree_map::Entry::Occupied(_) => Err(QuarantineReason::DuplicateKey),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert((r.bytes_dl, r.bytes_ul));
+                self.max_hour_seen = Some(match self.max_hour_seen {
+                    Some(m) => m.max(r.hour),
+                    None => r.hour,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// Seals and folds every hour the watermark has passed: all `h` with
+    /// `h + lateness < max_hour_seen`. Hours fold in ascending order,
+    /// cells within an hour in ascending `(antenna, service)` order.
+    pub fn commit_sealed(&mut self) {
+        let Some(max) = self.max_hour_seen else {
+            return;
+        };
+        // h + lateness < max  ⟺  h < max − lateness (u32, max ≥ lateness).
+        let seal_below = max.saturating_sub(self.lateness);
+        while let Some((&h, _)) = self.open.iter().next() {
+            if h >= seal_below {
+                break;
+            }
+            let bucket = self.open.remove(&h).expect("hour key just observed");
+            self.fold_bucket(h, bucket);
+        }
+        self.committed_below = self.committed_below.max(seal_below);
+    }
+
+    /// Folds every remaining open bucket (ascending hour order) and
+    /// returns the final totals. Call once the stream has ended.
+    pub fn finish(mut self) -> AccumulatedTotals {
+        while let Some((&h, _)) = self.open.iter().next() {
+            let bucket = self.open.remove(&h).expect("hour key just observed");
+            self.fold_bucket(h, bucket);
+        }
+        if let Some(max) = self.max_hour_seen {
+            self.committed_below = self.committed_below.max(max + 1);
+        }
+        AccumulatedTotals {
+            totals: self.totals,
+            hourly_volume: self.hourly_volume,
+            hourly_records: self.hourly_records,
+        }
+    }
+
+    fn fold_bucket(&mut self, hour: u32, bucket: HourBucket) {
+        let h = hour as usize;
+        for ((a, s), (dl, ul)) in bucket {
+            let v = dl + ul;
+            let (i, j) = (a as usize, s as usize);
+            self.totals.set(i, j, self.totals.get(i, j) + v);
+            self.hourly_volume[h] += v;
+            self.hourly_records[h] += 1;
+        }
+    }
+
+    /// Reconstructs an accumulator from checkpoint state.
+    #[allow(clippy::too_many_arguments)] // mirrors the checkpoint fields 1:1
+    pub(crate) fn from_parts(
+        schema: IngestSchema,
+        lateness: u32,
+        totals: Matrix,
+        hourly_volume: Vec<f64>,
+        hourly_records: Vec<u64>,
+        open: BTreeMap<u32, HourBucket>,
+        max_hour_seen: Option<u32>,
+        committed_below: u32,
+    ) -> StreamAccumulator {
+        StreamAccumulator {
+            schema,
+            lateness,
+            totals,
+            hourly_volume,
+            hourly_records,
+            open,
+            max_hour_seen,
+            committed_below,
+        }
+    }
+
+    /// Read access to the open buckets (checkpoint serialization).
+    pub(crate) fn open_buckets(&self) -> &BTreeMap<u32, HourBucket> {
+        &self.open
+    }
+
+    /// Read access to the committed hourly volume (checkpoint serialization).
+    pub(crate) fn hourly_volume(&self) -> &[f64] {
+        &self.hourly_volume
+    }
+
+    /// Read access to the committed hourly record counts.
+    pub(crate) fn hourly_records(&self) -> &[u64] {
+        &self.hourly_records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> IngestSchema {
+        IngestSchema {
+            antennas: 4,
+            services: 3,
+            hours: 48,
+        }
+    }
+
+    fn rec(a: u32, s: u32, h: u32, v: f64) -> HourlyRecord {
+        HourlyRecord {
+            antenna: a,
+            service: s,
+            hour: h,
+            bytes_dl: v,
+            bytes_ul: 0.0,
+        }
+    }
+
+    #[test]
+    fn duplicate_key_is_rejected() {
+        let mut acc = StreamAccumulator::new(schema(), 2);
+        assert!(acc.insert(&rec(0, 0, 0, 1.0)).is_ok());
+        assert_eq!(
+            acc.insert(&rec(0, 0, 0, 5.0)),
+            Err(QuarantineReason::DuplicateKey)
+        );
+        let out = acc.finish();
+        assert_eq!(out.totals.get(0, 0), 1.0);
+        assert_eq!(out.hourly_records[0], 1);
+    }
+
+    #[test]
+    fn late_arrival_is_rejected_by_watermark() {
+        let mut acc = StreamAccumulator::new(schema(), 2);
+        assert!(acc.insert(&rec(0, 0, 10, 1.0)).is_ok());
+        // hour 7: 7 + 2 < 10 → late.
+        assert_eq!(
+            acc.insert(&rec(1, 0, 7, 1.0)),
+            Err(QuarantineReason::LateArrival)
+        );
+        // hour 8: 8 + 2 = 10, not < 10 → inside the window.
+        assert!(acc.insert(&rec(1, 0, 8, 1.0)).is_ok());
+    }
+
+    #[test]
+    fn commit_seals_only_watermarked_hours() {
+        let mut acc = StreamAccumulator::new(schema(), 2);
+        acc.insert(&rec(0, 0, 0, 1.0)).unwrap();
+        acc.insert(&rec(0, 0, 5, 2.0)).unwrap();
+        acc.commit_sealed();
+        // Hours < 5 − 2 = 3 are sealed: hour 0 folded, hour 5 still open.
+        assert_eq!(acc.committed_below(), 3);
+        assert_eq!(acc.committed_totals().get(0, 0), 1.0);
+        assert_eq!(acc.open_records(), 1);
+        let out = acc.finish();
+        assert_eq!(out.totals.get(0, 0), 3.0);
+        assert_eq!(out.hourly_volume[5], 2.0);
+    }
+
+    #[test]
+    fn fold_order_is_hour_ascending_regardless_of_arrival() {
+        // Magnitudes chosen so float addition order matters: the 1.0s
+        // individually vanish against 1e16 but survive when added first.
+        let vals = [1.0, 1e16, 1.0, 1.0];
+        let arrival = [2u32, 0, 3, 1];
+        let ascending: f64 = vals.iter().fold(0.0, |s, &v| s + v);
+        let arrival_sum: f64 = arrival.iter().fold(0.0, |s, &h| s + vals[h as usize]);
+        assert_ne!(
+            ascending.to_bits(),
+            arrival_sum.to_bits(),
+            "test values must be order-sensitive"
+        );
+
+        let mut acc = StreamAccumulator::new(schema(), 48);
+        for &h in &arrival {
+            acc.insert(&rec(0, 0, h, vals[h as usize])).unwrap();
+        }
+        let out = acc.finish();
+        assert_eq!(out.totals.get(0, 0).to_bits(), ascending.to_bits());
+    }
+
+    #[test]
+    fn finish_on_empty_accumulator_is_zero() {
+        let out = StreamAccumulator::new(schema(), 2).finish();
+        assert_eq!(out.totals.total(), 0.0);
+        assert!(out.hourly_records.iter().all(|&c| c == 0));
+    }
+}

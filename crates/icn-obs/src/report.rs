@@ -47,8 +47,8 @@ pub const PIPELINE_STAGES: [&str; 5] = [
 /// Maps a counter name to the stage it belongs to, by prefix convention:
 /// `transform.*` → stage 1, `cluster.*` → stage 2, `forest.*` / `shap.*` →
 /// stage 3, `env.*` → stage 4, `outdoor.*` → stage 5, `synth.*` →
-/// `generate`, `probe.*` → `probe_campaign`. Unprefixed counters stay
-/// global-only.
+/// `generate`, `probe.*` → `probe_campaign`, `ingest.*` → `ingest`.
+/// Unprefixed counters stay global-only.
 pub fn stage_for_counter(name: &str) -> Option<&'static str> {
     let prefix = name.split('.').next().unwrap_or("");
     match prefix {
@@ -59,6 +59,7 @@ pub fn stage_for_counter(name: &str) -> Option<&'static str> {
         "outdoor" => Some(PIPELINE_STAGES[4]),
         "synth" => Some("generate"),
         "probe" => Some("probe_campaign"),
+        "ingest" => Some("ingest"),
         _ => None,
     }
 }
@@ -415,6 +416,7 @@ mod tests {
         );
         assert_eq!(stage_for_counter("synth.antennas"), Some("generate"));
         assert_eq!(stage_for_counter("probe.sessions"), Some("probe_campaign"));
+        assert_eq!(stage_for_counter("ingest.records_ok"), Some("ingest"));
         assert_eq!(stage_for_counter("misc"), None);
     }
 }

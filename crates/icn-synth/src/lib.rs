@@ -47,6 +47,7 @@ pub mod geo;
 pub mod mining;
 pub mod noise;
 pub mod outdoor;
+pub mod record_stream;
 pub mod services;
 pub mod temporal;
 pub mod traffic;
@@ -58,4 +59,5 @@ pub use config::SynthConfig;
 pub use dataset::Dataset;
 pub use environments::{City, Environment};
 pub use geo::{haversine_m, Coord, RadioTech};
+pub use record_stream::{adversarial_record_stream, record_stream, RecordStream};
 pub use services::{Category, Service};

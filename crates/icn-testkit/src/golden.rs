@@ -232,18 +232,31 @@ pub fn render_golden(snap: &PipelineSnapshot) -> String {
 /// Writes (blesses) the golden file for a snapshot, creating `dir` if
 /// needed. Returns the path written.
 pub fn write_golden(dir: &Path, snap: &PipelineSnapshot) -> std::io::Result<PathBuf> {
-    std::fs::create_dir_all(dir)?;
     let path = golden_file(dir, snap.scale);
-    std::fs::write(&path, render_golden(snap))?;
+    write_golden_at(&path, snap)?;
     Ok(path)
+}
+
+/// Writes (blesses) a snapshot to an explicit path, creating the parent
+/// directory if needed. Used for snapshots whose file name does not follow
+/// the `pipeline-<scale>.json` convention (e.g. the ingest golden).
+pub fn write_golden_at(path: &Path, snap: &PipelineSnapshot) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, render_golden(snap))
 }
 
 /// Compares a freshly computed snapshot against the blessed golden file.
 /// `Ok(())` means no drift; `Err` carries one human-readable line per
 /// divergence (missing file, missing/extra stage, hash mismatch).
 pub fn compare_golden(dir: &Path, snap: &PipelineSnapshot) -> Result<(), Vec<String>> {
-    let path = golden_file(dir, snap.scale);
-    let text = match std::fs::read_to_string(&path) {
+    compare_golden_at(&golden_file(dir, snap.scale), snap)
+}
+
+/// [`compare_golden`] against an explicit golden-file path.
+pub fn compare_golden_at(path: &Path, snap: &PipelineSnapshot) -> Result<(), Vec<String>> {
+    let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
             return Err(vec![format!(

@@ -18,6 +18,10 @@
 //!   (fixed-precision float formatting, sorted keys) of every pipeline
 //!   stage's output at a pinned synthetic scale, stored under
 //!   `tests/golden/` and regenerated via `icn testkit --bless`.
+//! * [`ingest`] — the batch-vs-streaming differential oracle for
+//!   `icn-ingest`: a naive sequential reference implementation, a
+//!   bounded-reorder metamorphic transformation, and the pinned
+//!   checkpoint/kill/resume golden recipe.
 //!
 //! The shrinking/persistence side of the property harness lives in
 //! [`icn_stats::check`] so that even the zero-dependency numeric substrate
@@ -27,12 +31,17 @@
 #![warn(missing_docs)]
 
 pub mod golden;
+pub mod ingest;
 pub mod metamorphic;
 pub mod oracle;
 
 pub use golden::{
-    compare_golden, default_golden_dir, golden_file, render_golden, snapshot_pipeline,
-    write_golden, PipelineSnapshot,
+    compare_golden, compare_golden_at, default_golden_dir, golden_file, render_golden,
+    snapshot_pipeline, write_golden, write_golden_at, PipelineSnapshot,
+};
+pub use ingest::{
+    assert_bits_eq, ingest_golden_file, ingest_golden_window, ingest_via_pipeline, naive_ingest,
+    shuffle_within_blocks, snapshot_ingest, NaiveIngest,
 };
 pub use metamorphic::{
     identity_permutation, invert_permutation, permutation, permute_cols, permute_forest_features,

@@ -6,6 +6,7 @@
 //! icn explain  --scale 0.1 --cluster 3 --top 15 # SHAP explanation of one cluster
 //! icn temporal --scale 0.1 --cluster 0          # Figure 10-style heatmap of one cluster
 //! icn probe    --scale 0.05 --days 3            # Section 3 collection-path simulation
+//! icn ingest   --scale 0.05 --days 3            # streaming ingest of the record feed
 //! icn testkit  [--bless]                        # golden-snapshot check / regeneration
 //! ```
 //!
@@ -30,6 +31,7 @@ fn main() {
         "explain" => cmd_explain(&opts),
         "temporal" => cmd_temporal(&opts),
         "probe" => cmd_probe(&opts),
+        "ingest" => cmd_ingest(&opts),
         "testkit" => cmd_testkit(&opts),
         "help" | "--help" | "-h" => usage_and_exit(None),
         other => usage_and_exit(Some(other)),
@@ -59,6 +61,14 @@ struct Opts {
     out: Option<String>,
     golden_dir: Option<String>,
     metrics_out: Option<String>,
+    chunk: usize,
+    lateness: u32,
+    faults: Option<String>,
+    fault_seed: Option<u64>,
+    checkpoint: Option<String>,
+    resume: bool,
+    halt_after: Option<u64>,
+    verify: bool,
 }
 
 impl Opts {
@@ -76,6 +86,14 @@ impl Opts {
             out: None,
             golden_dir: None,
             metrics_out: None,
+            chunk: 4096,
+            lateness: 2,
+            faults: None,
+            fault_seed: None,
+            checkpoint: None,
+            resume: false,
+            halt_after: None,
+            verify: false,
         };
         let mut i = 0;
         while i < args.len() {
@@ -117,6 +135,38 @@ impl Opts {
                 "--metrics-out" => {
                     o.metrics_out = take(i).cloned();
                     i += 2;
+                }
+                "--chunk" => {
+                    o.chunk = take(i).and_then(|v| v.parse().ok()).unwrap_or(o.chunk);
+                    i += 2;
+                }
+                "--lateness" => {
+                    o.lateness = take(i).and_then(|v| v.parse().ok()).unwrap_or(o.lateness);
+                    i += 2;
+                }
+                "--faults" => {
+                    o.faults = take(i).cloned();
+                    i += 2;
+                }
+                "--fault-seed" => {
+                    o.fault_seed = take(i).and_then(|v| v.parse().ok());
+                    i += 2;
+                }
+                "--checkpoint" => {
+                    o.checkpoint = take(i).cloned();
+                    i += 2;
+                }
+                "--halt-after" => {
+                    o.halt_after = take(i).and_then(|v| v.parse().ok());
+                    i += 2;
+                }
+                "--resume" => {
+                    o.resume = true;
+                    i += 1;
+                }
+                "--verify" => {
+                    o.verify = true;
+                    i += 1;
                 }
                 "--sweep" => {
                     o.sweep = true;
@@ -172,6 +222,7 @@ fn usage_and_exit(bad: Option<&str>) -> ! {
          explain    SHAP explanation of one cluster\n  \
          temporal   Figure 10-style temporal heatmap of one cluster\n  \
          probe      simulate the Section 3 collection path\n  \
+         ingest     stream the hourly record feed into T (faults, checkpoints)\n  \
          testkit    check pipeline golden snapshots (--bless to regenerate)\n\n\
          FLAGS:\n  \
          --scale <f>    population scale, 1.0 = 4,762 antennas (default 0.1)\n  \
@@ -184,7 +235,15 @@ fn usage_and_exit(bad: Option<&str>) -> ! {
          --out <dir>    export directory (generate)\n  \
          --bless        regenerate golden snapshots instead of checking (testkit)\n  \
          --golden-dir <dir>  golden snapshot directory (testkit, default tests/golden)\n  \
-         --metrics-out <path>  write an icn-obs benchmark report (JSON)"
+         --metrics-out <path>  write an icn-obs benchmark report (JSON)\n  \
+         --chunk <n>    records per source pull (ingest, default 4096)\n  \
+         --lateness <h> hours a record may trail the watermark (ingest, default 2)\n  \
+         --faults <spec>  inject faults, e.g. drop=0.01,dup=0.1,reorder=0.2,corrupt=0.01\n  \
+         --fault-seed <u64>  fault-injection seed (ingest)\n  \
+         --checkpoint <path>  checkpoint file to write on halt / read on resume\n  \
+         --halt-after <n>  stop after n chunks and write the checkpoint (ingest)\n  \
+         --resume       resume from --checkpoint instead of starting fresh\n  \
+         --verify       after ingest, compare T bitwise against the batch matrix"
     );
     std::process::exit(if bad.is_some() { 2 } else { 0 });
 }
@@ -344,8 +403,166 @@ fn cmd_temporal(o: &Opts) {
     );
 }
 
+fn cmd_ingest(o: &Opts) {
+    use icn_repro::icn_ingest::{
+        Checkpoint, FaultConfig, FaultySource, IngestConfig, IngestPipeline, SourceError,
+    };
+    use icn_repro::icn_synth::RecordStream;
+
+    // Either the raw synthetic feed or the same feed behind the
+    // deterministic fault injector, unified so one code path drives both.
+    enum Feed {
+        Clean(RecordStream),
+        Faulty(FaultySource<RecordStream>),
+    }
+    impl RecordSource for Feed {
+        fn next_chunk(&mut self, max: usize) -> Result<Vec<HourlyRecord>, SourceError> {
+            match self {
+                Feed::Clean(s) => s.next_chunk(max),
+                Feed::Faulty(s) => s.next_chunk(max),
+            }
+        }
+    }
+
+    let ds = o.dataset();
+    let window = StudyCalendar::custom(icn_repro::icn_synth::Date::new(2023, 1, 9), o.days);
+    let config = IngestConfig {
+        chunk_size: o.chunk,
+        lateness_hours: o.lateness,
+        ..IngestConfig::default()
+    };
+    let faults = o.faults.as_deref().map(|spec| {
+        let mut f = match FaultConfig::parse_spec(spec) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("bad --faults spec: {e}");
+                std::process::exit(2);
+            }
+        };
+        if let Some(seed) = o.fault_seed {
+            f.seed = seed;
+        }
+        f
+    });
+
+    let stream = record_stream(&ds, &window);
+    let schema = stream.schema();
+    let total_records = stream.total_records();
+    let mut feed = match &faults {
+        Some(f) => Feed::Faulty(stream.with_faults(*f)),
+        None => Feed::Clean(stream),
+    };
+
+    let mut pipe = if o.resume {
+        let Some(path) = o.checkpoint.as_deref() else {
+            eprintln!("--resume requires --checkpoint <path>");
+            std::process::exit(2);
+        };
+        let ck = match Checkpoint::read_file(std::path::Path::new(path)) {
+            Ok(ck) => ck,
+            Err(e) => {
+                eprintln!("cannot read checkpoint {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let consumed = ck.records_consumed;
+        let pipe = match IngestPipeline::from_checkpoint(ck, config) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = feed.skip_records(consumed) {
+            eprintln!("cannot advance source past checkpoint: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("resumed from {path} at record {consumed}");
+        pipe
+    } else {
+        IngestPipeline::new(schema, config)
+    };
+
+    let finished = match pipe.run_until(&mut feed, o.halt_after) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+
+    if !finished {
+        let Some(path) = o.checkpoint.as_deref() else {
+            eprintln!(
+                "halted after {} chunks but no --checkpoint to write",
+                pipe.stats().chunks
+            );
+            std::process::exit(2);
+        };
+        let ck = pipe.checkpoint();
+        if let Err(e) = ck.write_file(std::path::Path::new(path)) {
+            eprintln!("cannot write checkpoint {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "halted at record {}/{total_records}; checkpoint {} -> {path}",
+            ck.records_consumed,
+            ck.hash(),
+        );
+        return;
+    }
+
+    let final_hash = pipe.checkpoint().hash();
+    let stats = pipe.stats().clone();
+    let result = pipe.finish();
+    println!(
+        "ingested {} records in {} chunks: {} ok, {} quarantined, {} retries",
+        result.records_consumed,
+        stats.chunks,
+        stats.ok,
+        stats.quarantined_total(),
+        stats.retried
+    );
+    for (reason, count) in &stats.quarantined {
+        println!("  quarantine {reason}: {count}");
+    }
+    if let Feed::Faulty(src) = &feed {
+        let r = src.report();
+        println!(
+            "injected faults: {} dropped, {} duplicated, {} corrupted, {} reordered blocks, \
+             {} transient errors",
+            r.dropped, r.duplicated, r.corrupted, r.reordered_blocks, r.transient_errors
+        );
+    }
+    println!(
+        "T: {}x{}, total volume {:.3} GB; final state hash {final_hash}",
+        result.totals.rows(),
+        result.totals.cols(),
+        result.totals.total() / 1000.0
+    );
+    if o.verify {
+        let batch = &ds.indoor_totals;
+        let diverging = result
+            .totals
+            .as_slice()
+            .iter()
+            .zip(batch.as_slice())
+            .filter(|(a, b)| a.to_bits() != b.to_bits())
+            .count();
+        if diverging == 0 {
+            println!("verify: streamed T is bit-identical to the batch matrix");
+        } else {
+            eprintln!(
+                "verify FAILED: {diverging}/{} cells diverge from the batch matrix",
+                batch.as_slice().len()
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 fn cmd_testkit(o: &Opts) {
-    use icn_repro::icn_testkit::golden;
+    use icn_repro::icn_testkit::{golden, ingest};
     // Golden snapshots are pinned at scale 0.05 (not the CLI's usual 0.1
     // default); an explicit --scale still wins for ad-hoc comparisons.
     let scale = if o.scale_explicit {
@@ -360,6 +577,17 @@ fn cmd_testkit(o: &Opts) {
         .unwrap_or_else(golden::default_golden_dir);
     eprintln!("computing pipeline snapshot at scale {scale}...");
     let snap = golden::snapshot_pipeline(scale);
+    // The ingest golden is pinned at GOLDEN_SCALE only (its file name
+    // carries no scale), so skip it for ad-hoc scales.
+    let ingest_snap = if (scale - golden::GOLDEN_SCALE).abs() < 1e-12 {
+        eprintln!("computing ingest checkpoint/resume snapshot at scale {scale}...");
+        Some((
+            ingest::ingest_golden_file(&dir),
+            ingest::snapshot_ingest(scale),
+        ))
+    } else {
+        None
+    };
     if o.bless {
         match golden::write_golden(&dir, &snap) {
             Ok(path) => {
@@ -374,8 +602,22 @@ fn cmd_testkit(o: &Opts) {
                 std::process::exit(1);
             }
         }
+        if let Some((path, isnap)) = &ingest_snap {
+            match golden::write_golden_at(path, isnap) {
+                Ok(()) => println!(
+                    "blessed {} ingest hashes -> {}",
+                    isnap.stages.len(),
+                    path.display()
+                ),
+                Err(e) => {
+                    eprintln!("failed to write ingest golden file: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
         return;
     }
+    let mut drift = Vec::new();
     match golden::compare_golden(&dir, &snap) {
         Ok(()) => {
             for (name, hash) in &snap.stages {
@@ -387,15 +629,29 @@ fn cmd_testkit(o: &Opts) {
                 golden::golden_file(&dir, scale).display()
             );
         }
-        Err(drift) => {
-            for line in &drift {
-                eprintln!("DRIFT  {line}");
+        Err(lines) => drift.extend(lines),
+    }
+    if let Some((path, isnap)) = &ingest_snap {
+        match golden::compare_golden_at(path, isnap) {
+            Ok(()) => {
+                for (name, hash) in &isnap.stages {
+                    println!("ok  {name}  {hash}");
+                }
+                println!(
+                    "{} ingest hashes match {}",
+                    isnap.stages.len(),
+                    path.display()
+                );
             }
-            eprintln!(
-                "golden drift detected; inspect the change, then re-run with --bless to accept"
-            );
-            std::process::exit(1);
+            Err(lines) => drift.extend(lines),
         }
+    }
+    if !drift.is_empty() {
+        for line in &drift {
+            eprintln!("DRIFT  {line}");
+        }
+        eprintln!("golden drift detected; inspect the change, then re-run with --bless to accept");
+        std::process::exit(1);
     }
 }
 

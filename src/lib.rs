@@ -14,7 +14,8 @@
 //! ```
 //!
 //! See the crate-level docs of the members for details:
-//! [`icn_synth`] (measurement substrate), [`icn_cluster`] (agglomerative
+//! [`icn_synth`] (measurement substrate), [`icn_ingest`] (streaming record
+//! ingest with fault injection), [`icn_cluster`] (agglomerative
 //! clustering), [`icn_forest`] (random forest), [`icn_shap`] (TreeSHAP /
 //! KernelSHAP), [`icn_core`] (the study pipeline), [`icn_report`]
 //! (terminal figures), [`icn_stats`] (numerics), [`icn_obs`]
@@ -27,6 +28,7 @@
 pub use icn_cluster;
 pub use icn_core;
 pub use icn_forest;
+pub use icn_ingest;
 pub use icn_obs;
 pub use icn_probe;
 pub use icn_report;
@@ -47,12 +49,16 @@ pub mod prelude {
         StudyConfig, TemporalHeatmap,
     };
     pub use icn_forest::{ForestConfig, RandomForest, TrainSet};
+    pub use icn_ingest::{
+        Checkpoint, FaultConfig, FaultySource, HourlyRecord, IngestConfig, IngestPipeline,
+        IngestResult, IngestSchema, QuarantineReason, RecordSource, VecSource,
+    };
     pub use icn_obs::{BenchReport, Json, Registry, Span};
     pub use icn_probe::{run_campaign, CampaignConfig, DpiConfig};
     pub use icn_shap::{explain_forest_class, forest_shap, kernel_shap, Direction};
     pub use icn_stats::{Histogram, Matrix, Metric, Rng};
     pub use icn_synth::{
-        Archetype, Category, City, Dataset, Date, Environment, Group, Service, StudyCalendar,
-        SynthConfig,
+        record_stream, Archetype, Category, City, Dataset, Date, Environment, Group, RecordStream,
+        Service, StudyCalendar, SynthConfig,
     };
 }

@@ -1,0 +1,237 @@
+//! Fault-matrix suite for the ingest subsystem: every fault kind at every
+//! rate must leave the pipeline running, the quarantine ledger reconciled
+//! against the injector's own counts **exactly**, and the clean part of
+//! `T` untouched bit for bit.
+//!
+//! The injector is deterministic per `(seed, record index)`, so injected
+//! counts are exact expectations, not statistical ones. Failures of the
+//! randomized property feed the `icn_stats::check` replay corpus under
+//! `tests/corpus/ingest/` so a failing seed reruns first forever after.
+
+use icn_repro::icn_stats::check;
+use icn_repro::icn_testkit::assert_bits_eq;
+use icn_repro::prelude::*;
+
+mod common;
+
+/// Fault kinds of the matrix, as `FaultConfig` field selectors.
+#[derive(Clone, Copy, Debug)]
+enum Kind {
+    Drop,
+    Duplicate,
+    Reorder,
+    Corrupt,
+}
+
+impl Kind {
+    fn config(self, rate: f64, seed: u64) -> FaultConfig {
+        let mut f = FaultConfig {
+            seed,
+            ..FaultConfig::default()
+        };
+        match self {
+            Kind::Drop => f.drop = rate,
+            Kind::Duplicate => f.duplicate = rate,
+            Kind::Reorder => f.reorder = rate,
+            Kind::Corrupt => f.corrupt = rate,
+        }
+        f
+    }
+}
+
+/// The five structural quarantine reasons a corrupted record can map to
+/// (one each, by construction of the injector's defect classes).
+const STRUCTURAL: [QuarantineReason; 5] = [
+    QuarantineReason::NonFiniteVolume,
+    QuarantineReason::NegativeVolume,
+    QuarantineReason::UnknownAntenna,
+    QuarantineReason::UnknownService,
+    QuarantineReason::OutOfWindowHour,
+];
+
+struct FaultRun {
+    result: IngestResult,
+    dropped: u64,
+    duplicated: u64,
+    corrupted: u64,
+    affected: Vec<(u32, u32)>,
+}
+
+fn run_faulty(ds: &Dataset, window: &StudyCalendar, faults: FaultConfig) -> FaultRun {
+    let mut src = record_stream(ds, window).with_faults(faults);
+    let mut pipe = IngestPipeline::new(src.inner().schema(), IngestConfig::default());
+    pipe.run(&mut src).expect("fault stream completes");
+    let report = src.report();
+    FaultRun {
+        dropped: report.dropped,
+        duplicated: report.duplicated,
+        corrupted: report.corrupted,
+        affected: report.affected_cells.iter().copied().collect(),
+        result: pipe.finish(),
+    }
+}
+
+#[test]
+fn fault_matrix_reconciles_exactly() {
+    let ds = common::dataset_at(0.3);
+    let window = common::probe_window(1);
+    let batch = &ds.indoor_totals;
+    let clean_total = record_stream(&ds, &window).total_records();
+
+    for kind in [Kind::Drop, Kind::Duplicate, Kind::Reorder, Kind::Corrupt] {
+        for rate in [0.0, 0.01, 0.2] {
+            let run = run_faulty(&ds, &window, kind.config(rate, 0x000F_A017_5EED));
+            let what = format!("{kind:?} at rate {rate}");
+            let stats = &run.result.stats;
+
+            // The ledger balances: everything pulled is either in T or in
+            // quarantine, and the injector's own counts predict both sides.
+            assert_eq!(
+                run.result.records_consumed,
+                clean_total - run.dropped + run.duplicated,
+                "{what}: consumed vs injected"
+            );
+            assert_eq!(
+                stats.ok + stats.quarantined_total(),
+                run.result.records_consumed,
+                "{what}: ok + quarantined vs consumed"
+            );
+            // Exact per-reason attribution.
+            assert_eq!(
+                stats.quarantined_for(QuarantineReason::DuplicateKey),
+                run.duplicated,
+                "{what}: duplicates"
+            );
+            let structural: u64 = STRUCTURAL.iter().map(|&r| stats.quarantined_for(r)).sum();
+            assert_eq!(structural, run.corrupted, "{what}: corruptions");
+            assert_eq!(
+                stats.quarantined_for(QuarantineReason::LateArrival),
+                0,
+                "{what}: block reordering stays inside the lateness window"
+            );
+
+            match kind {
+                // Duplicates and reordering leave every accepted value in
+                // place: T must be the batch matrix, bit for bit.
+                Kind::Duplicate | Kind::Reorder => {
+                    assert_bits_eq(run.result.totals.as_slice(), batch.as_slice(), &what);
+                }
+                // Drops and corruptions lose volume, but only in the cells
+                // the injector says it touched.
+                Kind::Drop | Kind::Corrupt => {
+                    if rate == 0.0 {
+                        assert_bits_eq(run.result.totals.as_slice(), batch.as_slice(), &what);
+                    }
+                    for i in 0..batch.rows() {
+                        for j in 0..batch.cols() {
+                            if !run.affected.contains(&(i as u32, j as u32)) {
+                                assert_eq!(
+                                    run.result.totals.get(i, j).to_bits(),
+                                    batch.get(i, j).to_bits(),
+                                    "{what}: untouched cell ({i},{j}) drifted"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn transient_errors_retry_and_reconcile() {
+    let ds = common::dataset_at(0.2);
+    let window = common::probe_window(1);
+    let faults = FaultConfig {
+        transient: 0.2,
+        ..FaultConfig::default()
+    };
+    let mut src = record_stream(&ds, &window).with_faults(faults);
+    let mut pipe = IngestPipeline::new(
+        src.inner().schema(),
+        IngestConfig {
+            // 0.2^k dies fast, but the budget must dominate any plausible
+            // unlucky streak for the run to be deterministic-by-seed.
+            max_retries: 64,
+            ..IngestConfig::default()
+        },
+    );
+    pipe.run(&mut src).expect("retries absorb the transients");
+    assert_eq!(
+        pipe.stats().retried,
+        src.report().transient_errors,
+        "every injected transient error must be retried exactly once"
+    );
+    assert!(src.report().transient_errors > 0, "rate 0.2 must fire");
+    let result = pipe.finish();
+    assert_eq!(result.stats.quarantined_total(), 0);
+    assert_bits_eq(
+        result.totals.as_slice(),
+        ds.indoor_totals.as_slice(),
+        "transient errors lose no records",
+    );
+}
+
+#[test]
+fn combined_fault_soup_still_reconciles() {
+    let ds = common::dataset_at(0.2);
+    let window = common::probe_window(1);
+    let faults =
+        FaultConfig::parse_spec("drop=0.02,dup=0.05,reorder=0.1,corrupt=0.03").expect("valid spec");
+    let run = run_faulty(&ds, &window, faults);
+    let stats = &run.result.stats;
+    assert_eq!(
+        stats.quarantined_for(QuarantineReason::DuplicateKey),
+        run.duplicated
+    );
+    let structural: u64 = STRUCTURAL.iter().map(|&r| stats.quarantined_for(r)).sum();
+    assert_eq!(structural, run.corrupted);
+    assert_eq!(
+        stats.ok + stats.quarantined_total(),
+        run.result.records_consumed
+    );
+}
+
+/// Randomized fault-matrix property, with counterexample seeds persisted
+/// to the in-repo corpus so regressions replay before fresh cases.
+#[test]
+fn random_fault_configs_always_reconcile() {
+    let corpus = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("corpus")
+        .join("ingest");
+    std::env::set_var("ICN_TESTKIT_REGRESSIONS", &corpus);
+    let ds = common::dataset_at(0.15);
+    let window = common::probe_window(1);
+    check::cases_persisted(
+        "ingest_fault_reconciliation",
+        12,
+        |rng| {
+            vec![
+                (rng.next_u64() & 0xFFFF_FFFF) as f64, // injector seed
+                rng.uniform(0.0, 0.25),                // drop rate
+                rng.uniform(0.0, 0.25),                // duplicate rate
+                rng.uniform(0.0, 0.25),                // corrupt rate
+            ]
+        },
+        |v: &Vec<f64>| {
+            let seed = v.first().copied().unwrap_or(1.0).abs() as u64 | 1;
+            let rate = |i: usize| v.get(i).copied().unwrap_or(0.0).clamp(0.0, 1.0);
+            let faults = FaultConfig {
+                seed,
+                drop: rate(1),
+                duplicate: rate(2),
+                corrupt: rate(3),
+                ..FaultConfig::default()
+            };
+            let run = run_faulty(&ds, &window, faults);
+            let stats = &run.result.stats;
+            let structural: u64 = STRUCTURAL.iter().map(|&r| stats.quarantined_for(r)).sum();
+            stats.quarantined_for(QuarantineReason::DuplicateKey) == run.duplicated
+                && structural == run.corrupted
+                && stats.ok + stats.quarantined_total() == run.result.records_consumed
+        },
+    );
+    std::env::remove_var("ICN_TESTKIT_REGRESSIONS");
+}

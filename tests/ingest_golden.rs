@@ -1,0 +1,43 @@
+//! Golden-snapshot gate for the ingest subsystem.
+//!
+//! `tests/golden/ingest_scale005.json` pins, at the reference scale, the
+//! mid-stream checkpoint hash, the canonical hash of the final ingest
+//! result, and every stage hash of a study built **from the streamed
+//! matrix** (after a checkpoint kill-and-resume in the middle of the
+//! stream). Any change to record generation, validation order, the
+//! accumulator fold, or the checkpoint format moves at least one hash.
+//! If the change is intentional, re-bless with
+//! `cargo run --bin icn -- testkit --bless` and commit the JSON.
+
+use icn_repro::icn_testkit::golden::GOLDEN_SCALE;
+use icn_repro::icn_testkit::{
+    compare_golden_at, default_golden_dir, ingest_golden_file, snapshot_ingest, write_golden_at,
+};
+
+mod common;
+
+#[test]
+fn blessed_ingest_golden_matches_current_subsystem() {
+    let snap = snapshot_ingest(GOLDEN_SCALE);
+    let path = ingest_golden_file(&default_golden_dir());
+    if let Err(drift) = compare_golden_at(&path, &snap) {
+        panic!(
+            "ingest output drifted from {} (re-bless with \
+             `cargo run --bin icn -- testkit --bless` if intentional):\n  {}",
+            path.display(),
+            drift.join("\n  ")
+        );
+    }
+
+    // A freshly blessed copy of the same snapshot always passes its own
+    // check, byte-identically across re-blessings.
+    let dir = std::env::temp_dir().join(format!("icn-ingest-golden-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let tmp = dir.join("ingest_scale005.json");
+    write_golden_at(&tmp, &snap).unwrap();
+    let first = std::fs::read(&tmp).unwrap();
+    write_golden_at(&tmp, &snap).unwrap();
+    assert_eq!(first, std::fs::read(&tmp).unwrap());
+    assert!(compare_golden_at(&tmp, &snap).is_ok());
+    std::fs::remove_dir_all(&dir).ok();
+}

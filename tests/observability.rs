@@ -90,6 +90,53 @@ fn same_seed_runs_produce_identical_counters() {
 }
 
 #[test]
+fn k_sweep_computes_the_condensed_matrix_once() {
+    let _guard = LOCK.lock().unwrap();
+    let obs = icn_obs::global();
+    obs.reset();
+    obs.enable();
+    let ds = common::dataset();
+    let config = StudyConfig {
+        run_k_sweep: true,
+        ..StudyConfig::fast()
+    };
+    let st = IcnStudy::run(&ds, config);
+    let snap = obs.snapshot();
+    obs.disable();
+    obs.reset();
+    assert!(!st.k_sweep.is_empty(), "sweep must actually run");
+    // The Figure 2 sweep needs Euclidean distances while Ward works in
+    // squared ones; deriving the former by entry-wise sqrt means the
+    // O(N²·M) pairwise pass runs exactly once per study. This pins the
+    // fix for the double computation (the span used to report 2 calls).
+    let (calls, _) = snap.spans["stage2_cluster/condensed"];
+    assert_eq!(calls, 1, "pairwise distances computed more than once");
+}
+
+#[test]
+fn ingest_counters_flow_into_reports() {
+    let _guard = LOCK.lock().unwrap();
+    let obs = icn_obs::global();
+    obs.reset();
+    obs.enable();
+    let ds = common::dataset_at(0.2);
+    let window = common::probe_window(2);
+    let mut stream = record_stream(&ds, &window);
+    let mut pipe = IngestPipeline::new(stream.schema(), IngestConfig::default());
+    pipe.run(&mut stream).expect("clean stream");
+    let ok = pipe.stats().ok;
+    let report = BenchReport::build(&obs.snapshot(), "ingest-test", 0.2);
+    obs.disable();
+    obs.reset();
+    let stage = report.stage("ingest").expect("ingest stage present");
+    assert!(stage.wall_ms > 0.0);
+    assert_eq!(stage.counters["ingest.records_ok"], ok);
+    assert_eq!(stage.counters["ingest.records_quarantined"], 0);
+    assert!(stage.counters["ingest.chunks"] > 0);
+    assert!(report.gauges.contains_key("ingest.records_per_sec"));
+}
+
+#[test]
 fn probe_campaign_counters_flow_into_reports() {
     let _guard = LOCK.lock().unwrap();
     let obs = icn_obs::global();
