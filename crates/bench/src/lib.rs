@@ -24,6 +24,8 @@ pub struct HarnessOpts {
     pub sweep: bool,
     /// Destination for the machine-readable metrics report, if any.
     pub metrics_out: Option<String>,
+    /// Destination for the Chrome trace-event export, if any.
+    pub trace_out: Option<String>,
 }
 
 impl Default for HarnessOpts {
@@ -33,6 +35,7 @@ impl Default for HarnessOpts {
             seed: SynthConfig::default().seed,
             sweep: false,
             metrics_out: None,
+            trace_out: None,
         }
     }
 }
@@ -66,28 +69,44 @@ pub fn parse_opts() -> HarnessOpts {
                 opts.metrics_out = args.get(i + 1).cloned();
                 i += 2;
             }
+            "--trace-out" => {
+                opts.trace_out = args.get(i + 1).cloned();
+                i += 2;
+            }
             _ => i += 1,
         }
     }
-    if opts.metrics_out.is_some() {
+    if opts.metrics_out.is_some() || opts.trace_out.is_some() {
         icn_obs::global().enable();
     }
     opts
 }
 
-/// Writes the accumulated metrics to `opts.metrics_out` (no-op when the
-/// flag was not given). Call once, at the end of the binary.
+/// Writes the accumulated metrics to `opts.metrics_out` and/or the
+/// Chrome trace to `opts.trace_out` (no-op when neither flag was given).
+/// Call once, at the end of the binary.
 pub fn write_metrics(opts: &HarnessOpts, run_id: &str) {
-    let Some(path) = &opts.metrics_out else {
+    if opts.metrics_out.is_none() && opts.trace_out.is_none() {
         return;
-    };
+    }
     let snap = icn_obs::global().snapshot();
-    let report = BenchReport::build(&snap, run_id, opts.scale);
-    match report.write_to_file(path) {
-        Ok(()) => eprintln!("metrics written to {path}"),
-        Err(e) => {
-            eprintln!("failed to write metrics to {path}: {e}");
-            std::process::exit(1);
+    if let Some(path) = &opts.metrics_out {
+        let report = BenchReport::build(&snap, run_id, opts.scale);
+        match report.write_to_file(path) {
+            Ok(()) => eprintln!("metrics written to {path}"),
+            Err(e) => {
+                eprintln!("failed to write metrics to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &opts.trace_out {
+        match icn_obs::write_chrome_trace(&snap, path) {
+            Ok(()) => eprintln!("chrome trace written to {path}"),
+            Err(e) => {
+                eprintln!("failed to write trace to {path}: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

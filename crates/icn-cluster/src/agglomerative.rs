@@ -145,6 +145,13 @@ pub fn agglomerate_condensed(cond: &Condensed, linkage: Linkage) -> MergeHistory
     // pairs out of height order).
     let mut raw: Vec<(usize, usize, f64, usize)> = Vec::with_capacity(n - 1);
 
+    // Per-merge latency tallied locally and flushed once at the end
+    // (flush-once pattern: the enabled check happens a single time here,
+    // and the hot loop never touches the registry mutex).
+    let obs = icn_obs::global();
+    let metered = obs.is_enabled();
+    let mut merge_hist = icn_obs::Histogram::new();
+
     let mut remaining = n;
     while remaining > 1 {
         if chain.is_empty() {
@@ -176,6 +183,7 @@ pub fn agglomerate_condensed(cond: &Condensed, linkage: Linkage) -> MergeHistory
             debug_assert!(best != usize::MAX);
             if Some(best) == prev {
                 // Reciprocal nearest neighbours: merge x and best.
+                let merge_t0 = metered.then(std::time::Instant::now);
                 chain.pop();
                 chain.pop();
                 let (i, j) = (x.min(best), x.max(best));
@@ -198,6 +206,9 @@ pub fn agglomerate_condensed(cond: &Condensed, linkage: Linkage) -> MergeHistory
                 // remember its creation index via a placeholder in `label`.
                 label[i] = n + raw.len() - 1;
                 remaining -= 1;
+                if let Some(t0) = merge_t0 {
+                    merge_hist.record(t0.elapsed().as_nanos() as u64);
+                }
                 break;
             } else {
                 chain.push(best);
@@ -237,7 +248,8 @@ pub fn agglomerate_condensed(cond: &Condensed, linkage: Linkage) -> MergeHistory
         });
     }
 
-    icn_obs::global().add_counter("cluster.merges", merges.len() as u64);
+    obs.add_counter("cluster.merges", merges.len() as u64);
+    obs.merge_hist("cluster.merge_ns", &merge_hist);
     MergeHistory { n, linkage, merges }
 }
 

@@ -124,20 +124,30 @@ impl IcnStudy {
 
         // 1. Transform.
         let (t_live, live_rows, rsca_m) = {
-            let _span = icn_obs::Span::enter("stage1_transform");
+            let mut span = icn_obs::Span::enter("stage1_transform");
             let (t_live, live_rows) = filter_dead_rows(totals);
             let rsca_m = rsca(&t_live);
             if obs.is_enabled() {
                 obs.add_counter("transform.input_rows", totals.rows() as u64);
                 obs.add_counter("transform.live_rows", live_rows.len() as u64);
                 obs.add_counter("transform.services", rsca_m.cols() as u64);
+                span.attr("input_rows", totals.rows() as u64);
+                span.attr("live_rows", live_rows.len() as u64);
+                icn_obs::obs_log!(
+                    Info,
+                    "pipeline",
+                    "stage1: {} of {} antennas live",
+                    live_rows.len(),
+                    totals.rows()
+                );
             }
             (t_live, live_rows, rsca_m)
         };
 
         // 2. Cluster.
         let (history, dendrogram, k_sweep, labels, labels_coarse, consolidation, profiles) = {
-            let _span = icn_obs::Span::enter("stage2_cluster");
+            let mut span = icn_obs::Span::enter("stage2_cluster");
+            span.attr("k", config.k as u64);
             let cond = Condensed::from_rows(&rsca_m, Linkage::Ward.base_metric());
             let history = agglomerate_condensed(&cond, Linkage::Ward);
             let dendrogram = Dendrogram::from_history(&history);
@@ -163,6 +173,13 @@ impl IcnStudy {
             if obs.is_enabled() {
                 obs.add_counter("cluster.k_sweep_points", k_sweep.len() as u64);
                 obs.add_counter("cluster.clusters", config.k as u64);
+                icn_obs::obs_log!(
+                    Info,
+                    "pipeline",
+                    "stage2: {} merges, cut at k = {}",
+                    history.merges.len(),
+                    config.k
+                );
             }
             (
                 history,
@@ -177,7 +194,9 @@ impl IcnStudy {
 
         // 3. Surrogate + SHAP.
         let (surrogate, frozen, surrogate_accuracy, surrogate_oob, explanations) = {
-            let _span = icn_obs::Span::enter("stage3_surrogate");
+            let mut span = icn_obs::Span::enter("stage3_surrogate");
+            span.attr("trees", config.n_trees as u64);
+            span.attr("samples", rsca_m.rows() as u64);
             let ts = TrainSet::new(rsca_m.clone(), labels.clone());
             let surrogate = RandomForest::fit(&ts, &config.forest_config());
             // Freeze the fitted forest into its structure-of-arrays form
@@ -187,6 +206,7 @@ impl IcnStudy {
             let preds = frozen.predict_batch(&ts.x);
             let hits = preds.iter().zip(&ts.y).filter(|(p, y)| p == y).count();
             let surrogate_accuracy = hits as f64 / ts.len() as f64;
+            span.attr("accuracy", surrogate_accuracy);
             let surrogate_oob = surrogate.oob_accuracy;
             // One batched SHAP pass shares the per-sample tree walks across
             // all k classes (9x cheaper than explaining class by class).

@@ -205,6 +205,9 @@ impl IngestPipeline {
         if chunk.is_empty() {
             return Ok(None);
         }
+        let mut chunk_span = icn_obs::Span::enter("ingest_chunk");
+        chunk_span.attr("records", chunk.len() as u64);
+        let chunk_t0 = chunk_span.path().is_some().then(Instant::now);
         // Stateless validation in parallel; results come back in order, so
         // this cannot perturb the sequential accept/quarantine decisions.
         let schema = *self.acc.schema();
@@ -232,13 +235,31 @@ impl IngestPipeline {
                 }
             }
         }
+        let reg = icn_obs::global();
+        let seal_t0 = reg.is_enabled().then(Instant::now);
         self.acc.commit_sealed();
+        if let Some(t0) = seal_t0 {
+            reg.record_hist("ingest.seal_ns", t0.elapsed().as_nanos() as u64);
+        }
         self.stats.ok += ok;
         self.stats.chunks += 1;
-        let reg = icn_obs::global();
         reg.add_counter("ingest.records_ok", ok);
         reg.add_counter("ingest.records_quarantined", quarantined);
         reg.add_counter("ingest.chunks", 1);
+        if quarantined > 0 {
+            chunk_span.attr("quarantined", quarantined);
+            icn_obs::obs_log!(
+                Warn,
+                "ingest",
+                "quarantined {quarantined} of {} records in chunk {}",
+                chunk.len(),
+                self.stats.chunks
+            );
+        }
+        chunk_span.event("sealed");
+        if let Some(t0) = chunk_t0 {
+            reg.record_hist("ingest.chunk_ns", t0.elapsed().as_nanos() as u64);
+        }
         Ok(Some(chunk.len()))
     }
 
@@ -311,6 +332,11 @@ impl IngestPipeline {
                     }
                     self.stats.retried += 1;
                     icn_obs::global().add_counter("ingest.retried", 1);
+                    icn_obs::obs_log!(
+                        Warn,
+                        "ingest",
+                        "transient source error (attempt {attempt}): {m}"
+                    );
                     if !self.config.backoff.is_zero() {
                         let factor = 1u32 << (attempt - 1).min(6);
                         std::thread::sleep(self.config.backoff.saturating_mul(factor));

@@ -1,0 +1,463 @@
+//! Report comparison (`icn obs diff`) and self-time treetable
+//! (`icn obs top`).
+//!
+//! [`diff_reports`] compares two [`BenchReport`]s — a blessed baseline
+//! `a` and a candidate `b` — against per-metric thresholds and classifies
+//! every metric as pass / fail / informational. CI perf-smoke uses it as
+//! a regression gate: generous thresholds (default: fail only when a
+//! stage or p99 gets more than 2× slower) keep the gate insensitive to
+//! shared-runner noise while still catching real regressions. Tiny
+//! absolute walls (below [`DiffThresholds::min_wall_ms`]) are skipped
+//! entirely — a 3 ms stage doubling to 6 ms is scheduler noise, not a
+//! regression.
+//!
+//! The comparison is deliberately asymmetric: `b` getting *faster* never
+//! fails, and metrics present only in `b` (new instrumentation) are
+//! informational. A stage present in `a` but missing from `b` fails — a
+//! silently skipped stage must not read as a speedup.
+
+use crate::report::BenchReport;
+use crate::trace::self_times;
+use std::fmt::Write as _;
+
+/// Per-metric thresholds for [`diff_reports`].
+#[derive(Clone, Debug)]
+pub struct DiffThresholds {
+    /// Maximum allowed `b/a` wall-time ratio for stages and spans
+    /// (default 2.0 — fail only on >2× regressions).
+    pub max_wall_ratio: f64,
+    /// Stages with baseline wall below this (milliseconds) are skipped
+    /// (default 5.0).
+    pub min_wall_ms: f64,
+    /// Maximum allowed `b/a` ratio for histogram p99s (default 2.0).
+    pub max_hist_ratio: f64,
+    /// Histograms with baseline p99 below this (nanoseconds) are skipped
+    /// (default 10_000 = 10 µs).
+    pub min_hist_ns: u64,
+    /// When set, any counter value change fails (same-machine,
+    /// same-seed determinism checks); by default counters are
+    /// informational.
+    pub strict_counters: bool,
+}
+
+impl Default for DiffThresholds {
+    fn default() -> DiffThresholds {
+        DiffThresholds {
+            max_wall_ratio: 2.0,
+            min_wall_ms: 5.0,
+            max_hist_ratio: 2.0,
+            min_hist_ns: 10_000,
+            strict_counters: false,
+        }
+    }
+}
+
+/// Classification of one compared metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiffStatus {
+    /// Within thresholds.
+    Ok,
+    /// Regressed beyond the threshold (or disappeared).
+    Fail,
+    /// Reported for context only; never gates.
+    Info,
+    /// Skipped: baseline too small to compare meaningfully.
+    Skipped,
+}
+
+/// One compared metric.
+#[derive(Clone, Debug)]
+pub struct DiffLine {
+    /// Metric identifier (`stage:stage3_surrogate`, `hist:shap.chunk_ns p99`).
+    pub metric: String,
+    /// Baseline value.
+    pub a: f64,
+    /// Candidate value (`NaN` when missing).
+    pub b: f64,
+    /// `b / a` (regression factor; `NaN` when not comparable).
+    pub ratio: f64,
+    /// Classification.
+    pub status: DiffStatus,
+}
+
+/// The result of [`diff_reports`].
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// All compared metrics, gating lines first.
+    pub lines: Vec<DiffLine>,
+}
+
+impl DiffReport {
+    /// Number of failing metrics.
+    pub fn failures(&self) -> usize {
+        self.lines
+            .iter()
+            .filter(|l| l.status == DiffStatus::Fail)
+            .count()
+    }
+
+    /// Whether the candidate passes the gate.
+    pub fn passed(&self) -> bool {
+        self.failures() == 0
+    }
+
+    /// Renders a human-readable table (one line per metric).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            let tag = match line.status {
+                DiffStatus::Ok => "ok  ",
+                DiffStatus::Fail => "FAIL",
+                DiffStatus::Info => "info",
+                DiffStatus::Skipped => "skip",
+            };
+            let ratio = if line.ratio.is_finite() {
+                format!("{:>7.3}x", line.ratio)
+            } else {
+                "      --".to_string()
+            };
+            let b = if line.b.is_finite() {
+                format!("{:>14.3}", line.b)
+            } else {
+                "       missing".to_string()
+            };
+            let _ = writeln!(
+                out,
+                "{tag}  {ratio}  {:>14.3} -> {b}  {}",
+                line.a, line.metric
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{} metrics compared, {} failed",
+            self.lines.len(),
+            self.failures()
+        );
+        out
+    }
+}
+
+/// Compares candidate `b` against baseline `a`. See the module docs for
+/// semantics.
+pub fn diff_reports(a: &BenchReport, b: &BenchReport, t: &DiffThresholds) -> DiffReport {
+    let mut lines = Vec::new();
+
+    // Reports at different scales measure different workloads.
+    if (a.scale - b.scale).abs() > 1e-12 {
+        lines.push(DiffLine {
+            metric: "scale".into(),
+            a: a.scale,
+            b: b.scale,
+            ratio: f64::NAN,
+            status: DiffStatus::Fail,
+        });
+    }
+
+    for stage in &a.stages {
+        let metric = format!("stage:{} wall_ms", stage.name);
+        match b.stage(&stage.name) {
+            None => lines.push(DiffLine {
+                metric,
+                a: stage.wall_ms,
+                b: f64::NAN,
+                ratio: f64::NAN,
+                status: DiffStatus::Fail,
+            }),
+            Some(cand) => {
+                if stage.wall_ms < t.min_wall_ms {
+                    lines.push(DiffLine {
+                        metric,
+                        a: stage.wall_ms,
+                        b: cand.wall_ms,
+                        ratio: f64::NAN,
+                        status: DiffStatus::Skipped,
+                    });
+                    continue;
+                }
+                let ratio = cand.wall_ms / stage.wall_ms;
+                lines.push(DiffLine {
+                    metric,
+                    a: stage.wall_ms,
+                    b: cand.wall_ms,
+                    ratio,
+                    status: if ratio > t.max_wall_ratio {
+                        DiffStatus::Fail
+                    } else {
+                        DiffStatus::Ok
+                    },
+                });
+            }
+        }
+    }
+
+    for (name, hist) in &a.histograms {
+        let metric = format!("hist:{name} p99_ns");
+        let base = hist.quantile(0.99) as f64;
+        match b.histograms.get(name) {
+            // New/removed instrumentation is informational: histogram
+            // coverage changes with the code, unlike the stage set.
+            None => lines.push(DiffLine {
+                metric,
+                a: base,
+                b: f64::NAN,
+                ratio: f64::NAN,
+                status: DiffStatus::Info,
+            }),
+            Some(cand) => {
+                if hist.quantile(0.99) < t.min_hist_ns {
+                    lines.push(DiffLine {
+                        metric,
+                        a: base,
+                        b: cand.quantile(0.99) as f64,
+                        ratio: f64::NAN,
+                        status: DiffStatus::Skipped,
+                    });
+                    continue;
+                }
+                let candp = cand.quantile(0.99) as f64;
+                let ratio = candp / base;
+                lines.push(DiffLine {
+                    metric,
+                    a: base,
+                    b: candp,
+                    ratio,
+                    status: if ratio > t.max_hist_ratio {
+                        DiffStatus::Fail
+                    } else {
+                        DiffStatus::Ok
+                    },
+                });
+            }
+        }
+    }
+
+    // Throughput gauges: higher is better, so the regression factor is
+    // a/b (how much throughput was lost).
+    for (name, &base) in &a.gauges {
+        if !name.ends_with("_per_sec") || base <= 0.0 {
+            continue;
+        }
+        let metric = format!("gauge:{name}");
+        match b.gauges.get(name) {
+            None => lines.push(DiffLine {
+                metric,
+                a: base,
+                b: f64::NAN,
+                ratio: f64::NAN,
+                status: DiffStatus::Info,
+            }),
+            Some(&cand) => {
+                let ratio = if cand > 0.0 {
+                    base / cand
+                } else {
+                    f64::INFINITY
+                };
+                lines.push(DiffLine {
+                    metric,
+                    a: base,
+                    b: cand,
+                    ratio,
+                    status: if ratio > t.max_wall_ratio {
+                        DiffStatus::Fail
+                    } else {
+                        DiffStatus::Ok
+                    },
+                });
+            }
+        }
+    }
+
+    for (name, &base) in &a.counters {
+        let cand = b.counters.get(name).copied();
+        let changed = cand != Some(base);
+        if !changed && !t.strict_counters {
+            continue; // unchanged counters are noise in the output
+        }
+        lines.push(DiffLine {
+            metric: format!("counter:{name}"),
+            a: base as f64,
+            b: cand.map(|c| c as f64).unwrap_or(f64::NAN),
+            ratio: f64::NAN,
+            status: if changed && t.strict_counters {
+                DiffStatus::Fail
+            } else {
+                DiffStatus::Info
+            },
+        });
+    }
+
+    lines.sort_by_key(|l| match l.status {
+        DiffStatus::Fail => 0,
+        DiffStatus::Ok => 1,
+        DiffStatus::Skipped => 2,
+        DiffStatus::Info => 3,
+    });
+    DiffReport { lines }
+}
+
+/// Renders the `icn obs top` self-time treetable for a report: every span
+/// path as an indented tree with calls, total wall and self time (total
+/// minus direct children), sorted within each level by self time
+/// descending.
+pub fn render_top(report: &BenchReport) -> String {
+    let times = self_times(&report.spans);
+    let mut entries: Vec<(&String, &(u64, std::time::Duration, std::time::Duration))> =
+        times.iter().collect();
+    // Stable tree order: parents before children (BTreeMap path order),
+    // then self-time descending among siblings.
+    entries.sort_by(|(pa, ta), (pb, tb)| {
+        let depth_a = pa.matches('/').count();
+        let depth_b = pb.matches('/').count();
+        let parent_a = pa.rsplit_once('/').map(|(p, _)| p).unwrap_or("");
+        let parent_b = pb.rsplit_once('/').map(|(p, _)| p).unwrap_or("");
+        (parent_a, depth_a)
+            .cmp(&(parent_b, depth_b))
+            .then(tb.2.cmp(&ta.2))
+    });
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>8}  {:>12}  {:>12}  span",
+        "calls", "total_ms", "self_ms"
+    );
+    // Emit as a tree: walk paths depth-first using the path prefix.
+    let mut ordered: Vec<&String> = Vec::new();
+    fn push_children<'a>(
+        parent: &str,
+        entries: &[(&'a String, &(u64, std::time::Duration, std::time::Duration))],
+        ordered: &mut Vec<&'a String>,
+    ) {
+        for (path, _) in entries {
+            let is_child = match path.rsplit_once('/') {
+                Some((p, _)) => p == parent,
+                None => parent.is_empty(),
+            };
+            if is_child {
+                ordered.push(path);
+                push_children(path, entries, ordered);
+            }
+        }
+    }
+    push_children("", &entries, &mut ordered);
+    for path in ordered {
+        let &(calls, total, own) = &times[path];
+        let depth = path.matches('/').count();
+        let leaf = path.rsplit('/').next().unwrap_or(path);
+        let _ = writeln!(
+            out,
+            "{:>8}  {:>12.3}  {:>12.3}  {}{}",
+            calls,
+            total.as_secs_f64() * 1e3,
+            own.as_secs_f64() * 1e3,
+            "  ".repeat(depth),
+            leaf
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+    use crate::registry::Registry;
+    use std::time::Duration;
+
+    fn report_with(stage_ms: f64, p99_base_ns: u64, throughput: f64) -> BenchReport {
+        let r = Registry::new();
+        r.enable();
+        r.record_span_parts(
+            "stage3_surrogate".into(),
+            Duration::from_secs_f64(stage_ms / 1e3),
+        );
+        r.record_span_parts(
+            "stage3_surrogate/shap_batch".into(),
+            Duration::from_secs_f64(stage_ms / 2e3),
+        );
+        let mut h = Histogram::new();
+        for i in 0..100u64 {
+            h.record(p99_base_ns + i);
+        }
+        r.merge_hist("shap.chunk_ns", &h);
+        r.set_gauge("shap.samples_per_sec", throughput);
+        r.add_counter("shap.tree_walks", 1234);
+        BenchReport::build(&r.snapshot(), "t", 1.0)
+    }
+
+    #[test]
+    fn self_diff_passes() {
+        let a = report_with(100.0, 50_000, 1000.0);
+        let d = diff_reports(&a, &a, &DiffThresholds::default());
+        assert!(d.passed(), "self-diff must pass:\n{}", d.render());
+    }
+
+    #[test]
+    fn wall_regression_fails_and_speedup_passes() {
+        let a = report_with(100.0, 50_000, 1000.0);
+        let slow = report_with(250.0, 50_000, 1000.0);
+        let fast = report_with(40.0, 50_000, 1000.0);
+        assert!(!diff_reports(&a, &slow, &DiffThresholds::default()).passed());
+        assert!(diff_reports(&a, &fast, &DiffThresholds::default()).passed());
+    }
+
+    #[test]
+    fn tiny_stages_are_skipped() {
+        let a = report_with(2.0, 50_000, 1000.0);
+        let b = report_with(4.9, 50_000, 1000.0); // 2.45x but under min_wall_ms
+        let d = diff_reports(&a, &b, &DiffThresholds::default());
+        assert!(d.passed());
+        assert!(d
+            .lines
+            .iter()
+            .any(|l| l.status == DiffStatus::Skipped && l.metric.starts_with("stage:")));
+    }
+
+    #[test]
+    fn histogram_p99_regression_fails() {
+        let a = report_with(100.0, 50_000, 1000.0);
+        let b = report_with(100.0, 200_000, 1000.0);
+        let d = diff_reports(&a, &b, &DiffThresholds::default());
+        assert!(!d.passed());
+        assert!(d
+            .lines
+            .iter()
+            .any(|l| l.status == DiffStatus::Fail && l.metric.starts_with("hist:")));
+    }
+
+    #[test]
+    fn throughput_drop_fails() {
+        let a = report_with(100.0, 50_000, 1000.0);
+        let b = report_with(100.0, 50_000, 400.0);
+        assert!(!diff_reports(&a, &b, &DiffThresholds::default()).passed());
+    }
+
+    #[test]
+    fn scale_mismatch_fails() {
+        let a = report_with(100.0, 50_000, 1000.0);
+        let mut b = report_with(100.0, 50_000, 1000.0);
+        b.scale = 0.5;
+        assert!(!diff_reports(&a, &b, &DiffThresholds::default()).passed());
+    }
+
+    #[test]
+    fn counters_gate_only_in_strict_mode() {
+        let a = report_with(100.0, 50_000, 1000.0);
+        let mut b = report_with(100.0, 50_000, 1000.0);
+        b.counters.insert("shap.tree_walks".into(), 999);
+        assert!(diff_reports(&a, &b, &DiffThresholds::default()).passed());
+        let strict = DiffThresholds {
+            strict_counters: true,
+            ..DiffThresholds::default()
+        };
+        assert!(!diff_reports(&a, &b, &strict).passed());
+    }
+
+    #[test]
+    fn top_table_is_a_tree() {
+        let a = report_with(100.0, 50_000, 1000.0);
+        let table = render_top(&a);
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[1].contains("stage3_surrogate"));
+        assert!(lines[2].contains("  shap_batch"));
+    }
+}

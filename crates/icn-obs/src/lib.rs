@@ -3,22 +3,29 @@
 //! The ROADMAP's north star is a system that runs "as fast as the hardware
 //! allows"; this crate is how the workspace *measures* that. It is built
 //! from `std` only (the workspace must compile fully offline) and has
-//! three layers:
+//! four layers:
 //!
 //! * [`Span`] — an RAII stage timer with per-thread nesting
-//!   (`stage2_cluster/condensed`), inert and allocation-free while
-//!   collection is disabled.
-//! * [`Registry`] — a thread-safe store of counters, gauges and duration
-//!   statistics. The process-global instance ([`global`]) starts disabled;
-//!   every mutating call short-circuits on one relaxed atomic load, so
-//!   instrumented library code costs nothing unless a harness opts in.
-//!   Hot loops tally locally and flush once per call, so enabling metrics
-//!   can never perturb numeric results either.
-//! * [`BenchReport`] — a stable JSON export schema (`icn-obs/v1`) written
-//!   to `BENCH_*.json` files, giving every perf PR a machine-readable
-//!   baseline to beat. [`json::Json`] is the tiny JSON value type backing
-//!   it (also used by the synth/config serialisation elsewhere in the
-//!   workspace).
+//!   (`stage2_cluster/condensed`), key=value attributes and point events.
+//!   Spans form a real tree ([`SpanData`]): parent/child by id, linked
+//!   **across threads** when work fans out through `icn_stats::par` (the
+//!   dispatching stage hands a [`span::Handoff`] to each worker). Inert
+//!   and allocation-free while collection is disabled.
+//! * [`Registry`] — a thread-safe store of counters, gauges, log-bucketed
+//!   [`Histogram`]s and structured logs (ring-buffered, `ICN_LOG`-filtered
+//!   — see [`obs_log!`]). The process-global instance ([`global`]) starts
+//!   disabled; every mutating call short-circuits on one relaxed atomic
+//!   load, so instrumented library code costs nothing unless a harness
+//!   opts in. Hot loops tally locally and flush once per call, so enabling
+//!   metrics can never perturb numeric results either.
+//! * Exporters — [`BenchReport`], a stable JSON schema (`icn-obs/v2`,
+//!   still reading `v1`) written to `BENCH_*.json` files, giving every
+//!   perf PR a machine-readable baseline to beat; and
+//!   [`chrome::chrome_trace`], a Chrome trace-event export
+//!   (`chrome://tracing` / Perfetto) of the full span tree.
+//! * Tooling — [`diff::diff_reports`] compares two reports against
+//!   per-metric thresholds (the CI perf regression gate) and
+//!   [`diff::render_top`] prints a self-time treetable.
 //!
 //! Typical harness usage:
 //!
@@ -27,7 +34,8 @@
 //! reg.reset();
 //! reg.enable();
 //! {
-//!     let _span = icn_obs::Span::enter("stage1_transform");
+//!     let mut span = icn_obs::Span::enter("stage1_transform");
+//!     span.attr("rows", 123u64);
 //!     reg.add_counter("transform.live_rows", 123);
 //! }
 //! let report = icn_obs::BenchReport::build(&reg.snapshot(), "doc-test", 0.1);
@@ -39,21 +47,31 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chrome;
+pub mod diff;
+pub mod hist;
 pub mod json;
+pub mod log;
 pub mod registry;
 pub mod report;
 pub mod span;
+pub mod trace;
 
+pub use chrome::{chrome_trace, write_chrome_trace};
+pub use diff::{diff_reports, render_top, DiffReport, DiffStatus, DiffThresholds};
+pub use hist::Histogram;
 pub use json::Json;
-pub use registry::{DurationStat, Registry, Snapshot};
+pub use log::{Level, LogFilter, LogRecord};
+pub use registry::{Registry, Snapshot};
 pub use report::{stage_for_counter, BenchReport, EnvInfo, StageReport, PIPELINE_STAGES, SCHEMA};
-pub use span::Span;
+pub use span::{current_handoff, Handoff, Span};
+pub use trace::{self_times, AttrValue, SpanData, SpanEvent};
 
 static GLOBAL: Registry = Registry::new();
 
 /// The process-global registry that library instrumentation reports to.
 /// Disabled (and therefore free) by default; harness binaries enable it
-/// behind `--metrics-out`.
+/// behind `--metrics-out` / `--trace-out`.
 pub fn global() -> &'static Registry {
     &GLOBAL
 }

@@ -1,75 +1,57 @@
-//! Thread-safe metrics registry.
+//! Thread-safe metrics and trace registry.
 //!
-//! A [`Registry`] collects named counters, gauges, duration statistics and
-//! finished [`crate::Span`] records. The process-global instance returned
-//! by [`crate::global`] starts **disabled**: every mutating call first
+//! A [`Registry`] collects named counters, gauges, log-bucketed
+//! [`Histogram`]s, structured [`LogRecord`]s and finished
+//! [`crate::Span`] occurrences (with full tree linkage — see
+//! [`SpanData`]). The process-global instance returned by
+//! [`crate::global`] starts **disabled**: every mutating call first
 //! checks one relaxed atomic load and returns immediately, so code paths
 //! instrumented against the global registry pay nothing measurable unless
 //! a harness opts in with [`Registry::enable`].
 //!
 //! Hot loops should tally into a local variable and flush once per stage
-//! call (`registry.add_counter("cluster.merges", local_tally)`), which
-//! keeps instrumentation both cheap and incapable of perturbing results:
-//! the library never branches on metric values.
+//! call (`registry.add_counter("cluster.merges", local_tally)`); for
+//! per-step latencies, tally into a local [`Histogram`] and flush once
+//! with [`Registry::merge_hist`] — the fixed bucket layout makes the
+//! merge independent of flush order. This keeps instrumentation both
+//! cheap and incapable of perturbing results: the library never branches
+//! on metric values.
 
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::hist::Histogram;
+use crate::log::{Level, LogFilter, LogRecord, LOG_CAPACITY};
+use crate::trace::SpanData;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
-
-/// Aggregate statistics of one named duration series.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
-pub struct DurationStat {
-    /// Number of recorded durations.
-    pub count: u64,
-    /// Sum of all durations in nanoseconds.
-    pub total_ns: u128,
-    /// Shortest recorded duration in nanoseconds.
-    pub min_ns: u128,
-    /// Longest recorded duration in nanoseconds.
-    pub max_ns: u128,
-}
-
-impl DurationStat {
-    fn record(&mut self, ns: u128) {
-        if self.count == 0 {
-            self.min_ns = ns;
-            self.max_ns = ns;
-        } else {
-            self.min_ns = self.min_ns.min(ns);
-            self.max_ns = self.max_ns.max(ns);
-        }
-        self.count += 1;
-        self.total_ns += ns;
-    }
-
-    /// Total wall time in milliseconds.
-    pub fn total_ms(&self) -> f64 {
-        self.total_ns as f64 / 1e6
-    }
-}
-
-/// One finished span occurrence (aggregated by path in [`Snapshot`]).
-#[derive(Clone, Debug)]
-pub struct SpanRecord {
-    /// Slash-separated nesting path, e.g. `stage2_cluster/condensed`.
-    pub path: String,
-    /// Wall time of this occurrence.
-    pub wall: Duration,
-}
+use std::time::{Duration, Instant};
 
 #[derive(Default)]
 struct Inner {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
-    durations: BTreeMap<String, DurationStat>,
-    spans: Vec<SpanRecord>,
+    histograms: BTreeMap<String, Histogram>,
+    spans: Vec<SpanData>,
+    logs: VecDeque<LogRecord>,
+    logs_dropped: u64,
+    /// Time origin for span starts and log timestamps; set when
+    /// collection starts, cleared by [`Registry::reset`].
+    epoch: Option<Instant>,
 }
 
-/// A thread-safe collection of metrics. See the module docs.
+impl Inner {
+    fn offset_from_epoch(&mut self, at: Instant) -> Duration {
+        let epoch = *self.epoch.get_or_insert(at);
+        at.checked_duration_since(epoch).unwrap_or(Duration::ZERO)
+    }
+}
+
+/// A thread-safe collection of metrics and trace data. See the module
+/// docs.
 #[derive(Default)]
 pub struct Registry {
     enabled: AtomicBool,
+    next_span_id: AtomicU64,
+    log_seq: AtomicU64,
     inner: Mutex<Inner>,
 }
 
@@ -80,10 +62,43 @@ pub struct Snapshot {
     pub counters: BTreeMap<String, u64>,
     /// Last-write-wins gauges by name.
     pub gauges: BTreeMap<String, f64>,
-    /// Duration statistics by name.
-    pub durations: BTreeMap<String, DurationStat>,
-    /// Span occurrences aggregated by path: `(calls, total wall)`.
+    /// Log-bucketed histograms by name (durations in nanoseconds by
+    /// convention).
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Span occurrences aggregated by path: `(calls, total wall)` — the
+    /// `icn-obs/v1` view, derived from [`Snapshot::span_tree`].
     pub spans: BTreeMap<String, (u64, Duration)>,
+    /// Every finished span occurrence with tree linkage, in completion
+    /// order.
+    pub span_tree: Vec<SpanData>,
+    /// Retained log records, oldest first.
+    pub logs: Vec<LogRecord>,
+    /// Number of log records dropped because the ring buffer was full.
+    pub logs_dropped: u64,
+}
+
+impl Snapshot {
+    /// Looks up a span occurrence by id in [`Snapshot::span_tree`].
+    pub fn span_by_id(&self, id: u64) -> Option<&SpanData> {
+        self.span_tree.iter().find(|s| s.id == id)
+    }
+
+    /// The root ancestor (a span with no parent) of the given occurrence,
+    /// found by walking `parent` links. Returns `span` itself when it has
+    /// no parent; `None` if a parent id is missing from the tree (a
+    /// broken link — the shape tests treat that as a failure).
+    pub fn root_of<'a>(&'a self, span: &'a SpanData) -> Option<&'a SpanData> {
+        let mut cur = span;
+        let mut hops = 0;
+        while let Some(pid) = cur.parent {
+            cur = self.span_by_id(pid)?;
+            hops += 1;
+            if hops > 1_000 {
+                return None; // cycle guard; cannot happen with monotonic ids
+            }
+        }
+        Some(cur)
+    }
 }
 
 impl Registry {
@@ -91,18 +106,28 @@ impl Registry {
     pub const fn new() -> Registry {
         Registry {
             enabled: AtomicBool::new(false),
+            next_span_id: AtomicU64::new(1),
+            log_seq: AtomicU64::new(0),
             inner: Mutex::new(Inner {
                 counters: BTreeMap::new(),
                 gauges: BTreeMap::new(),
-                durations: BTreeMap::new(),
+                histograms: BTreeMap::new(),
                 spans: Vec::new(),
+                logs: VecDeque::new(),
+                logs_dropped: 0,
+                epoch: None,
             }),
         }
     }
 
-    /// Starts collecting. Previously collected data is kept; call
-    /// [`Registry::reset`] for a clean slate.
+    /// Starts collecting and anchors the trace epoch (if not already
+    /// set). Previously collected data is kept; call [`Registry::reset`]
+    /// for a clean slate.
     pub fn enable(&self) {
+        {
+            let mut inner = self.inner.lock().expect("icn-obs registry poisoned");
+            inner.epoch.get_or_insert_with(Instant::now);
+        }
         self.enabled.store(true, Ordering::SeqCst);
     }
 
@@ -117,10 +142,15 @@ impl Registry {
         self.enabled.load(Ordering::Relaxed)
     }
 
-    /// Clears all collected data (enabled state is unchanged).
+    /// Clears all collected data and the trace epoch (enabled state is
+    /// unchanged; span ids keep growing so ids never repeat within a
+    /// process).
     pub fn reset(&self) {
         let mut inner = self.inner.lock().expect("icn-obs registry poisoned");
         *inner = Inner::default();
+        if self.is_enabled() {
+            inner.epoch = Some(Instant::now());
+        }
     }
 
     /// Adds `delta` to the named counter.
@@ -149,28 +179,114 @@ impl Registry {
         inner.gauges.insert(name.to_string(), value);
     }
 
-    /// Records one duration observation under `name`.
+    /// Records one observation into the named histogram.
     #[inline]
-    pub fn record_duration(&self, name: &str, d: Duration) {
+    pub fn record_hist(&self, name: &str, value: u64) {
         if !self.is_enabled() {
             return;
         }
         let mut inner = self.inner.lock().expect("icn-obs registry poisoned");
         inner
-            .durations
+            .histograms
             .entry(name.to_string())
             .or_default()
-            .record(d.as_nanos());
+            .record(value);
     }
 
-    pub(crate) fn record_span(&self, path: String, wall: Duration) {
+    /// Merges a locally-tallied histogram into the named one — the
+    /// flush-once pattern for per-step latencies in hot loops. The fixed
+    /// bucket layout makes the result independent of flush order.
+    pub fn merge_hist(&self, name: &str, local: &Histogram) {
+        if !self.is_enabled() || local.count() == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("icn-obs registry poisoned");
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(local);
+    }
+
+    /// Records one duration observation under `name`, as nanoseconds in
+    /// the named histogram.
+    #[inline]
+    pub fn record_duration(&self, name: &str, d: Duration) {
+        self.record_hist(name, d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Emits a structured log record (subject to the `ICN_LOG` filter;
+    /// retained only while collecting). Prefer the [`crate::obs_log!`]
+    /// macro, which formats lazily at the call site.
+    pub fn log(&self, level: Level, target: &str, message: &str) {
+        if !self.is_enabled() {
+            return;
+        }
+        let filter = LogFilter::from_env();
+        if !filter.enabled(level, target) {
+            return;
+        }
+        if filter.echo {
+            eprintln!("[{:<5} {target}] {message}", level.name());
+        }
+        let now = Instant::now();
+        let seq = self.log_seq.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock().expect("icn-obs registry poisoned");
+        let at = inner.offset_from_epoch(now);
+        if inner.logs.len() >= LOG_CAPACITY {
+            inner.logs.pop_front();
+            inner.logs_dropped += 1;
+        }
+        inner.logs.push_back(LogRecord {
+            seq,
+            level,
+            target: target.to_string(),
+            message: message.to_string(),
+            at,
+            thread: crate::span::thread_index(),
+        });
+    }
+
+    /// Allocates a process-unique span id (monotonic from 1).
+    pub(crate) fn alloc_span_id(&self) -> u64 {
+        self.next_span_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Records a finished span occurrence. `start` is the wall-clock
+    /// instant the span was entered; the registry converts it into an
+    /// epoch offset under the lock.
+    pub(crate) fn record_span(&self, mut data: SpanData, start: Instant) {
         // Callers (Span::drop) already checked enablement at entry; check
         // again so a span straddling a disable() can't record.
         if !self.is_enabled() {
             return;
         }
         let mut inner = self.inner.lock().expect("icn-obs registry poisoned");
-        inner.spans.push(SpanRecord { path, wall });
+        data.start = inner.offset_from_epoch(start);
+        inner.spans.push(data);
+    }
+
+    /// Test/report helper: records a minimal span occurrence with just a
+    /// path and wall time (no tree linkage).
+    #[doc(hidden)]
+    pub fn record_span_parts(&self, path: String, wall: Duration) {
+        if !self.is_enabled() {
+            return;
+        }
+        let id = self.alloc_span_id();
+        let name = path.rsplit('/').next().unwrap_or(&path).to_string();
+        let mut inner = self.inner.lock().expect("icn-obs registry poisoned");
+        inner.spans.push(SpanData {
+            id,
+            parent: None,
+            name,
+            path,
+            thread: 0,
+            start: Duration::ZERO,
+            wall,
+            attrs: Vec::new(),
+            events: Vec::new(),
+        });
     }
 
     /// Copies out the current state.
@@ -185,8 +301,11 @@ impl Registry {
         Snapshot {
             counters: inner.counters.clone(),
             gauges: inner.gauges.clone(),
-            durations: inner.durations.clone(),
+            histograms: inner.histograms.clone(),
             spans,
+            span_tree: inner.spans.clone(),
+            logs: inner.logs.iter().cloned().collect(),
+            logs_dropped: inner.logs_dropped,
         }
     }
 }
@@ -201,8 +320,12 @@ mod tests {
         r.add_counter("a", 5);
         r.set_gauge("g", 1.0);
         r.record_duration("d", Duration::from_millis(1));
+        r.record_hist("h", 42);
+        r.log(Level::Error, "t", "dropped");
         let s = r.snapshot();
-        assert!(s.counters.is_empty() && s.gauges.is_empty() && s.durations.is_empty());
+        assert!(s.counters.is_empty() && s.gauges.is_empty());
+        assert!(s.histograms.is_empty() && s.logs.is_empty());
+        assert!(s.span_tree.is_empty());
     }
 
     #[test]
@@ -217,16 +340,34 @@ mod tests {
     }
 
     #[test]
-    fn duration_stats_track_min_max() {
+    fn durations_become_histograms() {
         let r = Registry::new();
         r.enable();
         r.record_duration("d", Duration::from_nanos(10));
         r.record_duration("d", Duration::from_nanos(30));
-        let d = r.snapshot().durations["d"];
-        assert_eq!(d.count, 2);
-        assert_eq!(d.min_ns, 10);
-        assert_eq!(d.max_ns, 30);
-        assert_eq!(d.total_ns, 40);
+        let h = &r.snapshot().histograms["d"];
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 30);
+        assert_eq!(h.sum(), 40);
+    }
+
+    #[test]
+    fn local_histograms_flush_by_merge() {
+        let r = Registry::new();
+        r.enable();
+        let mut local = Histogram::new();
+        for v in [1u64, 2, 3] {
+            local.record(v);
+        }
+        r.merge_hist("steps", &local);
+        r.merge_hist("steps", &local);
+        let h = &r.snapshot().histograms["steps"];
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 12);
+        // Empty locals are a no-op (no empty entry created).
+        r.merge_hist("empty", &Histogram::new());
+        assert!(!r.snapshot().histograms.contains_key("empty"));
     }
 
     #[test]
@@ -253,5 +394,31 @@ mod tests {
         r.set_gauge("g", 1.0);
         r.set_gauge("g", 2.5);
         assert_eq!(r.snapshot().gauges["g"], 2.5);
+    }
+
+    #[test]
+    fn log_ring_is_bounded() {
+        let r = Registry::new();
+        r.enable();
+        for i in 0..(LOG_CAPACITY + 10) {
+            r.log(Level::Error, "t", &format!("m{i}"));
+        }
+        let s = r.snapshot();
+        assert_eq!(s.logs.len(), LOG_CAPACITY);
+        assert_eq!(s.logs_dropped, 10);
+        // Oldest records were the ones dropped.
+        assert_eq!(s.logs.first().unwrap().message, "m10");
+    }
+
+    #[test]
+    fn log_below_default_filter_is_skipped() {
+        // The default ICN_LOG filter keeps info and above.
+        let r = Registry::new();
+        r.enable();
+        r.log(Level::Debug, "t", "too detailed");
+        r.log(Level::Info, "t", "kept");
+        let s = r.snapshot();
+        assert_eq!(s.logs.len(), 1);
+        assert_eq!(s.logs[0].message, "kept");
     }
 }

@@ -1,37 +1,54 @@
 //! Machine-readable performance reports (`BENCH_*.json`).
 //!
 //! A [`BenchReport`] freezes a [`crate::Registry`] snapshot into a stable
-//! JSON schema (`icn-obs/v1`) that the perf trajectory tooling can diff
+//! JSON schema (`icn-obs/v2`) that the perf trajectory tooling can diff
 //! across PRs:
 //!
 //! ```json
 //! {
-//!   "schema": "icn-obs/v1",
+//!   "schema": "icn-obs/v2",
 //!   "run_id": "all_experiments",
 //!   "scale": 1.0,
-//!   "env": {"os": "linux", "arch": "x86_64", "threads": 16, "unix_time": 0},
+//!   "env": {"os": "linux", "arch": "x86_64", "threads": 16, "unix_time": 0,
+//!           "git_commit": "a9df246...", "scale": 1.0, "chunk": 512},
 //!   "stages": [
 //!     {"name": "stage2_cluster", "wall_ms": 1234.5,
 //!      "counters": {"cluster.merges": 4761, "cluster.pairs": 11335641}}
 //!   ],
-//!   "spans": [{"path": "stage2_cluster/condensed", "calls": 1, "wall_ms": 200.0}],
+//!   "spans": [{"path": "stage2_cluster/condensed", "calls": 1,
+//!              "wall_ms": 200.0, "self_ms": 200.0}],
+//!   "histograms": [{"name": "shap.chunk_ns", "unit": "ns", "count": 64,
+//!                   "sum": 123456, "min": 900, "max": 4100,
+//!                   "p50": 1920, "p90": 3584, "p99": 4096,
+//!                   "buckets": [[61, 10], [70, 54]]}],
 //!   "counters": {"cluster.merges": 4761},
 //!   "gauges": {"shap.samples_per_sec": 1234.5}
 //! }
 //! ```
+//!
+//! **Versioning.** `icn-obs/v2` is a strict superset of `icn-obs/v1`:
+//! every v1 field keeps its meaning and position, v2 adds the
+//! `histograms` section, per-span `self_ms`, and the `git_commit` /
+//! `scale` / `chunk` environment fields. [`BenchReport::parse`] reads
+//! both versions (v1 reports simply come back with no histograms), so the
+//! committed `BENCH_pr*.json` trajectory stays diffable end to end.
 //!
 //! Stages are the **top-level** spans of the run (nesting path without a
 //! `/`). Counters attach to stages by name prefix — see
 //! [`stage_for_counter`] — so tallies flushed from worker threads land on
 //! the right stage without any thread-local bookkeeping.
 
+use crate::hist::Histogram;
 use crate::json::{counters_obj, Json};
 use crate::registry::Snapshot;
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-/// Schema identifier embedded in every report.
-pub const SCHEMA: &str = "icn-obs/v1";
+/// Schema identifier embedded in every report this crate writes.
+pub const SCHEMA: &str = "icn-obs/v2";
+
+/// The previous schema identifier; [`BenchReport::parse`] still reads it.
+pub const SCHEMA_V1: &str = "icn-obs/v1";
 
 /// The five pipeline stages of `IcnStudy::run`, in execution order. The
 /// observability tests pin the stage set of a metered pipeline run to
@@ -75,7 +92,10 @@ pub struct StageReport {
     pub counters: BTreeMap<String, u64>,
 }
 
-/// Execution environment fingerprint.
+/// Execution environment fingerprint. v2 makes reports self-describing:
+/// besides OS/arch/threads, it records the producing git commit (when the
+/// working directory is inside a repository), the run's population scale,
+/// and — for ingest runs — the chunk size.
 #[derive(Clone, Debug, PartialEq)]
 pub struct EnvInfo {
     /// Operating system (`std::env::consts::OS`).
@@ -89,10 +109,22 @@ pub struct EnvInfo {
     pub threads: usize,
     /// Seconds since the Unix epoch when the report was built.
     pub unix_time: u64,
+    /// Git commit hash of the producing tree, when discoverable by
+    /// walking up from the working directory (no subprocess is spawned —
+    /// `.git/HEAD` and, if needed, `packed-refs` are read directly).
+    pub git_commit: Option<String>,
+    /// Population scale of the run, duplicated from the report root so
+    /// the environment block alone identifies the configuration.
+    pub scale: f64,
+    /// Ingest chunk size in records, when the producing harness streams
+    /// (`icn ingest --chunk N`); `None` for batch runs.
+    pub chunk: Option<u64>,
 }
 
 impl EnvInfo {
-    /// Captures the current environment.
+    /// Captures the current environment. `scale` starts at 0.0 and is
+    /// overwritten by [`BenchReport::build`]; `chunk` stays `None` unless
+    /// the harness sets it.
     pub fn capture() -> EnvInfo {
         let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
         let threads = std::env::var("ICN_THREADS")
@@ -107,7 +139,64 @@ impl EnvInfo {
             unix_time: std::time::SystemTime::now()
                 .duration_since(std::time::UNIX_EPOCH)
                 .map_or(0, |d| d.as_secs()),
+            git_commit: detect_git_commit(),
+            scale: 0.0,
+            chunk: None,
         }
+    }
+}
+
+/// Resolves the current git commit hash by reading `.git/HEAD` (and
+/// following one level of `ref:` indirection through loose refs or
+/// `packed-refs`), walking up from the current directory. Returns `None`
+/// outside a repository or on any read failure — environment capture must
+/// never fail a run.
+pub fn detect_git_commit() -> Option<String> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let git = dir.join(".git");
+        if git.is_dir() {
+            return read_git_head(&git);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn read_git_head(git: &std::path::Path) -> Option<String> {
+    let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+    let head = head.trim();
+    match head.strip_prefix("ref: ") {
+        None => validate_hash(head),
+        Some(refname) => {
+            let refname = refname.trim();
+            if let Ok(loose) = std::fs::read_to_string(git.join(refname)) {
+                return validate_hash(loose.trim());
+            }
+            let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+            for line in packed.lines() {
+                let line = line.trim();
+                if line.starts_with('#') || line.starts_with('^') {
+                    continue;
+                }
+                if let Some((hash, name)) = line.split_once(' ') {
+                    if name.trim() == refname {
+                        return validate_hash(hash);
+                    }
+                }
+            }
+            None
+        }
+    }
+}
+
+fn validate_hash(s: &str) -> Option<String> {
+    let ok = s.len() >= 7 && s.len() <= 64 && s.chars().all(|c| c.is_ascii_hexdigit());
+    if ok {
+        Some(s.to_string())
+    } else {
+        None
     }
 }
 
@@ -124,6 +213,8 @@ pub struct BenchReport {
     pub stages: Vec<StageReport>,
     /// All spans by nesting path: `(calls, total wall)`.
     pub spans: BTreeMap<String, (u64, Duration)>,
+    /// Log-bucketed histograms by name (v2; empty when parsed from v1).
+    pub histograms: BTreeMap<String, Histogram>,
     /// All counters, unattributed.
     pub counters: BTreeMap<String, u64>,
     /// Last-write-wins gauges (throughputs such as `shap.samples_per_sec`
@@ -153,12 +244,15 @@ impl BenchReport {
                 }
             }
         }
+        let mut env = EnvInfo::capture();
+        env.scale = scale;
         BenchReport {
             run_id: run_id.to_string(),
             scale,
-            env: EnvInfo::capture(),
+            env,
             stages: stages.into_values().collect(),
             spans: snapshot.spans.clone(),
+            histograms: snapshot.histograms.clone(),
             counters: snapshot.counters.clone(),
             gauges: snapshot.gauges.clone(),
         }
@@ -177,32 +271,49 @@ impl BenchReport {
                 ])
             })
             .collect();
+        let self_ms = crate::trace::self_times(&self.spans);
         let spans: Vec<Json> = self
             .spans
             .iter()
             .map(|(path, &(calls, wall))| {
+                let own = self_ms
+                    .get(path)
+                    .map(|&(_, _, own)| own.as_secs_f64() * 1e3)
+                    .unwrap_or(0.0);
                 Json::obj(vec![
                     ("path", Json::str(path)),
                     ("calls", Json::num(calls as f64)),
                     ("wall_ms", Json::num(wall.as_secs_f64() * 1e3)),
+                    ("self_ms", Json::num(own)),
                 ])
             })
             .collect();
+        let histograms: Vec<Json> = self
+            .histograms
+            .iter()
+            .map(|(name, h)| hist_to_json(name, h))
+            .collect();
+        let mut env_fields = vec![
+            ("os", Json::str(&self.env.os)),
+            ("arch", Json::str(&self.env.arch)),
+            ("threads", Json::num(self.env.threads as f64)),
+            ("unix_time", Json::num(self.env.unix_time as f64)),
+            ("scale", Json::num(self.env.scale)),
+        ];
+        if let Some(commit) = &self.env.git_commit {
+            env_fields.push(("git_commit", Json::str(commit)));
+        }
+        if let Some(chunk) = self.env.chunk {
+            env_fields.push(("chunk", Json::num(chunk as f64)));
+        }
         Json::obj(vec![
             ("schema", Json::str(SCHEMA)),
             ("run_id", Json::str(&self.run_id)),
             ("scale", Json::num(self.scale)),
-            (
-                "env",
-                Json::obj(vec![
-                    ("os", Json::str(&self.env.os)),
-                    ("arch", Json::str(&self.env.arch)),
-                    ("threads", Json::num(self.env.threads as f64)),
-                    ("unix_time", Json::num(self.env.unix_time as f64)),
-                ]),
-            ),
+            ("env", Json::obj(env_fields)),
             ("stages", Json::Arr(stages)),
             ("spans", Json::Arr(spans)),
+            ("histograms", Json::Arr(histograms)),
             ("counters", counters_obj(&self.counters)),
             (
                 "gauges",
@@ -222,11 +333,14 @@ impl BenchReport {
     }
 
     /// Parses a report back from its JSON rendering, validating the schema
-    /// tag and required fields.
+    /// tag (`icn-obs/v2` or the older `icn-obs/v1`) and required fields.
     pub fn parse(text: &str) -> Result<BenchReport, String> {
         let doc = Json::parse(text)?;
-        if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
-            return Err(format!("missing or unknown schema tag (want {SCHEMA})"));
+        let schema = doc.get("schema").and_then(Json::as_str);
+        if schema != Some(SCHEMA) && schema != Some(SCHEMA_V1) {
+            return Err(format!(
+                "missing or unknown schema tag (want {SCHEMA} or {SCHEMA_V1})"
+            ));
         }
         let run_id = doc
             .get("run_id")
@@ -254,6 +368,16 @@ impl BenchReport {
                 .get("unix_time")
                 .and_then(Json::as_f64)
                 .unwrap_or(0.0) as u64,
+            git_commit: env_doc
+                .get("git_commit")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            // v1 reports carry scale only at the root; mirror it in.
+            scale: env_doc.get("scale").and_then(Json::as_f64).unwrap_or(scale),
+            chunk: env_doc
+                .get("chunk")
+                .and_then(Json::as_f64)
+                .map(|c| c as u64),
         };
         let mut stages = Vec::new();
         for s in doc
@@ -297,6 +421,14 @@ impl BenchReport {
                 );
             }
         }
+        // Absent in v1 reports — optional.
+        let mut histograms = BTreeMap::new();
+        if let Some(items) = doc.get("histograms").and_then(Json::as_arr) {
+            for h in items {
+                let (name, hist) = hist_from_json(h)?;
+                histograms.insert(name, hist);
+            }
+        }
         let mut counters = BTreeMap::new();
         if let Some(entries) = doc.get("counters").and_then(Json::entries) {
             for (k, v) in entries {
@@ -316,6 +448,7 @@ impl BenchReport {
             env,
             stages,
             spans,
+            histograms,
             counters,
             gauges,
         })
@@ -325,6 +458,57 @@ impl BenchReport {
     pub fn stage(&self, name: &str) -> Option<&StageReport> {
         self.stages.iter().find(|s| s.name == name)
     }
+}
+
+/// Renders one histogram as its v2 JSON object. Quantiles are included
+/// for human readers and dashboards; [`hist_from_json`] recomputes them
+/// from the buckets, which are the source of truth. `sum` is rendered as
+/// a JSON number — exact below 2^53, which covers > 100 days of
+/// nanoseconds.
+fn hist_to_json(name: &str, h: &Histogram) -> Json {
+    let buckets: Vec<Json> = h
+        .nonzero_buckets()
+        .map(|(idx, c)| Json::Arr(vec![Json::num(idx as f64), Json::num(c as f64)]))
+        .collect();
+    Json::obj(vec![
+        ("name", Json::str(name)),
+        ("unit", Json::str("ns")),
+        ("count", Json::num(h.count() as f64)),
+        ("sum", Json::num(h.sum() as f64)),
+        ("min", Json::num(h.min() as f64)),
+        ("max", Json::num(h.max() as f64)),
+        ("mean", Json::num(h.mean())),
+        ("p50", Json::num(h.quantile(0.50) as f64)),
+        ("p90", Json::num(h.quantile(0.90) as f64)),
+        ("p99", Json::num(h.quantile(0.99) as f64)),
+        ("buckets", Json::Arr(buckets)),
+    ])
+}
+
+fn hist_from_json(doc: &Json) -> Result<(String, Histogram), String> {
+    let name = doc
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("histogram missing name")?
+        .to_string();
+    let sum = doc.get("sum").and_then(Json::as_f64).unwrap_or(0.0) as u128;
+    let min = doc.get("min").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    let max = doc.get("max").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    let mut buckets = Vec::new();
+    for b in doc
+        .get("buckets")
+        .and_then(Json::as_arr)
+        .ok_or("histogram missing buckets")?
+    {
+        let pair = b.as_arr().ok_or("bucket is not a pair")?;
+        if pair.len() != 2 {
+            return Err("bucket is not a pair".into());
+        }
+        let idx = pair[0].as_f64().ok_or("non-numeric bucket index")? as usize;
+        let count = pair[1].as_f64().ok_or("non-numeric bucket count")? as u64;
+        buckets.push((idx, count));
+    }
+    Ok((name, Histogram::from_sparse(&buckets, sum, min, max)))
 }
 
 #[cfg(test)]
@@ -339,9 +523,12 @@ mod tests {
         r.add_counter("forest.trees", 30);
         r.add_counter("unprefixed", 1);
         r.set_gauge("shap.samples_per_sec", 321.5);
-        r.record_span("stage2_cluster".into(), Duration::from_millis(20));
-        r.record_span("stage2_cluster/condensed".into(), Duration::from_millis(5));
-        r.record_span("stage3_surrogate".into(), Duration::from_millis(10));
+        r.record_span_parts("stage2_cluster".into(), Duration::from_millis(20));
+        r.record_span_parts("stage2_cluster/condensed".into(), Duration::from_millis(5));
+        r.record_span_parts("stage3_surrogate".into(), Duration::from_millis(10));
+        for v in [900u64, 1500, 2800, 4100] {
+            r.record_hist("shap.chunk_ns", v);
+        }
         r.snapshot()
     }
 
@@ -360,10 +547,12 @@ mod tests {
             .iter()
             .all(|s| !s.counters.contains_key("unprefixed")));
         assert_eq!(rep.counters["unprefixed"], 1);
+        // The build stamps the run's scale into the env block.
+        assert_eq!(rep.env.scale, 0.1);
     }
 
     #[test]
-    fn json_round_trip_preserves_stages_and_counters() {
+    fn json_round_trip_preserves_stages_counters_and_histograms() {
         let rep = BenchReport::build(&sample_snapshot(), "rt", 1.0);
         let back = BenchReport::parse(&rep.to_json().to_pretty()).unwrap();
         assert_eq!(back.run_id, "rt");
@@ -377,6 +566,51 @@ mod tests {
             assert_eq!(a.counters, b.counters);
             assert!((a.wall_ms - b.wall_ms).abs() < 1e-6);
         }
+        // Histograms round-trip bit-exactly (buckets + exact aggregates).
+        assert_eq!(back.histograms, rep.histograms);
+        let h = &back.histograms["shap.chunk_ns"];
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 900);
+        assert_eq!(h.max(), 4100);
+        // Env extras survive too.
+        assert_eq!(back.env.scale, rep.env.scale);
+        assert_eq!(back.env.git_commit, rep.env.git_commit);
+    }
+
+    #[test]
+    fn spans_carry_self_time_in_json() {
+        let rep = BenchReport::build(&sample_snapshot(), "self", 1.0);
+        let doc = rep.to_json();
+        let spans = doc.get("spans").and_then(Json::as_arr).unwrap();
+        let s2 = spans
+            .iter()
+            .find(|s| s.get("path").and_then(Json::as_str) == Some("stage2_cluster"))
+            .unwrap();
+        // 20ms total, 5ms in the nested condensed span.
+        let self_ms = s2.get("self_ms").and_then(Json::as_f64).unwrap();
+        assert!((self_ms - 15.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parse_accepts_v1_reports() {
+        let v1 = r#"{
+          "schema": "icn-obs/v1",
+          "run_id": "legacy",
+          "scale": 0.5,
+          "env": {"os": "linux", "arch": "x86_64", "threads": 4, "unix_time": 7},
+          "stages": [{"name": "stage1_transform", "wall_ms": 12.0,
+                      "counters": {"transform.live_rows": 3}}],
+          "spans": [{"path": "stage1_transform", "calls": 1, "wall_ms": 12.0}],
+          "counters": {"transform.live_rows": 3}
+        }"#;
+        let rep = BenchReport::parse(v1).unwrap();
+        assert_eq!(rep.run_id, "legacy");
+        assert!(rep.histograms.is_empty());
+        assert_eq!(rep.env.git_commit, None);
+        assert_eq!(rep.env.chunk, None);
+        // Root scale is mirrored into env for v1 inputs.
+        assert_eq!(rep.env.scale, 0.5);
+        assert_eq!(rep.stage("stage1_transform").unwrap().wall_ms, 12.0);
     }
 
     #[test]
@@ -390,6 +624,18 @@ mod tests {
         let fallback = EnvInfo::capture();
         std::env::remove_var("ICN_THREADS");
         assert!(fallback.threads >= 1);
+    }
+
+    #[test]
+    fn git_commit_is_detected_in_this_repository() {
+        // The workspace itself is a git repository, so capture from within
+        // it yields a plausible hash (hex, >= 7 chars). If the tests ever
+        // run from an exported tarball this simply returns None, which is
+        // also valid — only assert shape when present.
+        if let Some(hash) = detect_git_commit() {
+            assert!(hash.len() >= 7);
+            assert!(hash.chars().all(|c| c.is_ascii_hexdigit()));
+        }
     }
 
     #[test]

@@ -1,11 +1,13 @@
-//! RAII stage timers with nesting.
+//! RAII stage timers with nesting, attributes and cross-thread adoption.
 //!
 //! ```
 //! let reg = icn_obs::global();
 //! reg.enable();
 //! {
 //!     let _outer = icn_obs::Span::enter("stage2_cluster");
-//!     let _inner = icn_obs::Span::enter("condensed");
+//!     let mut inner = icn_obs::Span::enter("condensed");
+//!     inner.attr("pairs", 42u64);
+//!     inner.event("allocated");
 //!     // ... work ...
 //! } // both spans record their wall time on drop
 //! let snap = reg.snapshot();
@@ -15,21 +17,107 @@
 //! ```
 //!
 //! Nesting is tracked per thread: a span entered while another is open on
-//! the same thread records under the parent's path joined with `/`. When
-//! the global registry is disabled, [`Span::enter`] is a no-op that takes
-//! no timestamp and touches no thread-local state.
+//! the same thread records under the parent's path joined with `/`, and
+//! links to it by id in the span tree ([`crate::SpanData`]).
+//!
+//! **Cross-thread adoption.** Worker threads spawned by `icn_stats::par`
+//! have empty span stacks, so their spans would become disconnected
+//! roots. Instead, the dispatching thread captures a [`Handoff`] of its
+//! innermost open span ([`current_handoff`]) and each worker installs it
+//! with [`Handoff::adopt`]; the first span the worker opens then parents
+//! to the dispatching span — by id *and* by path — so e.g. per-chunk
+//! SHAP spans appear under `stage3_surrogate/shap_batch` at any
+//! `ICN_THREADS`, exactly as they do on the sequential fallback path.
+//!
+//! When the global registry is disabled, [`Span::enter`] is a no-op that
+//! takes no timestamp and touches no thread-local state, and
+//! [`current_handoff`] returns `None` after a single relaxed load.
 
 use crate::registry::Registry;
-use std::cell::RefCell;
+use crate::trace::{AttrValue, SpanData, SpanEvent};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-thread_local! {
-    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+struct Frame {
+    id: u64,
+    path: String,
 }
 
-/// An RAII timer that records its wall time into the global registry when
-/// dropped. Create with [`Span::enter`]; hold it for the duration of the
-/// stage (`let _span = Span::enter("stage");`).
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+    static ADOPTED: RefCell<Option<Handoff>> = const { RefCell::new(None) };
+    static THREAD_INDEX: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+/// Dense per-process index of the calling OS thread (0 for the first
+/// thread that asks, usually the main thread). Used to label spans and
+/// log records; stable for the lifetime of the thread.
+pub(crate) fn thread_index() -> u64 {
+    THREAD_INDEX.with(|cell| match cell.get() {
+        Some(i) => i,
+        None => {
+            let i = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+            cell.set(Some(i));
+            i
+        }
+    })
+}
+
+/// A capture of the dispatching thread's innermost open span, used to
+/// parent worker spans across threads. Obtained with [`current_handoff`]
+/// on the dispatching thread; installed on a worker with
+/// [`Handoff::adopt`].
+#[derive(Clone, Debug)]
+pub struct Handoff {
+    id: u64,
+    path: String,
+}
+
+impl Handoff {
+    /// Installs this handoff on the current thread: until the returned
+    /// guard drops, the first span opened with an empty stack parents to
+    /// the captured span.
+    pub fn adopt(&self) -> AdoptGuard {
+        let previous = ADOPTED.with(|a| a.borrow_mut().replace(self.clone()));
+        AdoptGuard { previous }
+    }
+}
+
+/// Restores the thread's previous adoption state on drop. See
+/// [`Handoff::adopt`].
+#[must_use = "adoption lasts only while the guard is alive"]
+pub struct AdoptGuard {
+    previous: Option<Handoff>,
+}
+
+impl Drop for AdoptGuard {
+    fn drop(&mut self) {
+        let previous = self.previous.take();
+        ADOPTED.with(|a| *a.borrow_mut() = previous);
+    }
+}
+
+/// Captures the innermost open span on the current thread for cross-thread
+/// parenting. Returns `None` when the global registry is disabled (one
+/// relaxed load, no thread-local access) or when no span is open.
+pub fn current_handoff() -> Option<Handoff> {
+    if !crate::global().is_enabled() {
+        return None;
+    }
+    STACK.with(|stack| {
+        stack.borrow().last().map(|f| Handoff {
+            id: f.id,
+            path: f.path.clone(),
+        })
+    })
+}
+
+/// An RAII timer that records one [`SpanData`] into the global registry
+/// when dropped. Create with [`Span::enter`]; hold it for the duration of
+/// the stage (`let _span = Span::enter("stage");`).
 #[must_use = "a span records on drop; bind it to a variable for the stage's duration"]
 pub struct Span {
     state: Option<SpanState>,
@@ -37,8 +125,13 @@ pub struct Span {
 
 struct SpanState {
     registry: &'static Registry,
+    id: u64,
+    parent: Option<u64>,
+    name: String,
     path: String,
     start: Instant,
+    attrs: Vec<(String, AttrValue)>,
+    events: Vec<SpanEvent>,
 }
 
 impl Span {
@@ -53,20 +146,32 @@ impl Span {
         if !registry.is_enabled() {
             return Span { state: None };
         }
-        let path = STACK.with(|stack| {
+        let id = registry.alloc_span_id();
+        let (parent, path) = STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
-            let path = match stack.last() {
-                Some(parent) => format!("{parent}/{name}"),
-                None => name.to_string(),
+            let (parent, path) = match stack.last() {
+                Some(top) => (Some(top.id), format!("{}/{name}", top.path)),
+                None => match ADOPTED.with(|a| a.borrow().clone()) {
+                    Some(h) => (Some(h.id), format!("{}/{name}", h.path)),
+                    None => (None, name.to_string()),
+                },
             };
-            stack.push(path.clone());
-            path
+            stack.push(Frame {
+                id,
+                path: path.clone(),
+            });
+            (parent, path)
         });
         Span {
             state: Some(SpanState {
                 registry,
+                id,
+                parent,
+                name: name.to_string(),
                 path,
                 start: Instant::now(),
+                attrs: Vec::new(),
+                events: Vec::new(),
             }),
         }
     }
@@ -74,6 +179,25 @@ impl Span {
     /// The full nesting path of this span (`None` when disabled).
     pub fn path(&self) -> Option<&str> {
         self.state.as_ref().map(|s| s.path.as_str())
+    }
+
+    /// Attaches a key = value attribute (last write appends; keys are not
+    /// deduplicated). No-op while disabled.
+    pub fn attr(&mut self, key: &str, value: impl Into<AttrValue>) {
+        if let Some(state) = self.state.as_mut() {
+            state.attrs.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// Records a named point event at the current offset into the span.
+    /// No-op while disabled.
+    pub fn event(&mut self, name: &str) {
+        if let Some(state) = self.state.as_mut() {
+            state.events.push(SpanEvent {
+                name: name.to_string(),
+                at: state.start.elapsed(),
+            });
+        }
     }
 }
 
@@ -85,13 +209,26 @@ impl Drop for Span {
         let wall = state.start.elapsed();
         STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
-            // Pop up to and including this span's path; tolerates
+            // Pop up to and including this span's frame; tolerates
             // out-of-order drops without panicking.
-            if let Some(pos) = stack.iter().rposition(|p| *p == state.path) {
+            if let Some(pos) = stack.iter().rposition(|f| f.id == state.id) {
                 stack.truncate(pos);
             }
         });
-        state.registry.record_span(state.path, wall);
+        state.registry.record_span(
+            SpanData {
+                id: state.id,
+                parent: state.parent,
+                name: state.name,
+                path: state.path,
+                thread: thread_index(),
+                start: std::time::Duration::ZERO, // set from epoch by the registry
+                wall,
+                attrs: state.attrs,
+                events: state.events,
+            },
+            state.start,
+        );
     }
 }
 
@@ -123,14 +260,41 @@ mod tests {
     }
 
     #[test]
+    fn nested_spans_link_by_id() {
+        let _guard = LOCK.lock().unwrap();
+        let reg = crate::global();
+        reg.reset();
+        reg.enable();
+        {
+            let _a = Span::enter("outer");
+            let _b = Span::enter("inner");
+        }
+        reg.disable();
+        let snap = reg.snapshot();
+        reg.reset();
+        let outer = snap.span_tree.iter().find(|s| s.path == "outer").unwrap();
+        let inner = snap
+            .span_tree
+            .iter()
+            .find(|s| s.path == "outer/inner")
+            .unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.name, "inner");
+    }
+
+    #[test]
     fn disabled_spans_are_inert() {
         let _guard = LOCK.lock().unwrap();
         let reg = crate::global();
         reg.reset();
-        let s = Span::enter("ghost");
+        let mut s = Span::enter("ghost");
         assert!(s.path().is_none());
+        s.attr("k", 1u64);
+        s.event("e");
         drop(s);
         assert!(reg.snapshot().spans.is_empty());
+        assert!(current_handoff().is_none());
     }
 
     #[test]
@@ -153,5 +317,99 @@ mod tests {
         reg.reset();
         assert!(snap.spans.contains_key("pipeline/s1"));
         assert!(snap.spans.contains_key("pipeline/s2"));
+    }
+
+    #[test]
+    fn attrs_and_events_survive_to_snapshot() {
+        let _guard = LOCK.lock().unwrap();
+        let reg = crate::global();
+        reg.reset();
+        reg.enable();
+        {
+            let mut s = Span::enter("work");
+            s.attr("rows", 128u64);
+            s.attr("ratio", 0.5f64);
+            s.attr("mode", "batch");
+            s.event("halfway");
+        }
+        reg.disable();
+        let snap = reg.snapshot();
+        reg.reset();
+        let s = &snap.span_tree[0];
+        assert_eq!(s.attr("rows"), Some(&AttrValue::U64(128)));
+        assert_eq!(s.attr("ratio"), Some(&AttrValue::F64(0.5)));
+        assert_eq!(s.attr("mode"), Some(&AttrValue::Str("batch".into())));
+        assert_eq!(s.events.len(), 1);
+        assert_eq!(s.events[0].name, "halfway");
+    }
+
+    #[test]
+    fn adopted_spans_parent_across_threads() {
+        let _guard = LOCK.lock().unwrap();
+        let reg = crate::global();
+        reg.reset();
+        reg.enable();
+        {
+            let _stage = Span::enter("stage");
+            let handoff = current_handoff().expect("span open, registry enabled");
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    let _adopt = handoff.adopt();
+                    let _w = Span::enter("worker");
+                    let _inner = Span::enter("step");
+                });
+            });
+        }
+        reg.disable();
+        let snap = reg.snapshot();
+        reg.reset();
+        let stage = snap.span_tree.iter().find(|s| s.path == "stage").unwrap();
+        let worker = snap
+            .span_tree
+            .iter()
+            .find(|s| s.path == "stage/worker")
+            .unwrap();
+        let step = snap
+            .span_tree
+            .iter()
+            .find(|s| s.path == "stage/worker/step")
+            .unwrap();
+        assert_eq!(worker.parent, Some(stage.id));
+        assert_eq!(step.parent, Some(worker.id));
+        assert_ne!(worker.thread, stage.thread);
+        // Top-level aggregation is unchanged: only "stage" is a root.
+        assert_eq!(
+            snap.span_tree.iter().filter(|s| s.parent.is_none()).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn adopt_guard_restores_previous_state() {
+        let _guard = LOCK.lock().unwrap();
+        let reg = crate::global();
+        reg.reset();
+        reg.enable();
+        {
+            let _a = Span::enter("a");
+            let ha = current_handoff().unwrap();
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    {
+                        let _adopt = ha.adopt();
+                        let _w = Span::enter("w1");
+                    }
+                    // Guard dropped: a fresh span is a root again.
+                    let _w2 = Span::enter("w2");
+                });
+            });
+        }
+        reg.disable();
+        let snap = reg.snapshot();
+        reg.reset();
+        assert!(snap.spans.contains_key("a/w1"));
+        assert!(snap.spans.contains_key("w2"));
+        let w2 = snap.span_tree.iter().find(|s| s.path == "w2").unwrap();
+        assert_eq!(w2.parent, None);
     }
 }

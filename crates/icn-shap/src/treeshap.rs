@@ -591,6 +591,10 @@ pub fn forest_shap_batch_soa(forest: &SoaForest, x: &Matrix) -> Vec<Matrix> {
     let chunk = shap_chunk_size(n);
     // Each chunk returns its samples' flat phi buffers concatenated.
     let chunks: Vec<Vec<f64>> = par::map_chunks(n, chunk, |range| {
+        let mut chunk_span = icn_obs::Span::enter("shap_chunk");
+        chunk_span.attr("start", range.start as u64);
+        chunk_span.attr("samples", range.len() as u64);
+        let chunk_t0 = chunk_span.path().is_some().then(std::time::Instant::now);
         let mut scratch = Scratch::for_depth(forest.max_depth);
         let mut phi_tree = vec![0.0f64; fc];
         let mut acc = vec![0.0f64; fc * range.len()];
@@ -605,6 +609,9 @@ pub fn forest_shap_batch_soa(forest: &SoaForest, x: &Matrix) -> Vec<Matrix> {
         }
         for a in acc.iter_mut() {
             *a *= inv;
+        }
+        if let Some(t0) = chunk_t0 {
+            obs.record_hist("shap.chunk_ns", t0.elapsed().as_nanos() as u64);
         }
         acc
     });

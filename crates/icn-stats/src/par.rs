@@ -15,6 +15,13 @@
 //! experiments, CI determinism checks and bench sweeps — though results
 //! never depend on it). The override may exceed the hardware count, so
 //! benches can pin a worker count on any machine.
+//!
+//! Observability: when the global `icn_obs` registry is collecting,
+//! [`map_indexed`] hands the dispatching thread's open span to every
+//! worker ([`icn_obs::current_handoff`]), so spans opened inside `f`
+//! parent to the dispatching stage — the span tree looks the same at any
+//! `ICN_THREADS`, including the sequential fallback. With observability
+//! disabled this costs a single relaxed atomic load per call.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -56,19 +63,29 @@ where
     let chunk = (n / (threads * 4)).max(1);
     let cursor = AtomicUsize::new(0);
     let parts: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+    // Capture the dispatching thread's open span (None when observability
+    // is disabled — one relaxed load) so spans opened inside `f` on the
+    // workers parent to the dispatching stage instead of becoming
+    // disconnected roots. Purely observational: no effect on results.
+    let handoff = icn_obs::current_handoff();
     std::thread::scope(|scope| {
+        let (cursor, parts, f) = (&cursor, &parts, &f);
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n {
-                    break;
+            let handoff = handoff.clone();
+            scope.spawn(move || {
+                let _adopt = handoff.as_ref().map(icn_obs::Handoff::adopt);
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    let block: Vec<R> = (start..end).map(f).collect();
+                    parts
+                        .lock()
+                        .expect("par worker poisoned")
+                        .push((start, block));
                 }
-                let end = (start + chunk).min(n);
-                let block: Vec<R> = (start..end).map(&f).collect();
-                parts
-                    .lock()
-                    .expect("par worker poisoned")
-                    .push((start, block));
             });
         }
     });
@@ -185,6 +202,37 @@ mod tests {
     #[should_panic(expected = "chunk must be >= 1")]
     fn map_chunks_rejects_zero_chunk() {
         map_chunks(10, 0, |r| r.len());
+    }
+
+    #[test]
+    fn worker_spans_adopt_the_dispatching_span() {
+        // Only this test in the icn-stats binary touches the global
+        // registry, so no cross-test lock is needed here.
+        let reg = icn_obs::global();
+        reg.reset();
+        reg.enable();
+        {
+            let _stage = icn_obs::Span::enter("dispatch");
+            let out = map_indexed(64, |i| {
+                let _s = icn_obs::Span::enter("work");
+                i * 2
+            });
+            assert_eq!(out[10], 20);
+        }
+        reg.disable();
+        let snap = reg.snapshot();
+        reg.reset();
+        // Worker spans landed under the dispatching span, never as roots.
+        assert_eq!(snap.spans["dispatch/work"].0, 64);
+        assert!(!snap.spans.contains_key("work"));
+        let dispatch = snap
+            .span_tree
+            .iter()
+            .find(|s| s.path == "dispatch")
+            .unwrap();
+        for s in snap.span_tree.iter().filter(|s| s.path == "dispatch/work") {
+            assert_eq!(s.parent, Some(dispatch.id));
+        }
     }
 
     #[test]

@@ -2,13 +2,21 @@
 //!
 //! ```text
 //! icn generate --scale 0.1 --out data/          # synthesize & export a campaign
-//! icn study    --scale 0.1 [--sweep] [--json]   # run the full pipeline, print findings
+//! icn run      --scale 0.1 [--sweep] [--json]   # run the full pipeline, print findings
 //! icn explain  --scale 0.1 --cluster 3 --top 15 # SHAP explanation of one cluster
 //! icn temporal --scale 0.1 --cluster 0          # Figure 10-style heatmap of one cluster
 //! icn probe    --scale 0.05 --days 3            # Section 3 collection-path simulation
 //! icn ingest   --scale 0.05 --days 3            # streaming ingest of the record feed
 //! icn testkit  [--bless]                        # golden-snapshot check / regeneration
+//! icn obs diff a.json b.json                    # gate report b against baseline a
+//! icn obs top  report.json                      # self-time treetable of a report
 //! ```
+//!
+//! `icn run` is an alias of `icn study`. `--metrics-out <path>` writes an
+//! `icn-obs/v2` BenchReport, `--trace-out <path>` a Chrome trace-event
+//! JSON (open in `chrome://tracing` or Perfetto); either flag enables the
+//! observability registry for the run. `ICN_LOG=level[,target=level]`
+//! filters the structured event log and echoes matches to stderr.
 //!
 //! Flags are parsed by hand (the workspace deliberately avoids extra
 //! dependencies); every subcommand is deterministic in `--seed`.
@@ -21,13 +29,19 @@ fn main() {
     let Some(cmd) = args.first() else {
         usage_and_exit(None);
     };
+    if cmd == "obs" {
+        cmd_obs(&args[1..]);
+        return;
+    }
+    // `run` is the ergonomic alias for the full pipeline.
+    let cmd = if cmd == "study" { "run" } else { cmd.as_str() };
     let opts = Opts::parse(&args[1..]);
-    if opts.metrics_out.is_some() {
+    if opts.metrics_out.is_some() || opts.trace_out.is_some() {
         icn_repro::icn_obs::global().enable();
     }
-    match cmd.as_str() {
+    match cmd {
         "generate" => cmd_generate(&opts),
-        "study" => cmd_study(&opts),
+        "run" => cmd_study(&opts),
         "explain" => cmd_explain(&opts),
         "temporal" => cmd_temporal(&opts),
         "probe" => cmd_probe(&opts),
@@ -36,14 +50,119 @@ fn main() {
         "help" | "--help" | "-h" => usage_and_exit(None),
         other => usage_and_exit(Some(other)),
     }
-    if let Some(path) = &opts.metrics_out {
+    if opts.metrics_out.is_some() || opts.trace_out.is_some() {
         let snap = icn_repro::icn_obs::global().snapshot();
-        let report = BenchReport::build(&snap, &format!("icn-{cmd}"), opts.scale);
-        if let Err(e) = report.write_to_file(path) {
-            eprintln!("failed to write metrics to {path}: {e}");
-            std::process::exit(1);
+        if let Some(path) = &opts.metrics_out {
+            let mut report = BenchReport::build(&snap, &format!("icn-{cmd}"), opts.scale);
+            if cmd == "ingest" {
+                report.env.chunk = Some(opts.chunk as u64);
+            }
+            if let Err(e) = report.write_to_file(path) {
+                eprintln!("failed to write metrics to {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("metrics written to {path}");
         }
-        eprintln!("metrics written to {path}");
+        if let Some(path) = &opts.trace_out {
+            if let Err(e) = icn_repro::icn_obs::write_chrome_trace(&snap, path) {
+                eprintln!("failed to write trace to {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("chrome trace written to {path}");
+        }
+    }
+}
+
+/// `icn obs <diff|top>` — report tooling; parses its own positional
+/// arguments (the common Opts flags do not apply here).
+fn cmd_obs(args: &[String]) {
+    fn load_report(path: &str) -> BenchReport {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match BenchReport::parse(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cannot parse {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    match args.first().map(String::as_str) {
+        Some("diff") => {
+            let mut paths: Vec<&String> = Vec::new();
+            let mut t = icn_repro::icn_obs::DiffThresholds::default();
+            let mut i = 1;
+            while i < args.len() {
+                let take = |i: usize| -> Option<&String> { args.get(i + 1) };
+                match args[i].as_str() {
+                    "--max-wall-ratio" => {
+                        t.max_wall_ratio = take(i)
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or(t.max_wall_ratio);
+                        i += 2;
+                    }
+                    "--min-wall-ms" => {
+                        t.min_wall_ms = take(i)
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or(t.min_wall_ms);
+                        i += 2;
+                    }
+                    "--max-hist-ratio" => {
+                        t.max_hist_ratio = take(i)
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or(t.max_hist_ratio);
+                        i += 2;
+                    }
+                    "--min-hist-ns" => {
+                        t.min_hist_ns = take(i)
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or(t.min_hist_ns);
+                        i += 2;
+                    }
+                    "--strict-counters" => {
+                        t.strict_counters = true;
+                        i += 1;
+                    }
+                    flag if flag.starts_with("--") => {
+                        eprintln!("unknown flag: {flag}");
+                        std::process::exit(2);
+                    }
+                    _ => {
+                        paths.push(&args[i]);
+                        i += 1;
+                    }
+                }
+            }
+            let [a_path, b_path] = paths[..] else {
+                eprintln!("usage: icn obs diff <baseline.json> <candidate.json> [thresholds]");
+                std::process::exit(2);
+            };
+            let a = load_report(a_path);
+            let b = load_report(b_path);
+            let diff = icn_repro::icn_obs::diff_reports(&a, &b, &t);
+            print!("{}", diff.render());
+            if !diff.passed() {
+                eprintln!("perf gate FAILED: {b_path} regressed against {a_path}");
+                std::process::exit(1);
+            }
+            println!("perf gate passed: {b_path} vs {a_path}");
+        }
+        Some("top") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: icn obs top <report.json>");
+                std::process::exit(2);
+            };
+            print!("{}", icn_repro::icn_obs::render_top(&load_report(path)));
+        }
+        _ => {
+            eprintln!("usage: icn obs <diff|top> ...");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -61,6 +180,7 @@ struct Opts {
     out: Option<String>,
     golden_dir: Option<String>,
     metrics_out: Option<String>,
+    trace_out: Option<String>,
     chunk: usize,
     lateness: u32,
     faults: Option<String>,
@@ -86,6 +206,7 @@ impl Opts {
             out: None,
             golden_dir: None,
             metrics_out: None,
+            trace_out: None,
             chunk: 4096,
             lateness: 2,
             faults: None,
@@ -134,6 +255,10 @@ impl Opts {
                 }
                 "--metrics-out" => {
                     o.metrics_out = take(i).cloned();
+                    i += 2;
+                }
+                "--trace-out" => {
+                    o.trace_out = take(i).cloned();
                     i += 2;
                 }
                 "--chunk" => {
@@ -218,12 +343,14 @@ fn usage_and_exit(bad: Option<&str>) -> ! {
          USAGE: icn <command> [flags]\n\n\
          COMMANDS:\n  \
          generate   synthesize a measurement campaign and export CSV/JSONL\n  \
-         study      run the full analysis pipeline and print the findings\n  \
+         run        run the full analysis pipeline and print the findings (alias: study)\n  \
          explain    SHAP explanation of one cluster\n  \
          temporal   Figure 10-style temporal heatmap of one cluster\n  \
          probe      simulate the Section 3 collection path\n  \
          ingest     stream the hourly record feed into T (faults, checkpoints)\n  \
-         testkit    check pipeline golden snapshots (--bless to regenerate)\n\n\
+         testkit    check pipeline golden snapshots (--bless to regenerate)\n  \
+         obs diff   compare two BenchReports against per-metric thresholds\n  \
+         obs top    print a self-time treetable of a BenchReport\n\n\
          FLAGS:\n  \
          --scale <f>    population scale, 1.0 = 4,762 antennas (default 0.1)\n  \
          --seed <u64>   master seed\n  \
@@ -235,7 +362,8 @@ fn usage_and_exit(bad: Option<&str>) -> ! {
          --out <dir>    export directory (generate)\n  \
          --bless        regenerate golden snapshots instead of checking (testkit)\n  \
          --golden-dir <dir>  golden snapshot directory (testkit, default tests/golden)\n  \
-         --metrics-out <path>  write an icn-obs benchmark report (JSON)\n  \
+         --metrics-out <path>  write an icn-obs/v2 benchmark report (JSON)\n  \
+         --trace-out <path>  write a Chrome trace-event JSON (chrome://tracing, Perfetto)\n  \
          --chunk <n>    records per source pull (ingest, default 4096)\n  \
          --lateness <h> hours a record may trail the watermark (ingest, default 2)\n  \
          --faults <spec>  inject faults, e.g. drop=0.01,dup=0.1,reorder=0.2,corrupt=0.01\n  \

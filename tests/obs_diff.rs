@@ -1,0 +1,90 @@
+//! Tests of the `icn obs diff` perf-regression gate, at both the library
+//! level (`icn_obs::diff_reports`) and the CLI level (exit codes), using
+//! the blessed scale-0.05 baseline under `tests/golden/` and a doctored
+//! regression fixture derived from it.
+//!
+//! The fixtures are real reports: `bench_smoke005.json` is a recorded
+//! `icn run --scale 0.05` and `bench_regression_fixture.json` is the same
+//! report with stage3's wall tripled and the `shap.chunk_ns` histogram
+//! shifted four octaves up — the two metric kinds the gate must catch.
+
+use icn_repro::icn_obs::{diff_reports, BenchReport, DiffStatus, DiffThresholds};
+use std::process::Command;
+
+fn load(name: &str) -> BenchReport {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    BenchReport::parse(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+}
+
+#[test]
+fn self_diff_of_the_blessed_baseline_passes() {
+    let a = load("bench_smoke005.json");
+    let report = diff_reports(&a, &a, &DiffThresholds::default());
+    assert!(report.passed(), "self-diff failed:\n{}", report.render());
+}
+
+#[test]
+fn doctored_regression_fixture_fails_the_gate() {
+    let a = load("bench_smoke005.json");
+    let b = load("bench_regression_fixture.json");
+    let report = diff_reports(&a, &b, &DiffThresholds::default());
+    assert!(report.failures() > 0, "regression fixture slipped through");
+    // Both the wall regression and the histogram regression must be
+    // caught independently.
+    let failed: Vec<&str> = report
+        .lines
+        .iter()
+        .filter(|l| l.status == DiffStatus::Fail)
+        .map(|l| l.metric.as_str())
+        .collect();
+    assert!(
+        failed.iter().any(|m| m.contains("stage3_surrogate")),
+        "stage3 wall regression missed: {failed:?}"
+    );
+    assert!(
+        failed.iter().any(|m| m.contains("shap.chunk_ns")),
+        "shap.chunk_ns p99 regression missed: {failed:?}"
+    );
+}
+
+#[test]
+fn reversed_direction_is_a_speedup_and_passes() {
+    // The gate is asymmetric by design: the doctored report as *baseline*
+    // makes the real report look like a speedup, which never fails.
+    let a = load("bench_regression_fixture.json");
+    let b = load("bench_smoke005.json");
+    let report = diff_reports(&a, &b, &DiffThresholds::default());
+    assert!(report.passed(), "speedup flagged:\n{}", report.render());
+}
+
+#[test]
+fn cli_exit_codes_match_the_gate() {
+    let golden = format!("{}/tests/golden", env!("CARGO_MANIFEST_DIR"));
+    let run = |a: &str, b: &str| {
+        Command::new(env!("CARGO_BIN_EXE_icn"))
+            .args(["obs", "diff"])
+            .arg(format!("{golden}/{a}"))
+            .arg(format!("{golden}/{b}"))
+            .output()
+            .expect("spawn icn")
+    };
+    let ok = run("bench_smoke005.json", "bench_smoke005.json");
+    assert!(
+        ok.status.success(),
+        "self-diff exited nonzero:\n{}",
+        String::from_utf8_lossy(&ok.stdout)
+    );
+    let bad = run("bench_smoke005.json", "bench_regression_fixture.json");
+    assert_eq!(
+        bad.status.code(),
+        Some(1),
+        "regression diff must exit 1:\n{}",
+        String::from_utf8_lossy(&bad.stdout)
+    );
+    let usage = Command::new(env!("CARGO_BIN_EXE_icn"))
+        .args(["obs", "bogus"])
+        .output()
+        .expect("spawn icn");
+    assert_eq!(usage.status.code(), Some(2), "unknown obs subcommand");
+}

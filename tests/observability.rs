@@ -5,13 +5,38 @@
 //! Every test drives the process-global registry, so they serialize on a
 //! shared lock (tests within one binary run concurrently by default).
 
-use icn_repro::icn_obs::{self, BenchReport, PIPELINE_STAGES};
+use icn_repro::icn_obs::{self, BenchReport, Snapshot, PIPELINE_STAGES};
 use icn_repro::prelude::*;
 
 mod common;
+use std::collections::BTreeSet;
 use std::sync::Mutex;
 
 static LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs the full study with the registry enabled and returns the raw
+/// snapshot (span tree included). `threads` pins `ICN_THREADS` for the
+/// run; the previous value is restored afterwards.
+fn metered_snapshot(seed: u64, threads: Option<&str>) -> Snapshot {
+    let saved = std::env::var("ICN_THREADS").ok();
+    if let Some(t) = threads {
+        std::env::set_var("ICN_THREADS", t);
+    }
+    let obs = icn_obs::global();
+    obs.reset();
+    obs.enable();
+    let ds = common::dataset_seeded(seed);
+    let st = common::study_for(&ds);
+    assert_eq!(st.cluster_sizes().len(), 9);
+    let snap = obs.snapshot();
+    obs.disable();
+    obs.reset();
+    match saved {
+        Some(v) => std::env::set_var("ICN_THREADS", v),
+        None => std::env::remove_var("ICN_THREADS"),
+    }
+    snap
+}
 
 /// Runs the full study at test scale with the registry enabled and
 /// returns the report built from the resulting snapshot.
@@ -134,6 +159,144 @@ fn ingest_counters_flow_into_reports() {
     assert_eq!(stage.counters["ingest.records_quarantined"], 0);
     assert!(stage.counters["ingest.chunks"] > 0);
     assert!(report.gauges.contains_key("ingest.records_per_sec"));
+}
+
+#[test]
+fn every_span_roots_to_a_stage_at_any_thread_count() {
+    let _guard = LOCK.lock().unwrap();
+    let mut allowed: BTreeSet<&str> = PIPELINE_STAGES.iter().copied().collect();
+    allowed.insert("generate");
+    for threads in ["1", "4"] {
+        let snap = metered_snapshot(7, Some(threads));
+        assert!(!snap.span_tree.is_empty(), "no spans recorded");
+        for span in &snap.span_tree {
+            let root = snap
+                .root_of(span)
+                .unwrap_or_else(|| panic!("broken parent link under {}", span.path));
+            assert!(
+                allowed.contains(root.name.as_str()),
+                "ICN_THREADS={threads}: span {} roots to {} (not a stage)",
+                span.path,
+                root.name
+            );
+            // Cross-thread workers must be adopted, never orphaned roots.
+            if span.name == "fit_tree" || span.name == "shap_chunk" {
+                let parent = span.parent.expect("worker span must have a parent");
+                let p = snap.span_by_id(parent).expect("parent present in tree");
+                assert!(
+                    p.name == "forest_fit" || p.name == "shap_batch",
+                    "worker span {} parented to {} instead of its stage",
+                    span.path,
+                    p.path
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn span_paths_are_thread_count_invariant() {
+    let _guard = LOCK.lock().unwrap();
+    // Span *paths* (not counts: chunk sizes legitimately depend on the
+    // worker count) must be identical however many threads run the
+    // pipeline — worker spans always attach under the dispatching stage.
+    let paths = |snap: &Snapshot| -> BTreeSet<String> {
+        snap.span_tree.iter().map(|s| s.path.clone()).collect()
+    };
+    let seq = metered_snapshot(7, Some("1"));
+    let par = metered_snapshot(7, Some("4"));
+    assert_eq!(
+        paths(&seq),
+        paths(&par),
+        "span path set changed between ICN_THREADS=1 and 4"
+    );
+    // The parallel run must actually have used several threads for the
+    // worker spans, or this test is vacuous.
+    let worker_threads: BTreeSet<u64> = par
+        .span_tree
+        .iter()
+        .filter(|s| s.name == "fit_tree")
+        .map(|s| s.thread)
+        .collect();
+    assert!(
+        worker_threads.len() > 1,
+        "expected fit_tree spans on multiple threads, got {worker_threads:?}"
+    );
+}
+
+#[test]
+fn chrome_trace_round_trips_and_covers_the_pipeline() {
+    let _guard = LOCK.lock().unwrap();
+    let snap = metered_snapshot(7, Some("2"));
+    let json = icn_obs::chrome_trace(&snap);
+    let text = json.to_compact();
+    let back = Json::parse(&text).expect("exported trace must be valid JSON");
+
+    let events = back
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    let mut ids = BTreeSet::new();
+    let mut names = BTreeSet::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
+        match ph {
+            "X" => {
+                // Complete events carry the span identity and timing.
+                assert!(ev.get("ts").and_then(Json::as_f64).is_some());
+                assert!(ev.get("dur").and_then(Json::as_f64).is_some());
+                assert!(ev.get("tid").and_then(Json::as_f64).is_some());
+                let args = ev.get("args").expect("args");
+                let id = args.get("id").and_then(Json::as_f64).expect("args.id");
+                ids.insert(id as u64);
+                names.insert(ev.get("name").and_then(Json::as_str).unwrap().to_string());
+            }
+            "i" | "M" => {}
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    for stage in PIPELINE_STAGES {
+        assert!(names.contains(stage), "trace missing stage {stage}");
+    }
+    for worker in ["fit_tree", "shap_chunk"] {
+        assert!(names.contains(worker), "trace missing worker span {worker}");
+    }
+    // Every parent reference must resolve within the same trace.
+    for ev in events {
+        if ev.get("ph").and_then(Json::as_str) == Some("X") {
+            if let Some(parent) = ev.get("args").and_then(|a| a.get("parent")) {
+                let p = parent.as_f64().expect("parent is numeric") as u64;
+                assert!(ids.contains(&p), "dangling parent id {p}");
+            }
+        }
+    }
+}
+
+#[test]
+fn v2_reports_carry_histograms_and_env() {
+    let _guard = LOCK.lock().unwrap();
+    let report = metered_run(7);
+    for h in ["shap.chunk_ns", "forest.tree_fit_ns", "cluster.merge_ns"] {
+        let hist = report
+            .histograms
+            .get(h)
+            .unwrap_or_else(|| panic!("missing histogram {h}"));
+        assert!(hist.count() > 0, "{h} recorded no samples");
+        assert!(hist.quantile(0.99) >= hist.quantile(0.5), "{h} p99 < p50");
+    }
+    assert!(report.env.scale > 0.0, "env.scale not stamped");
+    // Round-trip: histograms must come back bit-identical.
+    let text = report.to_json().to_pretty();
+    let back = BenchReport::parse(&text).expect("v2 round trip");
+    for (name, h) in &report.histograms {
+        let b = &back.histograms[name];
+        assert_eq!(b.count(), h.count(), "{name} count");
+        assert_eq!(
+            b.nonzero_buckets().collect::<Vec<_>>(),
+            h.nonzero_buckets().collect::<Vec<_>>(),
+            "{name} buckets"
+        );
+    }
 }
 
 #[test]

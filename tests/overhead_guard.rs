@@ -78,6 +78,24 @@ fn disabled_registry_records_nothing() {
         "spans leaked: {:?}",
         snap.spans.keys()
     );
+    assert!(
+        snap.span_tree.is_empty(),
+        "span tree leaked {} spans",
+        snap.span_tree.len()
+    );
+    assert!(
+        snap.histograms.is_empty(),
+        "histograms leaked: {:?}",
+        snap.histograms.keys()
+    );
+    assert!(snap.logs.is_empty(), "log records leaked: {:?}", snap.logs);
+    assert_eq!(snap.logs_dropped, 0, "drop counter moved while disabled");
+    // The span handoff must also be inert while disabled, or worker
+    // threads would pay for clone+adopt on every parallel section.
+    assert!(
+        icn_obs::current_handoff().is_none(),
+        "current_handoff must be None while disabled"
+    );
 }
 
 /// Timing smoke check — inherently noisy, so not part of the default
