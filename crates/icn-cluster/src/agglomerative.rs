@@ -14,7 +14,7 @@
 
 use crate::condensed::Condensed;
 use crate::linkage::Linkage;
-use icn_stats::Matrix;
+use icn_stats::{par, Matrix};
 
 /// One merge step of the hierarchy.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -116,30 +116,125 @@ pub fn agglomerate(data: &Matrix, linkage: Linkage) -> MergeHistory {
     agglomerate_condensed(&cond, linkage)
 }
 
+/// Minimum active-cluster count before a nearest-neighbour scan is worth
+/// fanning out over `icn_stats::par` (thread spawns are not free, and the
+/// chunked reduction is only a win on big scans). The `ICN_SCAN_PAR_MIN`
+/// environment variable overrides the default — a test/bench knob in the
+/// `ICN_THREADS` mould, read once per agglomeration; results never depend
+/// on it.
+fn par_scan_min() -> usize {
+    std::env::var("ICN_SCAN_PAR_MIN")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v >= 2)
+        .unwrap_or(4096)
+}
+
+/// Lowest-index argmin of `row[y]` over `list` (skipping `skip`), i.e. the
+/// same winner the sequential `for y in 0..n` scan with a strict `<` picks.
+/// Chunks are combined in list order with a strict `<`, so the result is
+/// bit-identical at any thread count.
+fn nearest_active(row: &[f64], list: &[usize], skip: usize, scan_min: usize) -> (usize, f64) {
+    let fold = |ys: &[usize]| -> (usize, f64) {
+        let mut best = usize::MAX;
+        let mut best_d = f64::INFINITY;
+        for &y in ys {
+            if y == skip {
+                continue;
+            }
+            let dy = row[y];
+            if dy < best_d {
+                best_d = dy;
+                best = y;
+            }
+        }
+        (best, best_d)
+    };
+    if list.len() >= scan_min && par::thread_count() > 1 {
+        let chunk = list.len().div_ceil(par::thread_count());
+        let parts = par::map_chunks(list.len(), chunk, |r| fold(&list[r.start..r.end]));
+        let mut best = usize::MAX;
+        let mut best_d = f64::INFINITY;
+        // Chunks arrive in list order; strict `<` keeps the earliest
+        // (lowest-index) winner, matching the sequential scan.
+        for (y, dy) in parts {
+            if dy < best_d {
+                best_d = dy;
+                best = y;
+            }
+        }
+        (best, best_d)
+    } else {
+        fold(list)
+    }
+}
+
 /// Runs agglomerative clustering on a precomputed condensed distance matrix
 /// (must be in the linkage's base metric — squared Euclidean for Ward).
+///
+/// # Algorithm notes
+///
+/// The nearest-neighbour chain runs over a full square working matrix with
+/// three perf refinements over the textbook version, all value-preserving
+/// (the merges and heights are bit-identical to the naive maintenance
+/// scheme, at any `ICN_THREADS`):
+///
+/// * **Active list.** Retired slots are removed from a sorted index list,
+///   so scans and Lance–Williams updates touch `O(remaining)` slots rather
+///   than all `n` with a liveness branch per slot.
+/// * **Lazy row patching.** A merge rebuilds only the *row* of the
+///   surviving slot (one sequential write stream) instead of also writing
+///   the mirror column — at N≈5k those column writes are ~11M TLB-missing
+///   stores and dominate the run. Each row remembers the last merge it has
+///   seen (`rowstamp`); a scan first patches its row from the rows of
+///   clusters rebuilt since (which are recent, hence cache-resident), then
+///   reads one contiguous stream.
+/// * **Parallel scans.** Large scans fan out over `icn_stats::par` with a
+///   lowest-index-wins chunk reduction (`nearest_active`).
 pub fn agglomerate_condensed(cond: &Condensed, linkage: Linkage) -> MergeHistory {
     let _span = icn_obs::Span::enter("agglomerate");
     let n = cond.len();
     assert!(n >= 2, "agglomerate: need at least 2 observations");
 
-    // Working distance matrix, full square for O(1) row updates.
-    // At N=4762 this is ~181 MB transiently; acceptable for the study
-    // scale and far simpler than in-place condensed updates.
+    // Working distance matrix, full square for O(1) row access. At N=4762
+    // this is ~181 MB transiently. Rows are built in parallel chunks: the
+    // upper triangle is a straight copy of the condensed rows, and the
+    // lower triangle reads each condensed row once, contiguously, per
+    // chunk (j outer, i inner) instead of striding per element.
+    let cvals = cond.as_slice();
+    let bs = |i: usize| crate::condensed::block_start(n, i);
+    let matrix_span = icn_obs::Span::enter("matrix");
+    let row_chunk = (n / (par::thread_count() * 4)).clamp(1, 256);
     let mut d = vec![0.0f64; n * n];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let v = cond.get(i, j);
-            d[i * n + j] = v;
-            d[j * n + i] = v;
+    // Workers write disjoint row windows of the square directly (no
+    // per-chunk allocation, no stitch pass over the 8N² buffer).
+    par::fill_chunks(&mut d, row_chunk * n, |range, out| {
+        let (lo, hi) = (range.start / n, range.end / n);
+        for i in lo..hi {
+            let upper = &cvals[bs(i)..bs(i) + (n - 1 - i)];
+            out[(i - lo) * n + i + 1..(i - lo) * n + n].copy_from_slice(upper);
         }
-    }
+        for j in 0..hi.saturating_sub(1) {
+            let ilo = lo.max(j + 1);
+            let src = &cvals[bs(j) + (ilo - j - 1)..bs(j) + (hi - j - 1)];
+            for (t, &v) in src.iter().enumerate() {
+                out[(ilo + t - lo) * n + j] = v;
+            }
+        }
+    });
+    drop(matrix_span);
 
     let mut active = vec![true; n]; // cluster slot still alive
+    let mut active_list: Vec<usize> = (0..n).collect(); // sorted live slots
     let mut size = vec![1usize; n]; // cluster sizes
     let mut label = (0..n).collect::<Vec<usize>>(); // slot -> output label
     let mut merges: Vec<Merge> = Vec::with_capacity(n - 1);
     let mut chain: Vec<usize> = Vec::with_capacity(n);
+
+    // Lazy-mirror bookkeeping: merge_log[t] is the slot rebuilt by merge t;
+    // rowstamp[x] is the log length row x has been patched up to.
+    let mut merge_log: Vec<usize> = Vec::with_capacity(n - 1);
+    let mut rowstamp = vec![0usize; n];
 
     // Raw merge list; heights sorted at the end (NN-chain finds reciprocal
     // pairs out of height order).
@@ -151,16 +246,24 @@ pub fn agglomerate_condensed(cond: &Condensed, linkage: Linkage) -> MergeHistory
     let obs = icn_obs::global();
     let metered = obs.is_enabled();
     let mut merge_hist = icn_obs::Histogram::new();
+    let scan_min = par_scan_min();
 
-    let mut remaining = n;
-    while remaining > 1 {
+    while active_list.len() > 1 {
         if chain.is_empty() {
-            // Start a new chain from any active cluster.
-            let start = (0..n).find(|&i| active[i]).expect("active cluster");
-            chain.push(start);
+            // Start a new chain from the lowest active cluster.
+            chain.push(active_list[0]);
         }
         loop {
             let x = *chain.last().unwrap();
+            // Bring row x up to date: copy the distances of every cluster
+            // rebuilt since this row was last patched from their rows.
+            for t in rowstamp[x]..merge_log.len() {
+                let m = merge_log[t];
+                if m != x && active[m] {
+                    d[x * n + m] = d[m * n + x];
+                }
+            }
+            rowstamp[x] = merge_log.len();
             // Nearest active neighbour of x, preferring the previous chain
             // element on ties (guarantees termination).
             let prev = if chain.len() >= 2 {
@@ -168,16 +271,13 @@ pub fn agglomerate_condensed(cond: &Condensed, linkage: Linkage) -> MergeHistory
             } else {
                 None
             };
-            let mut best = usize::MAX;
-            let mut best_d = f64::INFINITY;
-            for y in 0..n {
-                if y == x || !active[y] {
-                    continue;
-                }
-                let dy = d[x * n + y];
-                if dy < best_d || (dy == best_d && Some(y) == prev) {
-                    best_d = dy;
-                    best = y;
+            let row = &d[x * n..(x + 1) * n];
+            let (mut best, best_d) = nearest_active(row, &active_list, x, scan_min);
+            if let Some(p) = prev {
+                // The sequential tie-break prefers `prev` over any other
+                // slot at the same distance.
+                if row[p] == best_d {
+                    best = p;
                 }
             }
             debug_assert!(best != usize::MAX);
@@ -187,25 +287,36 @@ pub fn agglomerate_condensed(cond: &Condensed, linkage: Linkage) -> MergeHistory
                 chain.pop();
                 chain.pop();
                 let (i, j) = (x.min(best), x.max(best));
+                // `best` may predate merges that happened while it sat in
+                // the chain; patch its row before reading it.
+                for t in rowstamp[best]..merge_log.len() {
+                    let m = merge_log[t];
+                    if m != best && active[m] {
+                        d[best * n + m] = d[m * n + best];
+                    }
+                }
+                rowstamp[best] = merge_log.len();
                 let d_ij = d[i * n + j];
-                // Lance-Williams update into slot i; retire slot j.
+                // Lance-Williams update into slot i's row; retire slot j.
+                // No mirror-column writes: readers patch lazily.
                 let (n_i, n_j) = (size[i] as f64, size[j] as f64);
-                for k in 0..n {
-                    if !active[k] || k == i || k == j {
+                for &k in &active_list {
+                    if k == i || k == j {
                         continue;
                     }
-                    let v =
+                    d[i * n + k] =
                         linkage.update(d[i * n + k], d[j * n + k], d_ij, n_i, n_j, size[k] as f64);
-                    d[i * n + k] = v;
-                    d[k * n + i] = v;
                 }
                 active[j] = false;
+                let pos = active_list.binary_search(&j).expect("j active");
+                active_list.remove(pos);
+                merge_log.push(i);
+                rowstamp[i] = merge_log.len();
                 raw.push((label[i], label[j], d_ij, size[i] + size[j]));
                 size[i] += size[j];
                 // The new cluster's output label is assigned after sorting;
                 // remember its creation index via a placeholder in `label`.
                 label[i] = n + raw.len() - 1;
-                remaining -= 1;
                 if let Some(t0) = merge_t0 {
                     merge_hist.record(t0.elapsed().as_nanos() as u64);
                 }

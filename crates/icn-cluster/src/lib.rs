@@ -17,6 +17,9 @@
 //! * [`selection`] — the sweep-and-detect-drop stopping criterion.
 //! * [`stability`] — bootstrap cluster-stability analysis ("the profiles
 //!   are inherent, not sampling artefacts").
+//! * [`scalable`] — the sampled Ward path for populations too large for
+//!   the O(N²) condensed matrix (exact Ward on a seeded sample, nearest-
+//!   centroid extension, memory-budget-driven path selection).
 //! * [`mod@kmeans`] — the k-means++ baseline for the ablation benches.
 //! * [`validation`] — ARI, NMI, purity and contingency tables against the
 //!   planted archetypes.
@@ -31,6 +34,7 @@ pub mod dendrogram;
 pub mod dunn;
 pub mod kmeans;
 pub mod linkage;
+pub mod scalable;
 pub mod selection;
 pub mod silhouette;
 pub mod stability;
@@ -43,6 +47,10 @@ pub use dendrogram::Dendrogram;
 pub use dunn::dunn_index;
 pub use kmeans::{kmeans, kmeans_best_of, KMeansResult};
 pub use linkage::Linkage;
+pub use scalable::{
+    exact_memory_bytes, max_sample_for_budget, sampled_ward, ClusterPath, SampledWardConfig,
+    SampledWardResult,
+};
 pub use selection::{detect_drops, select_k, sweep_k, Drop, KQuality};
 pub use silhouette::silhouette_score;
 pub use stability::{bootstrap_stability, StabilityResult};

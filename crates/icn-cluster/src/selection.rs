@@ -9,9 +9,10 @@
 //! implements the sweep and the drop-detection criterion.
 
 use crate::agglomerative::MergeHistory;
-use crate::condensed::Condensed;
+use crate::condensed::{block_start, Condensed};
 use crate::dunn::dunn_index;
 use crate::silhouette::silhouette_score;
+use icn_stats::par;
 
 /// Quality indices at one candidate k.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -24,9 +25,30 @@ pub struct KQuality {
     pub dunn: f64,
 }
 
+/// Widest fine partition the fused sweep will build `O(hi²)` pair tables
+/// for; beyond this the per-k direct path is cheaper anyway.
+const FUSED_MAX_HI: usize = 256;
+
 /// Sweeps cuts of `history` over `k_range` (inclusive) against the
 /// distances in `cond` (which must be over the same observations, in any
 /// metric — the paper's geometry is Euclidean).
+///
+/// # Fused evaluation
+///
+/// The naive sweep walks the full O(N²) condensed matrix twice (silhouette
+/// and Dunn) *per candidate k* — 2·|range| passes; at the paper scale that is
+/// the stage-2 wall-clock bottleneck. Cuts of one hierarchy are nested, so
+/// this implementation walks the matrix **once**: each point accumulates
+/// its distance sums per *finest* cluster (the `k = hi` cut) and per-pair
+/// min/max tables over the finest clusters, then every coarser k is scored
+/// by regrouping those per-fine-cluster aggregates.
+///
+/// Dunn regroups by min/max — exactly associative, so the values are
+/// bit-identical to [`dunn_index`] per k. Silhouette regroups sums, which
+/// reorders additions; values agree with [`silhouette_score`] to within a
+/// few ulps (≲1e-12 relative — see `fused_sweep_matches_direct`). Both are
+/// bit-identical at any `ICN_THREADS`: per-point results are summed in
+/// index order and the pair tables merge through exact min/max.
 pub fn sweep_k(
     history: &MergeHistory,
     cond: &Condensed,
@@ -35,6 +57,161 @@ pub fn sweep_k(
     let (lo, hi) = (*k_range.start(), *k_range.end());
     assert!(lo >= 2, "sweep_k: k must start at ≥ 2");
     assert!(hi <= history.n, "sweep_k: k exceeds number of observations");
+    if hi > FUSED_MAX_HI {
+        return sweep_k_direct(history, cond, lo, hi);
+    }
+    let n = history.n;
+    assert_eq!(cond.len(), n, "sweep_k: distance matrix size mismatch");
+
+    let ks: Vec<usize> = (lo..=hi).collect();
+    let nk = ks.len();
+    let nf = hi; // fine partition: the finest swept cut
+    let fine = history.cut(hi);
+    let mut fine_counts = vec![0usize; nf];
+    for &f in &fine {
+        fine_counts[f] += 1;
+    }
+    // Per candidate k: the fine-cluster → k-cluster grouping (cuts are
+    // nested, so this is well-defined) and the member counts.
+    let mut maps: Vec<Vec<usize>> = Vec::with_capacity(nk);
+    let mut counts: Vec<Vec<usize>> = Vec::with_capacity(nk);
+    for &k in &ks {
+        let lab = history.cut(k);
+        let mut map = vec![usize::MAX; nf];
+        for i in 0..n {
+            if map[fine[i]] == usize::MAX {
+                map[fine[i]] = lab[i];
+            }
+            debug_assert_eq!(map[fine[i]], lab[i], "sweep_k: cuts not nested");
+        }
+        let mut cnt = vec![0usize; k];
+        for f in 0..nf {
+            cnt[map[f]] += fine_counts[f];
+        }
+        maps.push(map);
+        counts.push(cnt);
+    }
+
+    // One parallel pass over the condensed matrix. Each chunk returns its
+    // points' per-k silhouette values (in point order) plus fine-pair
+    // min/max distance tables.
+    let cvals = cond.as_slice();
+    struct ChunkOut {
+        sil: Vec<f64>,  // |chunk| × nk, row-major
+        pmin: Vec<f64>, // nf × nf upper triangle (incl. diagonal)
+        pmax: Vec<f64>,
+    }
+    let chunks: Vec<ChunkOut> = par::map_chunks(n, 256, |range| {
+        let mut sil = Vec::with_capacity(range.len() * nk);
+        let mut pmin = vec![f64::INFINITY; nf * nf];
+        let mut pmax = vec![0.0f64; nf * nf];
+        let mut sums = vec![0.0f64; nf];
+        let mut csums = vec![0.0f64; hi];
+        for i in range {
+            sums.iter_mut().for_each(|s| *s = 0.0);
+            let fi = fine[i];
+            // j < i: walk column i of the condensed layout (incremental
+            // offsets, no per-access multiply).
+            let mut off = i.wrapping_sub(1); // block_start(n, 0) + i - 1
+            for j in 0..i {
+                sums[fine[j]] += cvals[off];
+                off += n - 2 - j;
+            }
+            // j > i: contiguous row slice; also feeds the pair tables
+            // (each unordered pair visited exactly once, as in dunn).
+            let base = block_start(n, i);
+            for (t, &v) in cvals[base..base + (n - 1 - i)].iter().enumerate() {
+                let fj = fine[i + 1 + t];
+                sums[fj] += v;
+                let idx = if fi <= fj { fi * nf + fj } else { fj * nf + fi };
+                if v < pmin[idx] {
+                    pmin[idx] = v;
+                }
+                if v > pmax[idx] {
+                    pmax[idx] = v;
+                }
+            }
+            for t in 0..nk {
+                let (map, cnt) = (&maps[t], &counts[t]);
+                let own = map[fi];
+                if cnt[own] <= 1 {
+                    sil.push(0.0); // singleton convention
+                    continue;
+                }
+                let k = ks[t];
+                csums[..k].iter_mut().for_each(|s| *s = 0.0);
+                for f in 0..nf {
+                    csums[map[f]] += sums[f];
+                }
+                let a = csums[own] / (cnt[own] - 1) as f64;
+                let b = (0..k)
+                    .filter(|&c| c != own && cnt[c] > 0)
+                    .map(|c| csums[c] / cnt[c] as f64)
+                    .fold(f64::INFINITY, f64::min);
+                sil.push(if a.max(b) == 0.0 {
+                    0.0
+                } else {
+                    (b - a) / a.max(b)
+                });
+            }
+        }
+        ChunkOut { sil, pmin, pmax }
+    });
+
+    // Reduce: silhouette totals in point order (matching the sequential
+    // `par::sum_indexed` order), pair tables through exact min/max.
+    let mut totals = vec![0.0f64; nk];
+    let mut pmin = vec![f64::INFINITY; nf * nf];
+    let mut pmax = vec![0.0f64; nf * nf];
+    for c in &chunks {
+        for row in c.sil.chunks_exact(nk) {
+            for (t, &v) in row.iter().enumerate() {
+                totals[t] += v;
+            }
+        }
+        for (dst, &src) in pmin.iter_mut().zip(&c.pmin) {
+            *dst = dst.min(src);
+        }
+        for (dst, &src) in pmax.iter_mut().zip(&c.pmax) {
+            *dst = dst.max(src);
+        }
+    }
+
+    ks.iter()
+        .enumerate()
+        .map(|(t, &k)| {
+            let map = &maps[t];
+            let mut min_inter = f64::INFINITY;
+            let mut max_diam = 0.0f64;
+            for a in 0..nf {
+                for b in a..nf {
+                    let idx = a * nf + b;
+                    if map[a] == map[b] {
+                        if pmax[idx] > max_diam {
+                            max_diam = pmax[idx];
+                        }
+                    } else if pmin[idx] < min_inter {
+                        min_inter = pmin[idx];
+                    }
+                }
+            }
+            let dunn = if max_diam == 0.0 {
+                f64::INFINITY
+            } else {
+                min_inter / max_diam
+            };
+            KQuality {
+                k,
+                silhouette: totals[t] / n as f64,
+                dunn,
+            }
+        })
+        .collect()
+}
+
+/// The straightforward two-passes-per-k sweep; reference semantics for the
+/// fused path and fallback for very wide ranges.
+fn sweep_k_direct(history: &MergeHistory, cond: &Condensed, lo: usize, hi: usize) -> Vec<KQuality> {
     (lo..=hi)
         .map(|k| {
             let labels = history.cut(k);
@@ -229,5 +406,52 @@ mod tests {
     #[should_panic(expected = "empty sweep")]
     fn empty_sweep_panics() {
         select_k(&[], 0.1);
+    }
+
+    #[test]
+    fn fused_sweep_matches_direct() {
+        // Unstructured random data: near-ties and singleton clusters show
+        // up naturally across the swept range.
+        let mut rng = Rng::seed_from(97);
+        let rows: Vec<Vec<f64>> = (0..120)
+            .map(|_| (0..6).map(|_| rng.gaussian()).collect())
+            .collect();
+        let m = Matrix::from_rows(&rows);
+        let h = agglomerate(&m, Linkage::Ward);
+        let cond = Condensed::from_rows(&m, Metric::Euclidean);
+        let fused = sweep_k(&h, &cond, 2..=15);
+        let direct = sweep_k_direct(&h, &cond, 2, 15);
+        assert_eq!(fused.len(), direct.len());
+        for (f, d) in fused.iter().zip(&direct) {
+            assert_eq!(f.k, d.k);
+            // Dunn regroups through exact min/max: bit-identical.
+            assert_eq!(f.dunn.to_bits(), d.dunn.to_bits(), "k={}", f.k);
+            // Silhouette regroups sums: equal to a few ulps.
+            let tol = 1e-12 * d.silhouette.abs().max(1.0);
+            assert!(
+                (f.silhouette - d.silhouette).abs() <= tol,
+                "k={}: {} vs {}",
+                f.k,
+                f.silhouette,
+                d.silhouette
+            );
+        }
+    }
+
+    #[test]
+    fn fused_sweep_handles_full_singleton_range() {
+        // hi = n: the finest cut is all singletons — every silhouette
+        // contribution at k = n is 0 by the singleton convention.
+        let m = four_blobs();
+        let n = m.rows();
+        let h = agglomerate(&m, Linkage::Ward);
+        let cond = Condensed::from_rows(&m, Metric::Euclidean);
+        let sweep = sweep_k(&h, &cond, 2..=n);
+        assert_eq!(sweep.last().unwrap().silhouette, 0.0);
+        let direct = sweep_k_direct(&h, &cond, 2, n);
+        for (f, d) in sweep.iter().zip(&direct) {
+            assert_eq!(f.dunn.to_bits(), d.dunn.to_bits());
+            assert!((f.silhouette - d.silhouette).abs() <= 1e-12);
+        }
     }
 }

@@ -1,0 +1,114 @@
+//! Partition-agreement indices (ARI / NMI): differential oracle +
+//! metamorphic invariants against `icn-testkit`.
+//!
+//! Oracle: the contingency-table implementations in
+//! `icn_cluster::validation` are compared against the testkit's
+//! brute-force pair-counting ARI and full-rescan NMI over seeded random
+//! labellings. Metamorphic: both indices must be symmetric in their
+//! arguments and invariant under arbitrary relabelings of either side;
+//! perfect agreement scores 1 and independent labellings score ≈ 0.
+
+use icn_cluster::{adjusted_rand_index, normalized_mutual_info};
+use icn_stats::check::{self, cases};
+use icn_stats::Rng;
+use icn_testkit::{naive_ari, naive_nmi, permutation, permute_labels};
+
+/// A random labelling of `n` items over up to `k` classes (some classes
+/// may come out empty — the indices must cope).
+fn labelling(rng: &mut Rng, n: usize, k: usize) -> Vec<usize> {
+    (0..n).map(|_| rng.index(k)).collect()
+}
+
+#[test]
+fn ari_matches_pair_counting_oracle() {
+    cases(32, |_, rng| {
+        let n = check::len_in(rng, 4, 40);
+        let ka = check::len_in(rng, 1, 6);
+        let kb = check::len_in(rng, 1, 6);
+        check::record(format!("n={n} ka={ka} kb={kb}"));
+        let a = labelling(rng, n, ka);
+        let b = labelling(rng, n, kb);
+        let fast = adjusted_rand_index(&a, &b);
+        let slow = naive_ari(&a, &b);
+        assert!(
+            (fast - slow).abs() < 1e-12,
+            "ARI {fast} vs pair-counting oracle {slow}"
+        );
+    });
+}
+
+#[test]
+fn nmi_matches_rescan_oracle() {
+    cases(32, |_, rng| {
+        let n = check::len_in(rng, 4, 40);
+        let ka = check::len_in(rng, 1, 6);
+        let kb = check::len_in(rng, 1, 6);
+        check::record(format!("n={n} ka={ka} kb={kb}"));
+        let a = labelling(rng, n, ka);
+        let b = labelling(rng, n, kb);
+        let fast = normalized_mutual_info(&a, &b);
+        let slow = naive_nmi(&a, &b);
+        assert!(
+            (fast - slow).abs() < 1e-12,
+            "NMI {fast} vs rescan oracle {slow}"
+        );
+    });
+}
+
+#[test]
+fn perfect_agreement_scores_one() {
+    cases(16, |_, rng| {
+        let n = check::len_in(rng, 2, 30);
+        let a = labelling(rng, n, 4);
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_info(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((naive_ari(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((naive_nmi(&a, &a) - 1.0).abs() < 1e-12);
+    });
+}
+
+#[test]
+fn relabeling_leaves_indices_invariant() {
+    // ARI/NMI measure the *partition*, not the label names: renaming the
+    // classes on either side must not move either index.
+    cases(24, |_, rng| {
+        let n = check::len_in(rng, 4, 30);
+        let k = check::len_in(rng, 2, 5);
+        let a = labelling(rng, n, k);
+        let b = labelling(rng, n, k);
+        let a2 = permute_labels(&a, &permutation(rng, k));
+        let b2 = permute_labels(&b, &permutation(rng, k));
+        let ari = adjusted_rand_index(&a, &b);
+        let nmi = normalized_mutual_info(&a, &b);
+        assert!((adjusted_rand_index(&a2, &b2) - ari).abs() < 1e-12);
+        assert!((normalized_mutual_info(&a2, &b2) - nmi).abs() < 1e-12);
+        // Symmetry in the two arguments.
+        assert!((adjusted_rand_index(&b, &a) - ari).abs() < 1e-12);
+        assert!((normalized_mutual_info(&b, &a) - nmi).abs() < 1e-12);
+    });
+}
+
+#[test]
+fn independent_labellings_score_near_zero() {
+    // ARI is *adjusted* for chance: over many independent random label
+    // pairs its mean must sit at ≈ 0 (individual draws fluctuate).
+    let mut rng = Rng::seed_from(0xC0FFEE);
+    let trials = 200;
+    let n = 120;
+    let mut sum = 0.0;
+    for _ in 0..trials {
+        let a = labelling(&mut rng, n, 4);
+        let b = labelling(&mut rng, n, 4);
+        sum += adjusted_rand_index(&a, &b);
+    }
+    let mean = sum / trials as f64;
+    assert!(
+        mean.abs() < 0.02,
+        "mean ARI of independent labellings = {mean}, expected ≈ 0"
+    );
+    // NMI is not chance-adjusted but independent labellings still carry
+    // little mutual information at this n.
+    let a = labelling(&mut rng, n, 4);
+    let b = labelling(&mut rng, n, 4);
+    assert!(normalized_mutual_info(&a, &b) < 0.15);
+}

@@ -14,16 +14,25 @@ fn random_matrix(seed: u64, n: usize, d: usize) -> Matrix {
     Matrix::from_rows(&rows)
 }
 
-/// The reference: every ordered pair, straight from the metric.
+/// The reference: every ordered pair, straight from the per-pair kernel
+/// `Condensed::from_rows` commits to — the 4-lane accumulator for the
+/// Euclidean family, `Metric::distance` otherwise.
 fn naive_pairwise(m: &Matrix, metric: Metric) -> Vec<Vec<f64>> {
     let n = m.rows();
+    let kernel = |a: &[f64], b: &[f64]| -> f64 {
+        match metric {
+            Metric::SqEuclidean => icn_stats::distance::sq_euclidean4(a, b),
+            Metric::Euclidean => icn_stats::distance::sq_euclidean4(a, b).sqrt(),
+            other => other.distance(a, b),
+        }
+    };
     let mut full = vec![vec![0.0; n]; n];
     for i in 0..n {
         for j in 0..n {
             full[i][j] = if i == j {
                 0.0
             } else {
-                metric.distance(m.row(i), m.row(j))
+                kernel(m.row(i), m.row(j))
             };
         }
     }
@@ -56,6 +65,17 @@ fn condensed_matches_naive_reference_for_every_pair_and_metric() {
                     got.to_bits(),
                     want.to_bits(),
                     "{metric:?} ({i},{j}): {got} vs {want}"
+                );
+                // And the 4-lane kernel may only differ from the scalar
+                // metric by reassociation noise.
+                let scalar = if i == j {
+                    0.0
+                } else {
+                    metric.distance(m.row(i), m.row(j))
+                };
+                assert!(
+                    (got - scalar).abs() <= 1e-11 * scalar.abs().max(1.0),
+                    "{metric:?} ({i},{j}): {got} vs scalar {scalar}"
                 );
             }
         }

@@ -96,12 +96,18 @@ fn sweep_reports_scores_of_its_own_cuts() {
         assert!(!sweep.is_empty());
         for q in &sweep {
             let labels = history.cut(q.k);
-            assert_eq!(
-                q.silhouette.to_bits(),
-                silhouette_score(&cond, &labels).to_bits(),
-                "k={}: sweep silhouette drifted",
-                q.k
+            // The fused sweep accumulates distance sums per finest cluster
+            // and regroups for each k, which reorders silhouette additions:
+            // agreement is to reassociation noise, not bitwise.
+            let direct_sil = silhouette_score(&cond, &labels);
+            assert!(
+                (q.silhouette - direct_sil).abs() <= 1e-12 * direct_sil.abs().max(1.0),
+                "k={}: sweep silhouette drifted: {} vs {}",
+                q.k,
+                q.silhouette,
+                direct_sil
             );
+            // Dunn regroups through exact min/max and stays bit-identical.
             assert_eq!(
                 q.dunn.to_bits(),
                 dunn_index(&cond, &labels).to_bits(),

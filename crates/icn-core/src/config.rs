@@ -1,6 +1,6 @@
 //! Study configuration.
 
-use icn_cluster::Linkage;
+use icn_cluster::{ClusterPath, Linkage};
 use icn_forest::ForestConfig;
 use icn_obs::Json;
 
@@ -24,6 +24,14 @@ pub struct StudyConfig {
     /// Whether to run the Figure 2 sweep (slowest step; the cut at `k`
     /// works without it).
     pub run_k_sweep: bool,
+    /// Stage-2 clustering implementation (`Auto` resolves against the
+    /// memory budget; paper-scale populations stay on the exact path).
+    pub cluster_path: ClusterPath,
+    /// Memory budget in MiB for the stage-2 distance structures; bounds
+    /// the sample size on the sampled path and drives `Auto` selection.
+    pub cluster_budget_mb: usize,
+    /// Centroid-refinement rounds on the sampled path.
+    pub cluster_refine_iters: usize,
 }
 
 impl Default for StudyConfig {
@@ -37,6 +45,9 @@ impl Default for StudyConfig {
             n_trees: 100,
             seed: 0x1C9_5EED,
             run_k_sweep: true,
+            cluster_path: ClusterPath::Auto,
+            cluster_budget_mb: 512,
+            cluster_refine_iters: 2,
         }
     }
 }
@@ -83,6 +94,15 @@ impl StudyConfig {
             ("n_trees", Json::num(self.n_trees as f64)),
             ("seed", Json::num(self.seed as f64)),
             ("run_k_sweep", Json::Bool(self.run_k_sweep)),
+            ("cluster_path", Json::str(self.cluster_path.as_str())),
+            (
+                "cluster_budget_mb",
+                Json::num(self.cluster_budget_mb as f64),
+            ),
+            (
+                "cluster_refine_iters",
+                Json::num(self.cluster_refine_iters as f64),
+            ),
         ])
     }
 
@@ -99,6 +119,20 @@ impl StudyConfig {
             .get("run_k_sweep")
             .and_then(Json::as_bool)
             .ok_or("StudyConfig: missing boolean field `run_k_sweep`")?;
+        // Stage-2 path fields postdate some serialized configs: absent
+        // fields fall back to the defaults rather than erroring, so old
+        // study manifests keep loading.
+        let defaults = StudyConfig::default();
+        let cluster_path = match v.get("cluster_path").and_then(Json::as_str) {
+            None => defaults.cluster_path,
+            Some(s) => ClusterPath::parse(s)
+                .ok_or_else(|| format!("StudyConfig: unknown cluster_path `{s}`"))?,
+        };
+        let opt_num = |name: &str, default: usize| {
+            v.get(name)
+                .and_then(Json::as_f64)
+                .map_or(default, |x| x as usize)
+        };
         Ok(StudyConfig {
             k: num("k")? as usize,
             k_coarse: num("k_coarse")? as usize,
@@ -108,6 +142,9 @@ impl StudyConfig {
             n_trees: num("n_trees")? as usize,
             seed: num("seed")? as u64,
             run_k_sweep,
+            cluster_path,
+            cluster_budget_mb: opt_num("cluster_budget_mb", defaults.cluster_budget_mb),
+            cluster_refine_iters: opt_num("cluster_refine_iters", defaults.cluster_refine_iters),
         })
     }
 }
@@ -153,5 +190,51 @@ mod tests {
         assert_eq!(back.min_rel_drop, c.min_rel_drop);
         assert_eq!(back.seed, c.seed);
         assert_eq!(back.run_k_sweep, c.run_k_sweep);
+        assert_eq!(back.cluster_path, c.cluster_path);
+        assert_eq!(back.cluster_budget_mb, c.cluster_budget_mb);
+        assert_eq!(back.cluster_refine_iters, c.cluster_refine_iters);
+    }
+
+    #[test]
+    fn json_without_cluster_fields_gets_defaults() {
+        // Manifests written before the sampled path existed must keep
+        // loading with the default path/budget.
+        let mut c = StudyConfig::fast();
+        c.cluster_path = ClusterPath::Sampled;
+        c.cluster_budget_mb = 64;
+        let full = c.to_json().to_compact();
+        let legacy = {
+            // Strip the three new fields out of the serialized form.
+            let v = Json::parse(&full).unwrap();
+            Json::obj(
+                [
+                    "k",
+                    "k_coarse",
+                    "k_sweep_lo",
+                    "k_sweep_hi",
+                    "min_rel_drop",
+                    "n_trees",
+                    "seed",
+                    "run_k_sweep",
+                ]
+                .iter()
+                .map(|&name| (name, v.get(name).unwrap().clone()))
+                .collect(),
+            )
+        };
+        let back = StudyConfig::from_json(&legacy).unwrap();
+        let d = StudyConfig::default();
+        assert_eq!(back.cluster_path, d.cluster_path);
+        assert_eq!(back.cluster_budget_mb, d.cluster_budget_mb);
+        assert_eq!(back.cluster_refine_iters, d.cluster_refine_iters);
+        assert_eq!(back.k, c.k);
+    }
+
+    #[test]
+    fn bad_cluster_path_rejected() {
+        let mut j = StudyConfig::fast().to_json().to_compact();
+        j = j.replace("\"auto\"", "\"bogus\"");
+        let err = StudyConfig::from_json(&Json::parse(&j).unwrap()).unwrap_err();
+        assert!(err.contains("cluster_path"), "{err}");
     }
 }

@@ -22,7 +22,8 @@ use crate::insights::EnvCrosstab;
 use crate::profiles::{cluster_profiles, ClusterProfile};
 use crate::rca::{filter_dead_rows, rsca};
 use icn_cluster::{
-    agglomerate_condensed, sweep_k, Condensed, Dendrogram, KQuality, Linkage, MergeHistory,
+    agglomerate_condensed, max_sample_for_budget, sampled_ward, sweep_k, ClusterPath, Condensed,
+    Dendrogram, KQuality, Linkage, MergeHistory, SampledWardConfig,
 };
 use icn_forest::{RandomForest, SoaForest, TrainSet};
 use icn_ingest::IngestResult;
@@ -148,27 +149,83 @@ impl IcnStudy {
         let (history, dendrogram, k_sweep, labels, labels_coarse, consolidation, profiles) = {
             let mut span = icn_obs::Span::enter("stage2_cluster");
             span.attr("k", config.k as u64);
-            let cond = Condensed::from_rows(&rsca_m, Linkage::Ward.base_metric());
-            let history = agglomerate_condensed(&cond, Linkage::Ward);
-            let dendrogram = Dendrogram::from_history(&history);
-            let k_sweep = if config.run_k_sweep {
-                // Quality indices use Euclidean geometry (not the squared
-                // distances Ward works in). Ward's base metric is
-                // SqEuclidean, so the Euclidean matrix is the entry-wise
-                // square root of the one already computed — no second
-                // O(N²·M) pairwise pass.
-                let cond_eucl = cond.sqrt_values();
-                sweep_k(
-                    &history,
-                    &cond_eucl,
-                    config.k_sweep_lo..=config.k_sweep_hi.min(history.n - 1),
-                )
-            } else {
-                Vec::new()
+            let budget_bytes = config.cluster_budget_mb.saturating_mul(1024 * 1024);
+            let path = config.cluster_path.resolve(rsca_m.rows(), budget_bytes);
+            let (history, dendrogram, k_sweep, labels, labels_coarse, consolidation) = match path {
+                ClusterPath::Exact | ClusterPath::Auto => {
+                    let cond = Condensed::from_rows(&rsca_m, Linkage::Ward.base_metric());
+                    let history = agglomerate_condensed(&cond, Linkage::Ward);
+                    let dendrogram = Dendrogram::from_history(&history);
+                    let k_sweep = if config.run_k_sweep {
+                        // Quality indices use Euclidean geometry (not the
+                        // squared distances Ward works in). Ward's base
+                        // metric is SqEuclidean, so the Euclidean matrix is
+                        // the entry-wise square root of the one already
+                        // computed — no second O(N²·M) pairwise pass.
+                        let cond_eucl = cond.sqrt_values();
+                        sweep_k(
+                            &history,
+                            &cond_eucl,
+                            config.k_sweep_lo..=config.k_sweep_hi.min(history.n - 1),
+                        )
+                    } else {
+                        Vec::new()
+                    };
+                    let labels = history.cut(config.k);
+                    let labels_coarse = history.cut(config.k_coarse);
+                    let consolidation = dendrogram.consolidation(config.k, config.k_coarse);
+                    (
+                        history,
+                        dendrogram,
+                        k_sweep,
+                        labels,
+                        labels_coarse,
+                        consolidation,
+                    )
+                }
+                ClusterPath::Sampled => {
+                    // Large-N escape hatch: exact Ward on a budget-sized
+                    // seeded sample, nearest-centroid extension to the
+                    // rest. The hierarchy artefacts (history, dendrogram,
+                    // sweep) describe the sample; the labels cover the
+                    // full population.
+                    let sample = max_sample_for_budget(budget_bytes)
+                        .clamp(config.k_sweep_hi + 1, rsca_m.rows());
+                    let sw = sampled_ward(
+                        &rsca_m,
+                        config.k,
+                        &SampledWardConfig {
+                            sample,
+                            seed: config.seed,
+                            refine_iters: config.cluster_refine_iters,
+                        },
+                    );
+                    let dendrogram = Dendrogram::from_history(&sw.history);
+                    let k_sweep = if config.run_k_sweep {
+                        let cond_eucl = sw.sample_condensed.sqrt_values();
+                        sweep_k(
+                            &sw.history,
+                            &cond_eucl,
+                            config.k_sweep_lo..=config.k_sweep_hi.min(sw.history.n - 1),
+                        )
+                    } else {
+                        Vec::new()
+                    };
+                    let consolidation = dendrogram.consolidation(config.k, config.k_coarse);
+                    // Coarse labels extend to the population through the
+                    // nested fine → coarse map.
+                    let labels_coarse: Vec<usize> =
+                        sw.labels.iter().map(|&l| consolidation[l]).collect();
+                    (
+                        sw.history,
+                        dendrogram,
+                        k_sweep,
+                        sw.labels,
+                        labels_coarse,
+                        consolidation,
+                    )
+                }
             };
-            let labels = history.cut(config.k);
-            let labels_coarse = history.cut(config.k_coarse);
-            let consolidation = dendrogram.consolidation(config.k, config.k_coarse);
             let profiles = cluster_profiles(&rsca_m, &labels, config.k);
             if obs.is_enabled() {
                 obs.add_counter("cluster.k_sweep_points", k_sweep.len() as u64);

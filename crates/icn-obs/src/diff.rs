@@ -34,6 +34,12 @@ pub struct DiffThresholds {
     /// Histograms with baseline p99 below this (nanoseconds) are skipped
     /// (default 10_000 = 10 µs).
     pub min_hist_ns: u64,
+    /// Maximum allowed `b/a` ratio for `*_bytes` gauges (default 1.2).
+    /// Memory footprints are arithmetic consequences of the input size,
+    /// not scheduler-noisy walls, so the gate is tight: a sampled-path
+    /// run that quietly starts materializing a bigger matrix fails even
+    /// when the extra allocation happens to be fast.
+    pub max_bytes_ratio: f64,
     /// When set, any counter value change fails (same-machine,
     /// same-seed determinism checks); by default counters are
     /// informational.
@@ -47,6 +53,7 @@ impl Default for DiffThresholds {
             min_wall_ms: 5.0,
             max_hist_ratio: 2.0,
             min_hist_ns: 10_000,
+            max_bytes_ratio: 1.2,
             strict_counters: false,
         }
     }
@@ -267,6 +274,40 @@ pub fn diff_reports(a: &BenchReport, b: &BenchReport, t: &DiffThresholds) -> Dif
         }
     }
 
+    // Footprint gauges: lower is better and the values are deterministic
+    // functions of the workload, so the candidate gates directly on b/a.
+    // Missing in the candidate is informational (instrumentation
+    // coverage, like histograms) — the stage set is what must not shrink.
+    for (name, &base) in &a.gauges {
+        if !name.ends_with("_bytes") || base <= 0.0 {
+            continue;
+        }
+        let metric = format!("gauge:{name}");
+        match b.gauges.get(name) {
+            None => lines.push(DiffLine {
+                metric,
+                a: base,
+                b: f64::NAN,
+                ratio: f64::NAN,
+                status: DiffStatus::Info,
+            }),
+            Some(&cand) => {
+                let ratio = cand / base;
+                lines.push(DiffLine {
+                    metric,
+                    a: base,
+                    b: cand,
+                    ratio,
+                    status: if ratio > t.max_bytes_ratio {
+                        DiffStatus::Fail
+                    } else {
+                        DiffStatus::Ok
+                    },
+                });
+            }
+        }
+    }
+
     for (name, &base) in &a.counters {
         let cand = b.counters.get(name).copied();
         let changed = cand != Some(base);
@@ -437,6 +478,39 @@ mod tests {
         let mut b = report_with(100.0, 50_000, 1000.0);
         b.scale = 0.5;
         assert!(!diff_reports(&a, &b, &DiffThresholds::default()).passed());
+    }
+
+    #[test]
+    fn bytes_gauges_gate_on_growth_not_shrinkage() {
+        let mut a = report_with(100.0, 50_000, 1000.0);
+        a.gauges
+            .insert("cluster.condensed_bytes".into(), 1_000_000.0);
+        // Within the 1.2x default: passes.
+        let mut b = report_with(100.0, 50_000, 1000.0);
+        b.gauges
+            .insert("cluster.condensed_bytes".into(), 1_100_000.0);
+        assert!(diff_reports(&a, &b, &DiffThresholds::default()).passed());
+        // Shrinking is a win, never a failure.
+        b.gauges.insert("cluster.condensed_bytes".into(), 10_000.0);
+        assert!(diff_reports(&a, &b, &DiffThresholds::default()).passed());
+        // Growth past the ratio fails, even with identical walls.
+        b.gauges
+            .insert("cluster.condensed_bytes".into(), 2_000_000.0);
+        let diff = diff_reports(&a, &b, &DiffThresholds::default());
+        assert!(!diff.passed());
+        assert!(diff
+            .lines
+            .iter()
+            .any(|l| l.metric == "gauge:cluster.condensed_bytes" && l.status == DiffStatus::Fail));
+        // A looser explicit threshold admits it again.
+        let loose = DiffThresholds {
+            max_bytes_ratio: 3.0,
+            ..DiffThresholds::default()
+        };
+        assert!(diff_reports(&a, &b, &loose).passed());
+        // Missing in the candidate is informational, like histograms.
+        let c = report_with(100.0, 50_000, 1000.0);
+        assert!(diff_reports(&a, &c, &DiffThresholds::default()).passed());
     }
 
     #[test]

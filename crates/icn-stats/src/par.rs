@@ -125,6 +125,114 @@ where
     })
 }
 
+/// Fills `out` in place, in parallel, by contiguous chunks of `chunk`
+/// elements: `f(range, slice)` receives each chunk's global index range and
+/// the matching mutable sub-slice (`slice.len() == range.len()`; the final
+/// chunk may be shorter).
+///
+/// This is the zero-copy sibling of [`map_chunks`] for kernels whose output
+/// is one large flat buffer (e.g. the agglomeration working matrix): the
+/// caller allocates once and workers write their disjoint windows directly,
+/// instead of allocating per-chunk vectors that get stitched back with an
+/// extra pass over the whole buffer. Determinism is structural — the chunk
+/// partition depends only on `out.len()` and `chunk`, each element is
+/// written by exactly one chunk, and `f` sees the same `(range, data)`
+/// pairs at any thread count (including the sequential fallback).
+///
+/// The disjoint hand-out is `split_at_mut` + one `Mutex<Option<&mut [T]>>`
+/// per chunk (taken exactly once, under an atomic cursor), so no `unsafe`
+/// is involved.
+pub fn fill_chunks<T, F>(out: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(Range<usize>, &mut [T]) + Sync,
+{
+    assert!(chunk >= 1, "par::fill_chunks: chunk must be >= 1");
+    let n = out.len();
+    let n_chunks = n.div_ceil(chunk);
+    let mut bounds = Vec::with_capacity(n_chunks + 1);
+    bounds.extend((0..n_chunks).map(|c| c * chunk));
+    bounds.push(n);
+    fill_blocks(out, &bounds, |b, s| {
+        let lo = b * chunk;
+        f(lo..lo + s.len(), s);
+    });
+}
+
+/// Fills `out` in place, in parallel, by the caller's own block partition:
+/// `bounds` is the ascending list of cut offsets (`bounds[0] == 0`,
+/// `bounds.last() == out.len()`), and `f(b, slice)` receives each block
+/// index `b` with the mutable window `out[bounds[b]..bounds[b + 1]]`.
+///
+/// This is [`fill_chunks`] for irregular partitions — e.g. the condensed
+/// distance matrix, where row-block `i` holds `n − 1 − i` entries, so equal
+/// *row* chunks are unequal *element* spans. Empty blocks are allowed (their
+/// slice is empty). Determinism is structural, exactly as in
+/// [`fill_chunks`]: the partition is caller-fixed, every element belongs to
+/// one block, and `f` sees the same `(b, data)` pairs at any thread count.
+pub fn fill_blocks<T, F>(out: &mut [T], bounds: &[usize], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(
+        bounds.first() == Some(&0) && bounds.last() == Some(&out.len()),
+        "par::fill_blocks: bounds must run from 0 to out.len()"
+    );
+    let n_blocks = bounds.len() - 1;
+    let threads = workers_for(n_blocks);
+    if threads <= 1 || n_blocks < 2 {
+        let mut rest = out;
+        for b in 0..n_blocks {
+            assert!(
+                bounds[b] <= bounds[b + 1],
+                "par::fill_blocks: descending bounds"
+            );
+            let (head, tail) = rest.split_at_mut(bounds[b + 1] - bounds[b]);
+            rest = tail;
+            f(b, head);
+        }
+        return;
+    }
+    // Disjoint hand-out: each block's window sits behind its own
+    // `Mutex<Option<..>>`, taken exactly once under an atomic cursor — no
+    // `unsafe`, and the lock per block is negligible next to block work.
+    let mut slices: Vec<Mutex<Option<&mut [T]>>> = Vec::with_capacity(n_blocks);
+    {
+        let mut rest = out;
+        for b in 0..n_blocks {
+            assert!(
+                bounds[b] <= bounds[b + 1],
+                "par::fill_blocks: descending bounds"
+            );
+            let (head, tail) = rest.split_at_mut(bounds[b + 1] - bounds[b]);
+            rest = tail;
+            slices.push(Mutex::new(Some(head)));
+        }
+    }
+    let cursor = AtomicUsize::new(0);
+    let handoff = icn_obs::current_handoff();
+    std::thread::scope(|scope| {
+        let (cursor, slices, f) = (&cursor, &slices, &f);
+        for _ in 0..threads {
+            let handoff = handoff.clone();
+            scope.spawn(move || {
+                let _adopt = handoff.as_ref().map(icn_obs::Handoff::adopt);
+                loop {
+                    let b = cursor.fetch_add(1, Ordering::Relaxed);
+                    if b >= slices.len() {
+                        break;
+                    }
+                    let taken = slices[b].lock().expect("par fill poisoned").take();
+                    if let Some(s) = taken {
+                        f(b, s);
+                    }
+                }
+            });
+        }
+    });
+}
+
 /// Parallel sum of `f(i)` over `0..n` (order-independent reduction of an
 /// associative/commutative combination; used where rayon's `map().sum()`
 /// was). Summation order is fixed (index order) so results are bit-stable.
@@ -202,6 +310,73 @@ mod tests {
     #[should_panic(expected = "chunk must be >= 1")]
     fn map_chunks_rejects_zero_chunk() {
         map_chunks(10, 0, |r| r.len());
+    }
+
+    #[test]
+    fn fill_chunks_writes_every_element_once() {
+        let mut out = vec![0usize; 523];
+        fill_chunks(&mut out, 17, |r, s| {
+            assert_eq!(s.len(), r.len());
+            for (k, v) in r.zip(s.iter_mut()) {
+                *v += k * 3 + 1; // += would expose double-writes
+            }
+        });
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * 3 + 1);
+        }
+    }
+
+    #[test]
+    fn fill_chunks_matches_map_chunks_stitch() {
+        let f = |i: usize| (i as f64).sin() * (i as f64 + 2.0).ln();
+        let stitched: Vec<f64> = map_chunks(777, 31, |r| r.map(f).collect::<Vec<f64>>())
+            .into_iter()
+            .flatten()
+            .collect();
+        let mut filled = vec![0.0f64; 777];
+        fill_chunks(&mut filled, 31, |r, s| {
+            for (k, v) in r.zip(s.iter_mut()) {
+                *v = f(k);
+            }
+        });
+        assert_eq!(
+            stitched.iter().map(|x| x.to_bits()).collect::<Vec<u64>>(),
+            filled.iter().map(|x| x.to_bits()).collect::<Vec<u64>>()
+        );
+    }
+
+    #[test]
+    fn fill_chunks_thread_invariant_and_degenerate() {
+        // Single-chunk and empty buffers take the sequential fallback.
+        let mut one = vec![0u8; 3];
+        fill_chunks(&mut one, 100, |r, s| {
+            assert_eq!(r, 0..3);
+            s.fill(9);
+        });
+        assert_eq!(one, vec![9, 9, 9]);
+        let mut empty: Vec<u8> = Vec::new();
+        fill_chunks(&mut empty, 4, |_, _| panic!("no chunks expected"));
+        // Pinned single thread writes the same bytes as the default count.
+        let render = |buf: &mut [u64]| {
+            fill_chunks(buf, 13, |r, s| {
+                for (k, v) in r.zip(s.iter_mut()) {
+                    *v = (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                }
+            });
+        };
+        let mut multi = vec![0u64; 301];
+        render(&mut multi);
+        std::env::set_var("ICN_THREADS", "1");
+        let mut single = vec![0u64; 301];
+        render(&mut single);
+        std::env::remove_var("ICN_THREADS");
+        assert_eq!(multi, single);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk must be >= 1")]
+    fn fill_chunks_rejects_zero_chunk() {
+        fill_chunks(&mut [0u8; 4][..], 0, |_, _| {});
     }
 
     #[test]

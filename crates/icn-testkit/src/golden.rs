@@ -13,6 +13,7 @@
 //! *detection* (any behavioural change must be consciously blessed), while
 //! the differential-oracle and metamorphic tiers explain *what* broke.
 
+use icn_cluster::ClusterPath;
 use icn_core::{IcnStudy, StudyConfig};
 use icn_obs::Json;
 use icn_stats::Matrix;
@@ -24,6 +25,19 @@ pub const GOLDEN_SCHEMA: &str = "icn-golden/v1";
 
 /// The scale the checked-in golden snapshots are pinned at.
 pub const GOLDEN_SCALE: f64 = 0.05;
+
+/// The scale the sampled-path golden snapshot is pinned at. Deliberately
+/// larger than [`GOLDEN_SCALE`]: with the pinned
+/// [`SAMPLED_GOLDEN_BUDGET_MB`] budget the population at this scale does
+/// not fit the exact path, so the snapshot genuinely exercises the
+/// sample-cluster-extend machinery (a budget that admits the whole
+/// population would silently degrade the snapshot to exact Ward).
+pub const SAMPLED_GOLDEN_SCALE: f64 = 0.1;
+
+/// The memory budget the sampled-path golden run is pinned at. 1 MB caps
+/// the sample at ~295 antennas, a strict ~60% sample of the scale-0.1
+/// population.
+pub const SAMPLED_GOLDEN_BUDGET_MB: usize = 1;
 
 /// Canonical fixed-precision rendering of one float. `-0.0` collapses to
 /// `0.0` so the hash cannot depend on sign-of-zero noise.
@@ -129,6 +143,24 @@ pub fn snapshot_pipeline(scale: f64) -> PipelineSnapshot {
     snapshot_study(scale, &dataset, &study)
 }
 
+/// Runs the pinned study down the **sampled** stage-2 path (scalable
+/// large-N escape hatch forced on via [`SAMPLED_GOLDEN_BUDGET_MB`]) and
+/// hashes every stage output. The sampled path has its own golden file —
+/// see [`sampled_golden_file`] — so drift in the sampler, the
+/// nearest-centroid extension or the refinement loop is caught exactly
+/// like drift in the exact path, without touching the exact-path hashes.
+pub fn snapshot_pipeline_sampled(scale: f64) -> PipelineSnapshot {
+    let dataset = Dataset::generate(SynthConfig::paper().with_scale(scale));
+    let config = StudyConfig {
+        run_k_sweep: true,
+        cluster_path: ClusterPath::Sampled,
+        cluster_budget_mb: SAMPLED_GOLDEN_BUDGET_MB,
+        ..StudyConfig::fast()
+    };
+    let study = IcnStudy::run(&dataset, config);
+    snapshot_study(scale, &dataset, &study)
+}
+
 /// Hashes every stage of an already-run study (exposed so tests can reuse
 /// a fixture instead of re-running the pipeline).
 pub fn snapshot_study(scale: f64, dataset: &Dataset, study: &IcnStudy) -> PipelineSnapshot {
@@ -205,6 +237,12 @@ pub fn snapshot_study(scale: f64, dataset: &Dataset, study: &IcnStudy) -> Pipeli
 /// The golden file for `scale` inside `dir` (e.g. `pipeline-0.05.json`).
 pub fn golden_file(dir: &Path, scale: f64) -> PathBuf {
     dir.join(format!("pipeline-{scale}.json"))
+}
+
+/// The golden file for the sampled-path snapshot inside `dir`. The name
+/// carries the pinned scale so an accidental re-pin is visible in review.
+pub fn sampled_golden_file(dir: &Path) -> PathBuf {
+    dir.join(format!("pipeline-sampled-{SAMPLED_GOLDEN_SCALE}.json"))
 }
 
 /// The repo's checked-in golden directory (`tests/golden/` at the

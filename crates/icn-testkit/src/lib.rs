@@ -38,7 +38,8 @@ pub mod oracle;
 
 pub use golden::{
     compare_golden, compare_golden_at, default_golden_dir, golden_file, render_golden,
-    snapshot_pipeline, write_golden, write_golden_at, PipelineSnapshot,
+    sampled_golden_file, snapshot_pipeline, snapshot_pipeline_sampled, write_golden,
+    write_golden_at, PipelineSnapshot,
 };
 pub use ingest::{
     assert_bits_eq, ingest_golden_file, ingest_golden_window, ingest_via_pipeline, naive_ingest,
@@ -49,7 +50,7 @@ pub use metamorphic::{
     permute_labels, permute_rows, permute_slice, same_partition, scale_rows,
 };
 pub use oracle::{
-    hist_of, naive_accuracy, naive_agglomerate, naive_dunn, naive_forest_shap, naive_predict_batch,
-    naive_predict_proba, naive_rca, naive_rsca, naive_silhouette, naive_tree_shap,
-    per_sample_shap_batch, sort_quantile,
+    hist_of, naive_accuracy, naive_agglomerate, naive_ari, naive_dunn, naive_forest_shap,
+    naive_nmi, naive_predict_batch, naive_predict_proba, naive_rca, naive_rsca, naive_silhouette,
+    naive_tree_shap, per_sample_shap_batch, sort_quantile,
 };

@@ -155,6 +155,83 @@ pub fn naive_dunn(cond: &Condensed, labels: &[usize]) -> f64 {
     }
 }
 
+/// Adjusted Rand index by literal pair counting — O(n²) over every
+/// unordered item pair, tallying the 2×2 co-membership table
+/// (same/same, same/diff, diff/same, diff/diff) and applying the
+/// Hubert–Arabie closed form `2(ad − bc) / ((a+b)(b+d) + (a+c)(c+d))`.
+/// No contingency table, no binomial marginals — a genuinely different
+/// derivation from `icn_cluster::adjusted_rand_index`, which works from
+/// the contingency-table formula.
+pub fn naive_ari(labels_a: &[usize], labels_b: &[usize]) -> f64 {
+    let n = labels_a.len();
+    assert_eq!(n, labels_b.len(), "naive_ari: length mismatch");
+    assert!(n > 1, "naive_ari: need at least 2 items");
+    // a = agree-agree, b = same in A only, c = same in B only, d = neither.
+    let (mut a, mut b, mut c, mut d) = (0f64, 0f64, 0f64, 0f64);
+    for i in 0..n {
+        for j in i + 1..n {
+            match (labels_a[i] == labels_a[j], labels_b[i] == labels_b[j]) {
+                (true, true) => a += 1.0,
+                (true, false) => b += 1.0,
+                (false, true) => c += 1.0,
+                (false, false) => d += 1.0,
+            }
+        }
+    }
+    let denom = (a + b) * (b + d) + (a + c) * (c + d);
+    if denom == 0.0 {
+        // Both partitions trivial: all pairs agree (b = c = 0) → 1.
+        return if b == 0.0 && c == 0.0 { 1.0 } else { 0.0 };
+    }
+    2.0 * (a * d - b * c) / denom
+}
+
+/// Normalised mutual information straight from the definition:
+/// `I(A;B) / ((H(A) + H(B)) / 2)`, with every probability re-counted by a
+/// full scan per label value (no shared marginals, no contingency reuse).
+pub fn naive_nmi(labels_a: &[usize], labels_b: &[usize]) -> f64 {
+    let n = labels_a.len();
+    assert_eq!(n, labels_b.len(), "naive_nmi: length mismatch");
+    assert!(n > 0, "naive_nmi: empty labellings");
+    let nf = n as f64;
+    let count = |ls: &[usize], v: usize| ls.iter().filter(|&&l| l == v).count() as f64;
+    let distinct = |ls: &[usize]| -> Vec<usize> {
+        let mut vs: Vec<usize> = ls.to_vec();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    };
+    let entropy = |ls: &[usize]| -> f64 {
+        distinct(ls)
+            .iter()
+            .map(|&v| {
+                let p = count(ls, v) / nf;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let mut mi = 0.0;
+    for &va in &distinct(labels_a) {
+        for &vb in &distinct(labels_b) {
+            let joint = labels_a
+                .iter()
+                .zip(labels_b)
+                .filter(|&(&la, &lb)| la == va && lb == vb)
+                .count() as f64;
+            if joint > 0.0 {
+                let pij = joint / nf;
+                mi += pij * ((pij * nf * nf) / (count(labels_a, va) * count(labels_b, vb))).ln();
+            }
+        }
+    }
+    let denom = 0.5 * (entropy(labels_a) + entropy(labels_b));
+    if denom <= 0.0 {
+        1.0
+    } else {
+        (mi / denom).clamp(0.0, 1.0)
+    }
+}
+
 /// Sort-based quantile oracle for [`icn_obs::Histogram`].
 ///
 /// The histogram promises *exact* rank selection at bucket resolution:
@@ -449,6 +526,30 @@ mod tests {
         let m = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![10.0], vec![12.0]]);
         let cond = Condensed::from_rows(&m, Metric::Euclidean);
         assert!((naive_dunn(&cond, &[0, 0, 1, 1]) - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn naive_ari_hand_computed() {
+        // Classic contingency example: expected index equals the index.
+        let a = vec![0, 0, 1, 1];
+        let b = vec![0, 0, 0, 1];
+        assert!(naive_ari(&a, &b).abs() < 1e-12);
+        // Identical (up to renaming) partitions score 1.
+        assert!((naive_ari(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((naive_ari(&a, &[5, 5, 2, 2]) - 1.0).abs() < 1e-12);
+        // Trivial all-in-one vs itself is the degenerate-agreement case.
+        assert!((naive_ari(&[0, 0, 0], &[1, 1, 1]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn naive_nmi_hand_computed() {
+        let a = vec![0, 0, 1, 1];
+        assert!((naive_nmi(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((naive_nmi(&a, &[3, 3, 0, 0]) - 1.0).abs() < 1e-12);
+        // Independent halves share no information.
+        assert!(naive_nmi(&[0, 0, 1, 1], &[0, 1, 0, 1]).abs() < 1e-12);
+        // All-in-one reference: zero entropy denominator convention.
+        assert!((naive_nmi(&[0, 1, 2], &[0, 0, 0]) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -124,6 +124,12 @@ fn cmd_obs(args: &[String]) {
                             .unwrap_or(t.min_hist_ns);
                         i += 2;
                     }
+                    "--max-bytes-ratio" => {
+                        t.max_bytes_ratio = take(i)
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or(t.max_bytes_ratio);
+                        i += 2;
+                    }
                     "--strict-counters" => {
                         t.strict_counters = true;
                         i += 1;
@@ -189,6 +195,8 @@ struct Opts {
     resume: bool,
     halt_after: Option<u64>,
     verify: bool,
+    cluster_path: ClusterPath,
+    cluster_budget_mb: Option<usize>,
 }
 
 impl Opts {
@@ -215,6 +223,8 @@ impl Opts {
             resume: false,
             halt_after: None,
             verify: false,
+            cluster_path: ClusterPath::Auto,
+            cluster_budget_mb: None,
         };
         let mut i = 0;
         while i < args.len() {
@@ -301,6 +311,29 @@ impl Opts {
                     o.json = true;
                     i += 1;
                 }
+                "--cluster-path" => {
+                    match take(i).and_then(|v| ClusterPath::parse(v)) {
+                        Some(p) => o.cluster_path = p,
+                        None => {
+                            eprintln!(
+                                "--cluster-path wants one of: exact, sampled, auto (got {:?})",
+                                take(i).map(String::as_str).unwrap_or("<none>")
+                            );
+                            std::process::exit(2);
+                        }
+                    }
+                    i += 2;
+                }
+                "--cluster-budget-mb" => {
+                    match take(i).and_then(|v| v.parse().ok()) {
+                        Some(mb) => o.cluster_budget_mb = Some(mb),
+                        None => {
+                            eprintln!("--cluster-budget-mb wants an integer megabyte count");
+                            std::process::exit(2);
+                        }
+                    }
+                    i += 2;
+                }
                 unknown => {
                     eprintln!("unknown flag: {unknown}");
                     std::process::exit(2);
@@ -319,9 +352,12 @@ impl Opts {
     }
 
     fn study(&self, ds: &Dataset) -> IcnStudy {
+        let defaults = StudyConfig::paper();
         let config = StudyConfig {
             run_k_sweep: self.sweep,
-            ..StudyConfig::paper()
+            cluster_path: self.cluster_path,
+            cluster_budget_mb: self.cluster_budget_mb.unwrap_or(defaults.cluster_budget_mb),
+            ..defaults
         };
         match IcnStudy::try_run(ds, config) {
             Ok(study) => study,
@@ -357,6 +393,10 @@ fn usage_and_exit(bad: Option<&str>) -> ! {
          --sweep        run the Figure 2 k-sweep (study)\n  \
          --json         machine-readable output (study)\n  \
          --cluster <n>  cluster id (explain/temporal)\n  \
+         --cluster-path <p>  stage-2 path: exact, sampled, or auto (study, default auto —\n                 \
+         exact while the distance matrix fits the memory budget)\n  \
+         --cluster-budget-mb <n>  stage-2 memory budget steering auto selection and the\n                 \
+         sampled path's sample size (study, default 512)\n  \
          --top <n>      services to list (explain, default 10)\n  \
          --days <n>     probe window length (probe, default 3)\n  \
          --out <dir>    export directory (generate)\n  \
@@ -716,6 +756,20 @@ fn cmd_testkit(o: &Opts) {
     } else {
         None
     };
+    // The sampled-path golden is pinned at its own scale/budget; like the
+    // ingest golden it only participates in the default pinned run.
+    let sampled_snap = if (scale - golden::GOLDEN_SCALE).abs() < 1e-12 {
+        eprintln!(
+            "computing sampled-path pipeline snapshot at scale {}...",
+            golden::SAMPLED_GOLDEN_SCALE
+        );
+        Some((
+            golden::sampled_golden_file(&dir),
+            golden::snapshot_pipeline_sampled(golden::SAMPLED_GOLDEN_SCALE),
+        ))
+    } else {
+        None
+    };
     if o.bless {
         match golden::write_golden(&dir, &snap) {
             Ok(path) => {
@@ -739,6 +793,19 @@ fn cmd_testkit(o: &Opts) {
                 ),
                 Err(e) => {
                     eprintln!("failed to write ingest golden file: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if let Some((path, ssnap)) = &sampled_snap {
+            match golden::write_golden_at(path, ssnap) {
+                Ok(()) => println!(
+                    "blessed {} sampled-path hashes -> {}",
+                    ssnap.stages.len(),
+                    path.display()
+                ),
+                Err(e) => {
+                    eprintln!("failed to write sampled-path golden file: {e}");
                     std::process::exit(1);
                 }
             }
@@ -768,6 +835,21 @@ fn cmd_testkit(o: &Opts) {
                 println!(
                     "{} ingest hashes match {}",
                     isnap.stages.len(),
+                    path.display()
+                );
+            }
+            Err(lines) => drift.extend(lines),
+        }
+    }
+    if let Some((path, ssnap)) = &sampled_snap {
+        match golden::compare_golden_at(path, ssnap) {
+            Ok(()) => {
+                for (name, hash) in &ssnap.stages {
+                    println!("ok  {name}  {hash}  (sampled)");
+                }
+                println!(
+                    "{} sampled-path hashes match {}",
+                    ssnap.stages.len(),
                     path.display()
                 );
             }

@@ -40,8 +40,9 @@ pub use icn_testkit;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use icn_cluster::{
-        adjusted_rand_index, agglomerate, dunn_index, kmeans_best_of, normalized_mutual_info,
-        purity, silhouette_score, Condensed, Dendrogram, Linkage,
+        adjusted_rand_index, agglomerate, dunn_index, exact_memory_bytes, kmeans_best_of,
+        max_sample_for_budget, normalized_mutual_info, purity, sampled_ward, silhouette_score,
+        ClusterPath, Condensed, Dendrogram, Linkage, SampledWardConfig,
     };
     pub use icn_core::{
         classify_outdoor, cluster_heatmap, distribution_entropy, filter_dead_rows,

@@ -9,9 +9,10 @@
 //! and commit the updated JSON; the per-stage oracle suites then explain
 //! *what* changed.
 
-use icn_repro::icn_testkit::golden::GOLDEN_SCALE;
+use icn_repro::icn_testkit::golden::{GOLDEN_SCALE, SAMPLED_GOLDEN_SCALE};
 use icn_repro::icn_testkit::{
-    compare_golden, default_golden_dir, golden_file, render_golden, snapshot_pipeline, write_golden,
+    compare_golden, compare_golden_at, default_golden_dir, golden_file, render_golden,
+    sampled_golden_file, snapshot_pipeline, snapshot_pipeline_sampled, write_golden,
 };
 
 mod common;
@@ -26,6 +27,33 @@ fn blessed_golden_matches_current_pipeline() {
             drift.join("\n  ")
         );
     }
+}
+
+#[test]
+fn blessed_sampled_golden_matches_current_pipeline() {
+    // The scalable (sample-cluster-extend) stage-2 path has its own
+    // golden, pinned at a scale/budget pair that forces a strict sample.
+    // Drift in the sampler, the centroid extension or the refinement loop
+    // fails here without disturbing the exact-path hashes above.
+    let snap = snapshot_pipeline_sampled(SAMPLED_GOLDEN_SCALE);
+    let path = sampled_golden_file(&default_golden_dir());
+    if let Err(drift) = compare_golden_at(&path, &snap) {
+        panic!(
+            "sampled-path output drifted from tests/golden (re-bless with \
+             `cargo run --bin icn -- testkit --bless` if intentional):\n  {}",
+            drift.join("\n  ")
+        );
+    }
+}
+
+#[test]
+fn sampled_snapshot_is_deterministic() {
+    let a = snapshot_pipeline_sampled(SAMPLED_GOLDEN_SCALE);
+    let b = snapshot_pipeline_sampled(SAMPLED_GOLDEN_SCALE);
+    assert_eq!(
+        a.stages, b.stages,
+        "sampled path must be seed-deterministic"
+    );
 }
 
 #[test]
