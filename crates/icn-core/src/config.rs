@@ -1,6 +1,7 @@
 //! Study configuration.
 
 use icn_cluster::{ClusterPath, Linkage};
+use icn_forecast::{ForecastConfig, Model};
 use icn_forest::ForestConfig;
 use icn_obs::Json;
 
@@ -32,6 +33,14 @@ pub struct StudyConfig {
     pub cluster_budget_mb: usize,
     /// Centroid-refinement rounds on the sampled path.
     pub cluster_refine_iters: usize,
+    /// Whether to run the stage-6 forecasting/anomaly phase. Off by
+    /// default: the five-stage pipeline and its goldens stay untouched
+    /// unless a consumer opts in (`icn forecast` does).
+    pub run_forecast: bool,
+    /// Forecast horizon in hours past the temporal window.
+    pub forecast_horizon: usize,
+    /// Primary forecasting model (all three are always backtested).
+    pub forecast_model: Model,
 }
 
 impl Default for StudyConfig {
@@ -48,6 +57,9 @@ impl Default for StudyConfig {
             cluster_path: ClusterPath::Auto,
             cluster_budget_mb: 512,
             cluster_refine_iters: 2,
+            run_forecast: false,
+            forecast_horizon: 24,
+            forecast_model: Model::Ets,
         }
     }
 }
@@ -71,6 +83,15 @@ impl StudyConfig {
     /// ablation bench varies it directly through `icn-cluster`).
     pub fn linkage(&self) -> Linkage {
         Linkage::Ward
+    }
+
+    /// The stage-6 forecast configuration.
+    pub fn forecast_config(&self) -> ForecastConfig {
+        ForecastConfig {
+            horizon: self.forecast_horizon,
+            model: self.forecast_model,
+            ..ForecastConfig::default()
+        }
     }
 
     /// The surrogate forest configuration.
@@ -103,6 +124,9 @@ impl StudyConfig {
                 "cluster_refine_iters",
                 Json::num(self.cluster_refine_iters as f64),
             ),
+            ("run_forecast", Json::Bool(self.run_forecast)),
+            ("forecast_horizon", Json::num(self.forecast_horizon as f64)),
+            ("forecast_model", Json::str(self.forecast_model.as_str())),
         ])
     }
 
@@ -133,6 +157,17 @@ impl StudyConfig {
                 .and_then(Json::as_f64)
                 .map_or(default, |x| x as usize)
         };
+        // Forecast fields postdate PR 7: absent fields keep the defaults
+        // (forecasting off) so earlier manifests load unchanged.
+        let run_forecast = v
+            .get("run_forecast")
+            .and_then(Json::as_bool)
+            .unwrap_or(defaults.run_forecast);
+        let forecast_model = match v.get("forecast_model").and_then(Json::as_str) {
+            None => defaults.forecast_model,
+            Some(s) => Model::parse(s)
+                .ok_or_else(|| format!("StudyConfig: unknown forecast_model `{s}`"))?,
+        };
         Ok(StudyConfig {
             k: num("k")? as usize,
             k_coarse: num("k_coarse")? as usize,
@@ -145,6 +180,9 @@ impl StudyConfig {
             cluster_path,
             cluster_budget_mb: opt_num("cluster_budget_mb", defaults.cluster_budget_mb),
             cluster_refine_iters: opt_num("cluster_refine_iters", defaults.cluster_refine_iters),
+            run_forecast,
+            forecast_horizon: opt_num("forecast_horizon", defaults.forecast_horizon),
+            forecast_model,
         })
     }
 }
@@ -228,6 +266,56 @@ mod tests {
         assert_eq!(back.cluster_budget_mb, d.cluster_budget_mb);
         assert_eq!(back.cluster_refine_iters, d.cluster_refine_iters);
         assert_eq!(back.k, c.k);
+    }
+
+    #[test]
+    fn forecast_fields_round_trip() {
+        let c = StudyConfig {
+            run_forecast: true,
+            forecast_horizon: 48,
+            forecast_model: Model::Forest,
+            ..StudyConfig::fast()
+        };
+        let s = c.to_json().to_compact();
+        let back = StudyConfig::from_json(&Json::parse(&s).unwrap()).unwrap();
+        assert!(back.run_forecast);
+        assert_eq!(back.forecast_horizon, 48);
+        assert_eq!(back.forecast_model, Model::Forest);
+    }
+
+    #[test]
+    fn json_without_forecast_fields_gets_defaults() {
+        // Manifests written before the forecast stage existed must keep
+        // loading with forecasting off.
+        let full = StudyConfig::fast().to_json().to_compact();
+        let v = Json::parse(&full).unwrap();
+        let legacy = Json::obj(
+            [
+                "k",
+                "k_coarse",
+                "k_sweep_lo",
+                "k_sweep_hi",
+                "min_rel_drop",
+                "n_trees",
+                "seed",
+                "run_k_sweep",
+            ]
+            .iter()
+            .map(|&name| (name, v.get(name).unwrap().clone()))
+            .collect(),
+        );
+        let back = StudyConfig::from_json(&legacy).unwrap();
+        assert!(!back.run_forecast);
+        assert_eq!(back.forecast_horizon, 24);
+        assert_eq!(back.forecast_model, Model::Ets);
+    }
+
+    #[test]
+    fn bad_forecast_model_rejected() {
+        let mut j = StudyConfig::fast().to_json().to_compact();
+        j = j.replace("\"ets\"", "\"oracle\"");
+        let err = StudyConfig::from_json(&Json::parse(&j).unwrap()).unwrap_err();
+        assert!(err.contains("forecast_model"), "{err}");
     }
 
     #[test]

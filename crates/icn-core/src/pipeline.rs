@@ -65,6 +65,9 @@ pub struct IcnStudy {
     pub crosstab: EnvCrosstab,
     /// Outdoor classification (Figure 9).
     pub outdoor: OutdoorComparison,
+    /// Stage-6 forecasting & anomaly report (`Some` only when
+    /// `config.run_forecast` is set; the default pipeline skips it).
+    pub forecast: Option<icn_forecast::ForecastReport>,
 }
 
 impl IcnStudy {
@@ -306,6 +309,36 @@ impl IcnStudy {
             outdoor
         };
 
+        // 6. Forecast (opt-in; off by default so the five-stage span set
+        // and its goldens are untouched).
+        let forecast = if config.run_forecast {
+            let mut span = icn_obs::Span::enter(icn_obs::FORECAST_STAGE);
+            let live_antennas: Vec<icn_synth::Antenna> = live_rows
+                .iter()
+                .map(|&i| dataset.antennas[i].clone())
+                .collect();
+            let rows: Vec<&[f64]> = (0..t_live.rows()).map(|i| t_live.row(i)).collect();
+            let window = icn_synth::StudyCalendar::temporal_window();
+            let series = icn_forecast::study_cluster_series(
+                &live_antennas,
+                &rows,
+                &labels,
+                config.k,
+                &dataset.services,
+                icn_synth::StudyCalendar::paper_period().num_days(),
+                &window,
+                dataset.root_rng(),
+            );
+            let report = icn_forecast::forecast_series(&series, &window, &config.forecast_config());
+            if obs.is_enabled() {
+                span.attr("clusters", report.clusters.len() as u64);
+                span.attr("horizon", report.horizon as u64);
+            }
+            Some(report)
+        } else {
+            None
+        };
+
         IcnStudy {
             config,
             live_rows,
@@ -323,6 +356,7 @@ impl IcnStudy {
             explanations,
             crosstab,
             outdoor,
+            forecast,
         }
     }
 
@@ -397,6 +431,30 @@ mod tests {
         let d = Dataset::generate(SynthConfig::small());
         let s = IcnStudy::run(&d, StudyConfig::fast());
         (d, s)
+    }
+
+    #[test]
+    fn forecast_stage_is_off_by_default_and_opt_in() {
+        let (_, s) = run_small();
+        assert!(s.forecast.is_none());
+
+        let d = Dataset::generate(SynthConfig::small());
+        let cfg = StudyConfig {
+            run_forecast: true,
+            ..StudyConfig::fast()
+        };
+        let s = IcnStudy::run(&d, cfg);
+        let report = s.forecast.as_ref().expect("forecast report");
+        assert_eq!(report.clusters.len(), cfg.k);
+        assert_eq!(report.horizon, cfg.forecast_horizon);
+        for c in &report.clusters {
+            if c.n_antennas > 0 {
+                assert_eq!(c.forecast.len(), cfg.forecast_horizon);
+                assert!(c.backtest.naive.mae > 0.0);
+            }
+        }
+        let mean = report.mean_backtest();
+        assert!(mean.ets.mae < mean.naive.mae, "{mean:?}");
     }
 
     #[test]

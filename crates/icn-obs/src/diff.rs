@@ -14,7 +14,11 @@
 //! The comparison is deliberately asymmetric: `b` getting *faster* never
 //! fails, and metrics present only in `b` (new instrumentation) are
 //! informational. A stage present in `a` but missing from `b` fails — a
-//! silently skipped stage must not read as a speedup.
+//! silently skipped stage must not read as a speedup — unless
+//! [`DiffThresholds::skip_missing`] opts into a cross-baseline
+//! comparison where the candidate legitimately runs fewer stages.
+//! [`DiffThresholds::stage_wall_ratios`] holds individual hot stages to
+//! tighter bounds than the global ratio.
 
 use crate::report::BenchReport;
 use crate::trace::self_times;
@@ -44,6 +48,20 @@ pub struct DiffThresholds {
     /// same-seed determinism checks); by default counters are
     /// informational.
     pub strict_counters: bool,
+    /// When set, a stage present in the baseline but missing from the
+    /// candidate is [`DiffStatus::Skipped`] instead of failing. For
+    /// cross-PR baselines where the candidate legitimately runs a
+    /// different stage set (e.g. a forecast-only bench diffed against a
+    /// full-pipeline one) — keep it off for like-for-like gates.
+    pub skip_missing: bool,
+    /// Per-stage overrides of [`max_wall_ratio`]: `(stage_name, ratio)`
+    /// pairs, later entries winning. Lets CI hold a hot stage to a
+    /// tighter bound than the noise-tolerant global default (e.g.
+    /// `stage3_surrogate` at 1.3× after an optimisation pass) without
+    /// tightening every small stage into flakiness.
+    ///
+    /// [`max_wall_ratio`]: DiffThresholds::max_wall_ratio
+    pub stage_wall_ratios: Vec<(String, f64)>,
 }
 
 impl Default for DiffThresholds {
@@ -55,7 +73,24 @@ impl Default for DiffThresholds {
             min_hist_ns: 10_000,
             max_bytes_ratio: 1.2,
             strict_counters: false,
+            skip_missing: false,
+            stage_wall_ratios: Vec::new(),
         }
+    }
+}
+
+impl DiffThresholds {
+    /// The wall-ratio bound for a stage: the last matching
+    /// [`stage_wall_ratios`] override, else the global default.
+    ///
+    /// [`stage_wall_ratios`]: DiffThresholds::stage_wall_ratios
+    pub fn wall_ratio_for(&self, stage: &str) -> f64 {
+        self.stage_wall_ratios
+            .iter()
+            .rev()
+            .find(|(name, _)| name == stage)
+            .map(|&(_, r)| r)
+            .unwrap_or(self.max_wall_ratio)
     }
 }
 
@@ -168,7 +203,11 @@ pub fn diff_reports(a: &BenchReport, b: &BenchReport, t: &DiffThresholds) -> Dif
                 a: stage.wall_ms,
                 b: f64::NAN,
                 ratio: f64::NAN,
-                status: DiffStatus::Fail,
+                status: if t.skip_missing {
+                    DiffStatus::Skipped
+                } else {
+                    DiffStatus::Fail
+                },
             }),
             Some(cand) => {
                 if stage.wall_ms < t.min_wall_ms {
@@ -187,7 +226,7 @@ pub fn diff_reports(a: &BenchReport, b: &BenchReport, t: &DiffThresholds) -> Dif
                     a: stage.wall_ms,
                     b: cand.wall_ms,
                     ratio,
-                    status: if ratio > t.max_wall_ratio {
+                    status: if ratio > t.wall_ratio_for(&stage.name) {
                         DiffStatus::Fail
                     } else {
                         DiffStatus::Ok
@@ -511,6 +550,54 @@ mod tests {
         // Missing in the candidate is informational, like histograms.
         let c = report_with(100.0, 50_000, 1000.0);
         assert!(diff_reports(&a, &c, &DiffThresholds::default()).passed());
+    }
+
+    #[test]
+    fn missing_stage_fails_unless_skip_missing() {
+        let a = report_with(100.0, 50_000, 1000.0);
+        let r = Registry::new();
+        r.enable();
+        r.record_span_parts("other_stage".into(), Duration::from_millis(10));
+        let b = BenchReport::build(&r.snapshot(), "t", 1.0);
+        let strict = diff_reports(&a, &b, &DiffThresholds::default());
+        assert!(!strict.passed());
+        let lax = DiffThresholds {
+            skip_missing: true,
+            ..DiffThresholds::default()
+        };
+        let d = diff_reports(&a, &b, &lax);
+        assert!(d.passed(), "{}", d.render());
+        assert!(d
+            .lines
+            .iter()
+            .any(|l| l.metric.starts_with("stage:stage3_surrogate")
+                && l.status == DiffStatus::Skipped));
+    }
+
+    #[test]
+    fn per_stage_wall_ratio_overrides_the_global_bound() {
+        let a = report_with(100.0, 50_000, 1000.0);
+        let b = report_with(150.0, 50_000, 1000.0); // 1.5x: under the 2x default
+        assert!(diff_reports(&a, &b, &DiffThresholds::default()).passed());
+        let tight = DiffThresholds {
+            stage_wall_ratios: vec![("stage3_surrogate".into(), 1.3)],
+            ..DiffThresholds::default()
+        };
+        let d = diff_reports(&a, &b, &tight);
+        assert!(!d.passed());
+        assert!(d
+            .lines
+            .iter()
+            .any(|l| l.metric == "stage:stage3_surrogate wall_ms" && l.status == DiffStatus::Fail));
+        // Last matching override wins.
+        let loosened = DiffThresholds {
+            stage_wall_ratios: vec![
+                ("stage3_surrogate".into(), 1.3),
+                ("stage3_surrogate".into(), 1.8),
+            ],
+            ..DiffThresholds::default()
+        };
+        assert!(diff_reports(&a, &b, &loosened).passed());
     }
 
     #[test]

@@ -63,7 +63,9 @@ pub use hist::Histogram;
 pub use json::Json;
 pub use log::{Level, LogFilter, LogRecord};
 pub use registry::{Registry, Snapshot};
-pub use report::{stage_for_counter, BenchReport, EnvInfo, StageReport, PIPELINE_STAGES, SCHEMA};
+pub use report::{
+    stage_for_counter, BenchReport, EnvInfo, StageReport, FORECAST_STAGE, PIPELINE_STAGES, SCHEMA,
+};
 pub use span::{current_handoff, Handoff, Span};
 pub use trace::{self_times, AttrValue, SpanData, SpanEvent};
 

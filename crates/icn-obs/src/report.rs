@@ -61,11 +61,16 @@ pub const PIPELINE_STAGES: [&str; 5] = [
     "stage5_outdoor",
 ];
 
+/// The opt-in stage-6 forecast span (`StudyConfig::run_forecast`). Kept
+/// out of [`PIPELINE_STAGES`] so the default five-stage pipeline — and
+/// every golden pinned to it — is unchanged when forecasting is off.
+pub const FORECAST_STAGE: &str = "stage6_forecast";
+
 /// Maps a counter name to the stage it belongs to, by prefix convention:
 /// `transform.*` → stage 1, `cluster.*` → stage 2, `forest.*` / `shap.*` →
-/// stage 3, `env.*` → stage 4, `outdoor.*` → stage 5, `synth.*` →
-/// `generate`, `probe.*` → `probe_campaign`, `ingest.*` → `ingest`.
-/// Unprefixed counters stay global-only.
+/// stage 3, `env.*` → stage 4, `outdoor.*` → stage 5, `forecast.*` →
+/// stage 6, `synth.*` → `generate`, `probe.*` → `probe_campaign`,
+/// `ingest.*` → `ingest`. Unprefixed counters stay global-only.
 pub fn stage_for_counter(name: &str) -> Option<&'static str> {
     let prefix = name.split('.').next().unwrap_or("");
     match prefix {
@@ -74,6 +79,7 @@ pub fn stage_for_counter(name: &str) -> Option<&'static str> {
         "forest" | "shap" => Some(PIPELINE_STAGES[2]),
         "env" => Some(PIPELINE_STAGES[3]),
         "outdoor" => Some(PIPELINE_STAGES[4]),
+        "forecast" => Some(FORECAST_STAGE),
         "synth" => Some("generate"),
         "probe" => Some("probe_campaign"),
         "ingest" => Some("ingest"),
@@ -660,6 +666,11 @@ mod tests {
             stage_for_counter("outdoor.classified"),
             Some("stage5_outdoor")
         );
+        assert_eq!(
+            stage_for_counter("forecast.clusters"),
+            Some("stage6_forecast")
+        );
+        assert_eq!(stage_for_counter("forecast.clusters"), Some(FORECAST_STAGE));
         assert_eq!(stage_for_counter("synth.antennas"), Some("generate"));
         assert_eq!(stage_for_counter("probe.sessions"), Some("probe_campaign"));
         assert_eq!(stage_for_counter("ingest.records_ok"), Some("ingest"));

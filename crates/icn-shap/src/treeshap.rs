@@ -124,6 +124,10 @@ pub struct Scratch {
     vleaf: Vec<f64>,
     /// Leaf staging: inverse row of a merge happening at a leaf child.
     rleaf: Vec<f64>,
+    /// Leaf staging: the shared absent-element credits `−s_cold · v` per
+    /// nonzero leaf class — every absent path element adds exactly these
+    /// values, so they are computed once per leaf, not once per element.
+    svc: Vec<f64>,
     /// Pending node visits.
     stack: Vec<Frame>,
     /// Gauss–Legendre nodes on [0, 1].
@@ -153,6 +157,7 @@ impl Scratch {
             riu: Vec::new(),
             vleaf: Vec::new(),
             rleaf: Vec::new(),
+            svc: Vec::new(),
             stack: Vec::with_capacity(max_depth + 2),
             qt: Vec::new(),
             qw: Vec::new(),
@@ -191,6 +196,8 @@ impl Scratch {
         self.vleaf.resize(m, 0.0);
         self.rleaf.clear();
         self.rleaf.resize(m, 0.0);
+        self.svc.clear();
+        self.svc.resize(tree.n_classes, 0.0);
         let n = tree.num_nodes();
         self.iu.clear();
         self.iu.resize(n * m, 0.0);
@@ -394,6 +401,15 @@ fn walk(tree: &SoaTree, x: &[f64], scratch: &mut Scratch, phi: &mut [f64]) {
             let vleaf = &scratch.vleaf[..m];
             let s_cold = dot(&scratch.ic[..m], vleaf);
             let (classes, vals) = tree.leaf_nonzero(cnode);
+            // Every absent element credits this leaf by the same
+            // `−s_cold · v` products; computing them once per leaf keeps
+            // the multiplications and the add order into `phi` identical,
+            // so results stay bit-for-bit unchanged.
+            let svc = &mut scratch.svc[..vals.len()];
+            for (s, &v) in svc.iter_mut().zip(vals) {
+                *s = -s_cold * v;
+            }
+            let svc = &scratch.svc[..vals.len()];
             let skip = if merged_slot == NONE {
                 usize::MAX
             } else {
@@ -403,29 +419,35 @@ fn walk(tree: &SoaTree, x: &[f64], scratch: &mut Scratch, phi: &mut [f64]) {
                 if idx == skip {
                     continue;
                 }
-                let scale = if e.zero < 0.0 {
-                    -s_cold
+                let f = e.feature as usize * n_classes;
+                if e.zero < 0.0 {
+                    for (&c, &s) in classes.iter().zip(svc) {
+                        phi[f + c as usize] += s;
+                    }
                 } else {
                     let off = e.src as usize * m;
-                    (1.0 - e.zero) * dot(vleaf, &scratch.riu[off..off + m])
-                };
-                let f = e.feature as usize * n_classes;
-                for (&c, &v) in classes.iter().zip(vals) {
-                    phi[f + c as usize] += scale * v;
+                    let scale = (1.0 - e.zero) * dot(vleaf, &scratch.riu[off..off + m]);
+                    for (&c, &v) in classes.iter().zip(vals) {
+                        phi[f + c as usize] += scale * v;
+                    }
                 }
             }
             // The split feature's own element at this leaf.
-            let own_scale = if !own_hot {
-                -s_cold
-            } else if merged_slot == NONE {
-                let src = cnode * m;
-                (1.0 - own_zero) * dot(vleaf, &scratch.iu[src..src + m])
-            } else {
-                (1.0 - own_zero) * dot(vleaf, &scratch.rleaf[..m])
-            };
             let f = feature as usize * n_classes;
-            for (&c, &v) in classes.iter().zip(vals) {
-                phi[f + c as usize] += own_scale * v;
+            if !own_hot {
+                for (&c, &s) in classes.iter().zip(svc) {
+                    phi[f + c as usize] += s;
+                }
+            } else {
+                let own_scale = if merged_slot == NONE {
+                    let src = cnode * m;
+                    (1.0 - own_zero) * dot(vleaf, &scratch.iu[src..src + m])
+                } else {
+                    (1.0 - own_zero) * dot(vleaf, &scratch.rleaf[..m])
+                };
+                for (&c, &v) in classes.iter().zip(vals) {
+                    phi[f + c as usize] += own_scale * v;
+                }
             }
         }
     }

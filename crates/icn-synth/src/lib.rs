@@ -32,6 +32,8 @@
 //! * [`noise`] — fault injection (dead antennas, DPI misclassification,
 //!   NaN poisoning) for robustness tests.
 //! * [`dataset`] — one-call campaign assembly + CSV/JSON export.
+//! * [`signals`] — ground-truth labels for the planted temporal anomalies
+//!   (strike, events, holidays), the known-signal oracle for `icn-forecast`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,6 +51,7 @@ pub mod noise;
 pub mod outdoor;
 pub mod record_stream;
 pub mod services;
+pub mod signals;
 pub mod temporal;
 pub mod traffic;
 
@@ -61,3 +64,7 @@ pub use environments::{City, Environment};
 pub use geo::{haversine_m, Coord, RadioTech};
 pub use record_stream::{adversarial_record_stream, record_stream, RecordStream};
 pub use services::{Category, Service};
+pub use signals::{
+    antenna_planted_hours, cluster_planted_hours, cluster_planted_hours_any, PlantedHours,
+    BURST_MIN_RATIO, DIP_MAX_RATIO,
+};

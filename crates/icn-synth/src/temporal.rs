@@ -299,6 +299,48 @@ pub fn template_weight(
     base * (1.0 + boost) + boost * 0.05
 }
 
+/// Calendar multiplier with every planted calendar anomaly removed: the
+/// strike day and holidays are treated as a plain day of the same weekday.
+/// Weekend/Sunday structure is *seasonal* (it repeats every week), so it
+/// stays; only the one-off signals the generator plants are stripped.
+fn day_factor_counterfactual(kind: TemplateKind, date: Date) -> f64 {
+    let wd = date.weekday();
+    match kind {
+        TemplateKind::Commute { .. } => {
+            if wd.is_weekend() {
+                0.25
+            } else {
+                1.0
+            }
+        }
+        TemplateKind::EventBurst | TemplateKind::QuietWithExpo | TemplateKind::BroadDiurnal => 1.0,
+        TemplateKind::Retail => {
+            if wd == Weekday::Sun {
+                0.6
+            } else {
+                1.0
+            }
+        }
+        TemplateKind::Office => {
+            if wd.is_weekend() {
+                0.06
+            } else {
+                1.0
+            }
+        }
+    }
+}
+
+/// Counterfactual template weight: the same archetype on a signal-free
+/// calendar — no strike collapse, no holidays, and an empty event schedule.
+///
+/// The ratio `template_weight / template_weight_counterfactual` at a given
+/// (date, hour) isolates exactly the anomalies the generator plants, which
+/// is what the [`crate::signals`] ground-truth oracle labels.
+pub fn template_weight_counterfactual(kind: TemplateKind, date: Date, hour: usize) -> f64 {
+    hour_shape(kind, hour) * day_factor_counterfactual(kind, date)
+}
+
 /// Per-service temporal modulation (Figure 11 effects): how a service's
 /// share of an antenna's traffic varies with the hour, relative to the
 /// aggregate template.
@@ -633,6 +675,32 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn counterfactual_strips_strike_but_keeps_weekend() {
+        let kind = TemplateKind::Commute {
+            strike_factor: 0.05,
+        };
+        let strike = StudyCalendar::strike_day(); // a Thursday
+        let mon = Date::new(2023, 1, 9);
+        let sat = Date::new(2023, 1, 7);
+        assert_eq!(
+            template_weight_counterfactual(kind, strike, 8),
+            template_weight_counterfactual(kind, mon, 8),
+        );
+        assert!(
+            template_weight_counterfactual(kind, sat, 8)
+                < 0.5 * template_weight_counterfactual(kind, mon, 8)
+        );
+        // And it matches the planted weight away from any signal.
+        let sched = EventSchedule::none();
+        let cal = cal();
+        let i = cal.day_index(mon).unwrap();
+        assert_eq!(
+            template_weight_counterfactual(kind, mon, 8),
+            template_weight(kind, &sched, mon, i, 8),
+        );
     }
 
     #[test]

@@ -168,6 +168,81 @@ pub fn aggregate_hourly_series(
     agg
 }
 
+/// Counterfactual weights: signal-free calendar and an empty schedule.
+fn raw_weights_signal_free(kind: TemplateKind, svc: &Service, cal: &StudyCalendar) -> Vec<f64> {
+    let empty = EventSchedule::none();
+    let mut w = Vec::with_capacity(cal.num_hours());
+    for (di, date) in cal.iter_days() {
+        for hour in 0..24 {
+            let base = temporal::template_weight_counterfactual(kind, date, hour);
+            let m = temporal::service_modulation(kind, &empty, svc, date, di, hour);
+            w.push(base * m);
+        }
+    }
+    w
+}
+
+/// Signal-free re-synthesis of [`hourly_series`]: identical antenna, total
+/// and *measurement-noise stream* (same RNG fork, one draw per hour), but
+/// with every planted anomaly removed — no strike collapse, no holidays,
+/// no scheduled events. The anomaly detector must flag nothing on it.
+pub fn hourly_series_signal_free(
+    antenna: &Antenna,
+    svc: &Service,
+    cal: &StudyCalendar,
+    total_mb: f64,
+    root: &Rng,
+) -> Vec<f64> {
+    let w = raw_weights_signal_free(antenna.archetype.template(), svc, cal);
+    let sum: f64 = w.iter().sum();
+    if sum <= 0.0 {
+        return vec![0.0; w.len()];
+    }
+    let mut rng = root.fork(0x700A_0000 ^ (antenna.id as u64) << 16 ^ hash_name(svc.name));
+    w.into_iter()
+        .map(|x| {
+            let clean = total_mb * x / sum;
+            (clean * (1.0 + HOURLY_NOISE_SIGMA * rng.gaussian())).max(0.0)
+        })
+        .collect()
+}
+
+/// Window-scaled variant of [`hourly_series_signal_free`], mirroring
+/// [`hourly_series_for_window`].
+pub fn hourly_series_for_window_signal_free(
+    antenna: &Antenna,
+    svc: &Service,
+    full_period_total_mb: f64,
+    full_period_days: usize,
+    window: &StudyCalendar,
+    root: &Rng,
+) -> Vec<f64> {
+    assert!(full_period_days > 0, "zero-length full period");
+    let scaled = full_period_total_mb * window.num_days() as f64 / full_period_days as f64;
+    hourly_series_signal_free(antenna, svc, window, scaled, root)
+}
+
+/// Aggregate signal-free series, mirroring [`aggregate_hourly_series`].
+pub fn aggregate_hourly_series_signal_free(
+    antenna: &Antenna,
+    services: &[Service],
+    totals_row: &[f64],
+    full_period_days: usize,
+    window: &StudyCalendar,
+    root: &Rng,
+) -> Vec<f64> {
+    assert_eq!(services.len(), totals_row.len(), "row/services mismatch");
+    let mut agg = vec![0.0; window.num_hours()];
+    for (svc, &tot) in services.iter().zip(totals_row) {
+        let series =
+            hourly_series_for_window_signal_free(antenna, svc, tot, full_period_days, window, root);
+        for (a, s) in agg.iter_mut().zip(series) {
+            *a += s;
+        }
+    }
+    agg
+}
+
 fn hash_name(name: &str) -> u64 {
     // FNV-1a: stable, cheap, good enough to decorrelate service streams.
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -331,6 +406,38 @@ mod tests {
         for (x, y) in agg.iter().zip(&manual) {
             assert!((x - y).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn signal_free_matches_planted_for_signal_less_archetype() {
+        // BroadDiurnal antennas carry no strike factor, no events, and the
+        // temporal window holds no holiday: the signal-free re-synthesis
+        // must be bit-identical to the planted series.
+        let (ants, svcs, root) = small_pop();
+        let cal = StudyCalendar::temporal_window();
+        let a = ants
+            .iter()
+            .find(|a| a.archetype == Archetype::GeneralUse)
+            .unwrap();
+        let svc = &svcs[0];
+        let planted = hourly_series(a, svc, &cal, 8000.0, &root);
+        let clean = hourly_series_signal_free(a, svc, &cal, 8000.0, &root);
+        assert_eq!(planted, clean);
+    }
+
+    #[test]
+    fn signal_free_removes_strike_dip() {
+        let (ants, svcs, root) = small_pop();
+        let cal = StudyCalendar::temporal_window();
+        let a = ants
+            .iter()
+            .find(|a| a.archetype == Archetype::ParisMetro)
+            .unwrap();
+        let maps = &svcs[index_of(&svcs, "Google Maps").unwrap()];
+        let planted = hourly_series(a, maps, &cal, 10_000.0, &root);
+        let clean = hourly_series_signal_free(a, maps, &cal, 10_000.0, &root);
+        let strike = cal.day_index(StudyCalendar::strike_day()).unwrap();
+        assert!(planted[strike * 24 + 8] < 0.2 * clean[strike * 24 + 8]);
     }
 
     #[test]

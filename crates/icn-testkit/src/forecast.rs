@@ -1,0 +1,192 @@
+//! Differential oracles for `icn-forecast`.
+//!
+//! Same philosophy as [`crate::oracle`]: small, obviously-correct
+//! reference implementations arranged *differently* from the optimized
+//! paths, compared over seeded inputs.
+//!
+//! * [`oracle_seasonal_naive`] — closed-form modular indexing instead of
+//!   the production walk-back loop.
+//! * [`oracle_ets`] — textbook Holt–Winters with full per-`t` state
+//!   vectors instead of the production scalar-state + seasonal ring
+//!   buffer.
+//! * [`brute_rolling_median_mad`] — re-sorts the trailing window at every
+//!   position (O(n·w log w)) instead of the incremental sorted buffer and
+//!   two-pointer MAD walk of `icn_forecast::RollingRobust`.
+//! * [`set_f1`] — precision/recall/F1 of a predicted hour set against a
+//!   ground-truth hour set (the detector's scoring metric).
+
+use icn_forecast::EtsParams;
+
+/// Seasonal-naive reference: `ŷ[h] = y[n − period + (h mod period)]`.
+///
+/// The production version walks back whole periods until it lands inside
+/// the history; for any `n ≥ period` that always lands on the *last* full
+/// period, which this closed form indexes directly.
+pub fn oracle_seasonal_naive(history: &[f64], period: usize, horizon: usize) -> Vec<f64> {
+    assert!(period > 0 && history.len() >= period);
+    let base = history.len() - period;
+    (0..horizon).map(|h| history[base + h % period]).collect()
+}
+
+/// Hand-walked additive Holt–Winters reference.
+///
+/// States are kept as full per-`t` vectors (`level[t]`, `trend[t]`, and a
+/// seasonal matrix addressed as `seasonal[t][slot]` conceptually — here a
+/// per-slot history of the latest value) so every recurrence reads like
+/// the textbook equations. Initialisation matches the production
+/// contract: trend as the median same-slot one-period difference, level
+/// as the first period mean shifted to the period's end, seasonal slots
+/// as the all-occurrences (partial periods included) average of
+/// deviations from the global linear baseline.
+pub fn oracle_ets(history: &[f64], params: &EtsParams, horizon: usize) -> Vec<f64> {
+    let m = params.period;
+    let n = history.len();
+    assert!(m > 0 && n >= 2 * m, "oracle_ets: need two full periods");
+    let mean_of = |j: usize| -> f64 {
+        let mut s = 0.0;
+        for t in j * m..(j + 1) * m {
+            s += history[t];
+        }
+        s / m as f64
+    };
+    let mut diffs: Vec<f64> = (m..n)
+        .map(|t| (history[t] - history[t - m]) / m as f64)
+        .collect();
+    diffs.sort_by(|a, b| a.partial_cmp(b).expect("oracle_ets: NaN diff"));
+    let b0 = if diffs.len() % 2 == 1 {
+        diffs[diffs.len() / 2]
+    } else {
+        0.5 * (diffs[diffs.len() / 2 - 1] + diffs[diffs.len() / 2])
+    };
+    let mid = (m as f64 - 1.0) / 2.0;
+    let l0 = mean_of(0) + b0 * mid;
+    let mut season = vec![0.0f64; m];
+    for (i, slot) in season.iter_mut().enumerate() {
+        let occ: Vec<f64> = (0..n)
+            .filter(|t| t % m == i)
+            .map(|t| history[t] - (mean_of(0) + b0 * (t as f64 - mid)))
+            .collect();
+        *slot = occ.iter().sum::<f64>() / occ.len() as f64;
+    }
+    let mut level = vec![l0];
+    let mut trend = vec![b0];
+    for t in m..n {
+        let l_prev = *level.last().unwrap();
+        let b_prev = *trend.last().unwrap();
+        let s_old = season[t % m];
+        let l = params.alpha * (history[t] - s_old) + (1.0 - params.alpha) * (l_prev + b_prev);
+        let b = params.beta * (l - l_prev) + (1.0 - params.beta) * b_prev;
+        season[t % m] = params.gamma * (history[t] - l) + (1.0 - params.gamma) * s_old;
+        level.push(l);
+        trend.push(b);
+    }
+    let l_final = *level.last().unwrap();
+    let b_final = *trend.last().unwrap();
+    (0..horizon)
+        .map(|h| l_final + (h + 1) as f64 * b_final + season[(n + h) % m])
+        .collect()
+}
+
+/// Brute-force trailing-window robust statistics: for each position `t`
+/// the window is the last `min(t+1, window)` values ending at `t`,
+/// re-sorted from scratch; the median is the mean of the two mid values
+/// when even, and the MAD is the same median rule applied to the sorted
+/// absolute deviations. Returns `(median, mad)` vectors — the exact
+/// quantities `icn_forecast::RollingRobust` maintains incrementally.
+pub fn brute_rolling_median_mad(values: &[f64], window: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(window > 0, "brute_rolling_median_mad: zero window");
+    let median_of_sorted = |s: &[f64]| -> f64 {
+        let n = s.len();
+        if n % 2 == 1 {
+            s[n / 2]
+        } else {
+            (s[n / 2 - 1] + s[n / 2]) / 2.0
+        }
+    };
+    let mut meds = Vec::with_capacity(values.len());
+    let mut mads = Vec::with_capacity(values.len());
+    for t in 0..values.len() {
+        let lo = (t + 1).saturating_sub(window);
+        let mut win: Vec<f64> = values[lo..=t].to_vec();
+        win.sort_by(|a, b| a.partial_cmp(b).expect("NaN in window"));
+        let med = median_of_sorted(&win);
+        let mut dev: Vec<f64> = win.iter().map(|&x| (x - med).abs()).collect();
+        dev.sort_by(|a, b| a.partial_cmp(b).expect("NaN deviation"));
+        meds.push(med);
+        mads.push(median_of_sorted(&dev));
+    }
+    (meds, mads)
+}
+
+/// Precision, recall and F1 of a predicted index set against ground
+/// truth. Both slices are sets of hour indices (order and duplicates are
+/// ignored). An empty truth with an empty prediction scores F1 = 1.
+pub fn set_f1(predicted: &[usize], truth: &[usize]) -> (f64, f64, f64) {
+    use std::collections::BTreeSet;
+    let p: BTreeSet<usize> = predicted.iter().copied().collect();
+    let t: BTreeSet<usize> = truth.iter().copied().collect();
+    if p.is_empty() && t.is_empty() {
+        return (1.0, 1.0, 1.0);
+    }
+    let tp = p.intersection(&t).count() as f64;
+    let precision = if p.is_empty() {
+        0.0
+    } else {
+        tp / p.len() as f64
+    };
+    let recall = if t.is_empty() {
+        0.0
+    } else {
+        tp / t.len() as f64
+    };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    (precision, recall, f1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_naive_replays_last_period() {
+        let h: Vec<f64> = (0..340).map(|t| t as f64).collect();
+        let f = oracle_seasonal_naive(&h, 168, 200);
+        assert_eq!(f[0], h[340 - 168]);
+        assert_eq!(f[167], h[339]);
+        assert_eq!(f[168], h[340 - 168]); // wraps
+    }
+
+    #[test]
+    fn oracle_ets_is_flat_on_a_constant_series() {
+        let h = vec![5.0; 400];
+        let f = oracle_ets(&h, &EtsParams::default(), 12);
+        for &v in &f {
+            assert!((v - 5.0).abs() < 1e-9, "{v}");
+        }
+    }
+
+    #[test]
+    fn brute_rolling_handles_warmup_and_eviction() {
+        let v = vec![1.0, 3.0, 5.0, 100.0];
+        let (med, mad) = brute_rolling_median_mad(&v, 3);
+        assert_eq!(med, vec![1.0, 2.0, 3.0, 5.0]);
+        assert_eq!(mad, vec![0.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn f1_edge_cases() {
+        assert_eq!(set_f1(&[], &[]), (1.0, 1.0, 1.0));
+        let (_, _, f1) = set_f1(&[1, 2], &[1, 2]);
+        assert_eq!(f1, 1.0);
+        let (p, r, f1) = set_f1(&[1, 2, 3, 4], &[1, 2]);
+        assert_eq!(p, 0.5);
+        assert_eq!(r, 1.0);
+        assert!((f1 - 2.0 / 3.0).abs() < 1e-12);
+        let (_, _, f1) = set_f1(&[9], &[1, 2]);
+        assert_eq!(f1, 0.0);
+    }
+}

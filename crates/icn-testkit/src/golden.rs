@@ -234,9 +234,73 @@ pub fn snapshot_study(scale: f64, dataset: &Dataset, study: &IcnStudy) -> Pipeli
     PipelineSnapshot { scale, stages }
 }
 
+/// Runs the pinned study **with the stage-6 forecast phase enabled** and
+/// hashes the forecast artefacts: the cluster series, all three model
+/// forecasts, the backtest scores and the anomaly scores/hour sets. The
+/// five pipeline stages are deliberately *not* re-hashed here — they have
+/// their own golden file — so this snapshot moves only when forecasting
+/// behaviour moves.
+pub fn snapshot_forecast(scale: f64) -> PipelineSnapshot {
+    let dataset = Dataset::generate(SynthConfig::paper().with_scale(scale));
+    let config = StudyConfig {
+        run_forecast: true,
+        ..StudyConfig::fast()
+    };
+    let study = IcnStudy::run(&dataset, config);
+    let report = study.forecast.as_ref().expect("run_forecast was set");
+    let mut stages = Vec::new();
+
+    let mut c = Canon::new();
+    c.text("forecast_series");
+    for cl in &report.clusters {
+        c.usize(cl.cluster).usize(cl.n_antennas).f64s(&cl.series);
+    }
+    stages.push(("forecast_series".to_string(), c.hex()));
+
+    let mut c = Canon::new();
+    c.text("forecast_models")
+        .usize(report.horizon)
+        .text(report.model.as_str());
+    for cl in &report.clusters {
+        c.usize(cl.cluster)
+            .f64s(&cl.naive)
+            .f64s(&cl.ets)
+            .f64s(&cl.forest)
+            .usize(cl.busy_hour);
+    }
+    stages.push(("forecast_models".to_string(), c.hex()));
+
+    let mut c = Canon::new();
+    c.text("forecast_backtest");
+    for cl in &report.clusters {
+        for s in [cl.backtest.naive, cl.backtest.ets, cl.backtest.forest] {
+            c.f64(s.mae).f64(s.smape);
+        }
+    }
+    stages.push(("forecast_backtest".to_string(), c.hex()));
+
+    let mut c = Canon::new();
+    c.text("forecast_anomalies");
+    for cl in &report.clusters {
+        c.usize(cl.cluster)
+            .usizes(&cl.anomalies.flagged)
+            .f64s(&cl.anomalies.scores);
+    }
+    stages.push(("forecast_anomalies".to_string(), c.hex()));
+
+    stages.sort_by(|a, b| a.0.cmp(&b.0));
+    PipelineSnapshot { scale, stages }
+}
+
 /// The golden file for `scale` inside `dir` (e.g. `pipeline-0.05.json`).
 pub fn golden_file(dir: &Path, scale: f64) -> PathBuf {
     dir.join(format!("pipeline-{scale}.json"))
+}
+
+/// The golden file for the forecast snapshot inside `dir`
+/// (e.g. `forecast-0.05.json`).
+pub fn forecast_golden_file(dir: &Path, scale: f64) -> PathBuf {
+    dir.join(format!("forecast-{scale}.json"))
 }
 
 /// The golden file for the sampled-path snapshot inside `dir`. The name

@@ -23,6 +23,10 @@
 //!   `icn-ingest`: a naive sequential reference implementation, a
 //!   bounded-reorder metamorphic transformation, and the pinned
 //!   checkpoint/kill/resume golden recipe.
+//! * [`forecast`] — oracles for `icn-forecast`: hand-walked
+//!   seasonal-naive and Holt–Winters recurrences, a brute-force
+//!   re-sorting rolling median/MAD, and the F1 set metric the anomaly
+//!   detector is scored with.
 //!
 //! The shrinking/persistence side of the property harness lives in
 //! [`icn_stats::check`] so that even the zero-dependency numeric substrate
@@ -31,15 +35,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod forecast;
 pub mod golden;
 pub mod ingest;
 pub mod metamorphic;
 pub mod oracle;
 
+pub use forecast::{brute_rolling_median_mad, oracle_ets, oracle_seasonal_naive, set_f1};
 pub use golden::{
-    compare_golden, compare_golden_at, default_golden_dir, golden_file, render_golden,
-    sampled_golden_file, snapshot_pipeline, snapshot_pipeline_sampled, write_golden,
-    write_golden_at, PipelineSnapshot,
+    compare_golden, compare_golden_at, default_golden_dir, forecast_golden_file, golden_file,
+    render_golden, sampled_golden_file, snapshot_forecast, snapshot_pipeline,
+    snapshot_pipeline_sampled, write_golden, write_golden_at, PipelineSnapshot,
 };
 pub use ingest::{
     assert_bits_eq, ingest_golden_file, ingest_golden_window, ingest_via_pipeline, naive_ingest,

@@ -548,8 +548,13 @@ mod tests {
         assert!((naive_nmi(&a, &[3, 3, 0, 0]) - 1.0).abs() < 1e-12);
         // Independent halves share no information.
         assert!(naive_nmi(&[0, 0, 1, 1], &[0, 1, 0, 1]).abs() < 1e-12);
-        // All-in-one reference: zero entropy denominator convention.
-        assert!((naive_nmi(&[0, 1, 2], &[0, 0, 0]) - 1.0).abs() < 1e-12);
+        // An all-in-one reference carries zero information about a real
+        // split: MI = 0 but the split's entropy keeps the denominator
+        // positive, so NMI = 0 (matching `normalized_mutual_info`).
+        assert!(naive_nmi(&[0, 1, 2], &[0, 0, 0]).abs() < 1e-12);
+        // Only when *both* partitions are trivial does the zero-entropy
+        // denominator convention return 1.
+        assert!((naive_nmi(&[0, 0, 0], &[1, 1, 1]) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! icn temporal --scale 0.1 --cluster 0          # Figure 10-style heatmap of one cluster
 //! icn probe    --scale 0.05 --days 3            # Section 3 collection-path simulation
 //! icn ingest   --scale 0.05 --days 3            # streaming ingest of the record feed
+//! icn forecast --scale 0.1 --horizon 24         # busy-hour forecasts + anomaly scan
 //! icn testkit  [--bless]                        # golden-snapshot check / regeneration
 //! icn obs diff a.json b.json                    # gate report b against baseline a
 //! icn obs top  report.json                      # self-time treetable of a report
@@ -44,6 +45,7 @@ fn main() {
         "run" => cmd_study(&opts),
         "explain" => cmd_explain(&opts),
         "temporal" => cmd_temporal(&opts),
+        "forecast" => cmd_forecast(&opts),
         "probe" => cmd_probe(&opts),
         "ingest" => cmd_ingest(&opts),
         "testkit" => cmd_testkit(&opts),
@@ -134,6 +136,27 @@ fn cmd_obs(args: &[String]) {
                         t.strict_counters = true;
                         i += 1;
                     }
+                    "--skip-missing" => {
+                        t.skip_missing = true;
+                        i += 1;
+                    }
+                    "--stage-wall-ratio" => {
+                        // Repeatable `name=ratio` per-stage override.
+                        match take(i).and_then(|v| {
+                            let (name, ratio) = v.split_once('=')?;
+                            Some((name.to_string(), ratio.parse::<f64>().ok()?))
+                        }) {
+                            Some(pair) => t.stage_wall_ratios.push(pair),
+                            None => {
+                                eprintln!(
+                                    "--stage-wall-ratio wants <stage>=<ratio>, e.g. \
+                                     stage3_surrogate=1.3"
+                                );
+                                std::process::exit(2);
+                            }
+                        }
+                        i += 2;
+                    }
                     flag if flag.starts_with("--") => {
                         eprintln!("unknown flag: {flag}");
                         std::process::exit(2);
@@ -197,6 +220,8 @@ struct Opts {
     verify: bool,
     cluster_path: ClusterPath,
     cluster_budget_mb: Option<usize>,
+    horizon: usize,
+    model: Model,
 }
 
 impl Opts {
@@ -225,6 +250,8 @@ impl Opts {
             verify: false,
             cluster_path: ClusterPath::Auto,
             cluster_budget_mb: None,
+            horizon: 24,
+            model: Model::Ets,
         };
         let mut i = 0;
         while i < args.len() {
@@ -324,6 +351,23 @@ impl Opts {
                     }
                     i += 2;
                 }
+                "--horizon" => {
+                    o.horizon = take(i).and_then(|v| v.parse().ok()).unwrap_or(o.horizon);
+                    i += 2;
+                }
+                "--model" => {
+                    match take(i).and_then(|v| Model::parse(v)) {
+                        Some(m) => o.model = m,
+                        None => {
+                            eprintln!(
+                                "--model wants one of: naive, ets, forest (got {:?})",
+                                take(i).map(String::as_str).unwrap_or("<none>")
+                            );
+                            std::process::exit(2);
+                        }
+                    }
+                    i += 2;
+                }
                 "--cluster-budget-mb" => {
                     match take(i).and_then(|v| v.parse().ok()) {
                         Some(mb) => o.cluster_budget_mb = Some(mb),
@@ -384,6 +428,7 @@ fn usage_and_exit(bad: Option<&str>) -> ! {
          temporal   Figure 10-style temporal heatmap of one cluster\n  \
          probe      simulate the Section 3 collection path\n  \
          ingest     stream the hourly record feed into T (faults, checkpoints)\n  \
+         forecast   per-cluster busy-hour forecasts, backtest and anomaly scan\n  \
          testkit    check pipeline golden snapshots (--bless to regenerate)\n  \
          obs diff   compare two BenchReports against per-metric thresholds\n  \
          obs top    print a self-time treetable of a BenchReport\n\n\
@@ -411,7 +456,11 @@ fn usage_and_exit(bad: Option<&str>) -> ! {
          --checkpoint <path>  checkpoint file to write on halt / read on resume\n  \
          --halt-after <n>  stop after n chunks and write the checkpoint (ingest)\n  \
          --resume       resume from --checkpoint instead of starting fresh\n  \
-         --verify       after ingest, compare T bitwise against the batch matrix"
+         --verify       after ingest, compare T bitwise against the batch matrix\n  \
+         --horizon <h>  forecast horizon in hours (forecast, default 24)\n  \
+         --model <m>    headline forecast model: naive, ets or forest (forecast, default ets)\n  \
+         --skip-missing       obs diff: stages absent from the candidate are skipped, not failed\n  \
+         --stage-wall-ratio <stage>=<r>  obs diff: per-stage wall-clock ratio override (repeatable)"
     );
     std::process::exit(if bad.is_some() { 2 } else { 0 });
 }
@@ -568,6 +617,104 @@ fn cmd_temporal(o: &Opts) {
     print!(
         "{}",
         icn_repro::icn_report::heatmap::render_sequential(&hm.values, Some(&labels))
+    );
+}
+
+fn cmd_forecast(o: &Opts) {
+    let ds = o.dataset();
+    let defaults = StudyConfig::paper();
+    let config = StudyConfig {
+        run_k_sweep: o.sweep,
+        cluster_path: o.cluster_path,
+        cluster_budget_mb: o.cluster_budget_mb.unwrap_or(defaults.cluster_budget_mb),
+        run_forecast: true,
+        forecast_horizon: o.horizon,
+        forecast_model: o.model,
+        ..defaults
+    };
+    let st = match IcnStudy::try_run(&ds, config) {
+        Ok(study) => study,
+        Err(e) => {
+            eprintln!("study failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = st.forecast.as_ref().expect("run_forecast was set");
+    if o.json {
+        let clusters: Vec<Json> = report
+            .clusters
+            .iter()
+            .map(|c| {
+                Json::obj(vec![
+                    ("cluster", Json::num(c.cluster as f64)),
+                    ("antennas", Json::num(c.n_antennas as f64)),
+                    ("busy_hour", Json::num(c.busy_hour as f64)),
+                    ("mae_naive", Json::num(c.backtest.naive.mae)),
+                    ("mae_ets", Json::num(c.backtest.ets.mae)),
+                    ("mae_forest", Json::num(c.backtest.forest.mae)),
+                    (
+                        "anomalous_hours",
+                        Json::Arr(
+                            c.anomalies
+                                .flagged
+                                .iter()
+                                .map(|&t| Json::num(t as f64))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "forecast",
+                        Json::Arr(c.forecast.iter().map(|&v| Json::num(v)).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        let mean = report.mean_backtest();
+        let out = Json::obj(vec![
+            ("model", Json::str(report.model.as_str())),
+            ("horizon", Json::num(report.horizon as f64)),
+            ("mean_mae_naive", Json::num(mean.naive.mae)),
+            ("mean_mae_ets", Json::num(mean.ets.mae)),
+            ("mean_mae_forest", Json::num(mean.forest.mae)),
+            ("clusters", Json::Arr(clusters)),
+        ]);
+        println!("{}", out.to_pretty());
+        return;
+    }
+    println!(
+        "forecast: model {}, horizon {} h, {} clusters",
+        report.model.as_str(),
+        report.horizon,
+        report.clusters.len()
+    );
+    for c in &report.clusters {
+        if c.n_antennas == 0 {
+            println!("cluster {}: empty", c.cluster);
+            continue;
+        }
+        let bursts = c.anomalies.bursts().len();
+        let dips = c.anomalies.dips().len();
+        println!(
+            "cluster {}: {:>4} antennas, busy hour {:02}:00, backtest MAE \
+             naive {:.1} / ets {:.1} / forest {:.1}, anomalies {} ({} burst, {} dip)",
+            c.cluster,
+            c.n_antennas,
+            c.busy_hour,
+            c.backtest.naive.mae,
+            c.backtest.ets.mae,
+            c.backtest.forest.mae,
+            c.anomalies.flagged.len(),
+            bursts,
+            dips,
+        );
+    }
+    let mean = report.mean_backtest();
+    println!(
+        "mean backtest MAE: naive {:.2}, ets {:.2}, forest {:.2}; {} anomalous hours total",
+        mean.naive.mae,
+        mean.ets.mae,
+        mean.forest.mae,
+        report.total_anomalous_hours()
     );
 }
 
@@ -770,6 +917,16 @@ fn cmd_testkit(o: &Opts) {
     } else {
         None
     };
+    // The forecast golden is likewise pinned at GOLDEN_SCALE only.
+    let forecast_snap = if (scale - golden::GOLDEN_SCALE).abs() < 1e-12 {
+        eprintln!("computing forecast snapshot at scale {scale}...");
+        Some((
+            golden::forecast_golden_file(&dir, scale),
+            golden::snapshot_forecast(scale),
+        ))
+    } else {
+        None
+    };
     if o.bless {
         match golden::write_golden(&dir, &snap) {
             Ok(path) => {
@@ -806,6 +963,19 @@ fn cmd_testkit(o: &Opts) {
                 ),
                 Err(e) => {
                     eprintln!("failed to write sampled-path golden file: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if let Some((path, fsnap)) = &forecast_snap {
+            match golden::write_golden_at(path, fsnap) {
+                Ok(()) => println!(
+                    "blessed {} forecast hashes -> {}",
+                    fsnap.stages.len(),
+                    path.display()
+                ),
+                Err(e) => {
+                    eprintln!("failed to write forecast golden file: {e}");
                     std::process::exit(1);
                 }
             }
@@ -850,6 +1020,21 @@ fn cmd_testkit(o: &Opts) {
                 println!(
                     "{} sampled-path hashes match {}",
                     ssnap.stages.len(),
+                    path.display()
+                );
+            }
+            Err(lines) => drift.extend(lines),
+        }
+    }
+    if let Some((path, fsnap)) = &forecast_snap {
+        match golden::compare_golden_at(path, fsnap) {
+            Ok(()) => {
+                for (name, hash) in &fsnap.stages {
+                    println!("ok  {name}  {hash}");
+                }
+                println!(
+                    "{} forecast hashes match {}",
+                    fsnap.stages.len(),
                     path.display()
                 );
             }

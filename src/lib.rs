@@ -17,7 +17,8 @@
 //! [`icn_synth`] (measurement substrate), [`icn_ingest`] (streaming record
 //! ingest with fault injection), [`icn_cluster`] (agglomerative
 //! clustering), [`icn_forest`] (random forest), [`icn_shap`] (TreeSHAP /
-//! KernelSHAP), [`icn_core`] (the study pipeline), [`icn_report`]
+//! KernelSHAP), [`icn_core`] (the study pipeline), [`icn_forecast`]
+//! (busy-hour forecasting and anomaly detection), [`icn_report`]
 //! (terminal figures), [`icn_stats`] (numerics), [`icn_obs`]
 //! (stage tracing, metrics and benchmark reports), [`icn_testkit`]
 //! (differential oracles, metamorphic helpers, golden snapshots).
@@ -27,6 +28,7 @@
 
 pub use icn_cluster;
 pub use icn_core;
+pub use icn_forecast;
 pub use icn_forest;
 pub use icn_ingest;
 pub use icn_obs;
@@ -48,6 +50,10 @@ pub mod prelude {
         classify_outdoor, cluster_heatmap, distribution_entropy, filter_dead_rows,
         label_distribution, outdoor_rsca, rca, rsca, service_heatmap, EnvCrosstab, IcnStudy,
         StudyConfig, TemporalHeatmap,
+    };
+    pub use icn_forecast::{
+        detect, ets_forecast, forest_forecast, seasonal_naive_forecast, Anomalies, DetectorConfig,
+        ForecastConfig, ForecastReport, Model,
     };
     pub use icn_forest::{ForestConfig, RandomForest, TrainSet};
     pub use icn_ingest::{

@@ -1,0 +1,262 @@
+//! End-to-end planted-signal recovery: the `icn-forecast` detector sees
+//! only the noisy per-cluster median series and must recover the
+//! generator's planted temporal anomalies — the 19 Jan strike collapse
+//! and the pinned city-wide event nights — against the exact
+//! `icn_synth::signals` ground truth, unsupervised, at **F1 ≥ 0.9**.
+//!
+//! The control direction is pinned too: re-synthesising the same clusters
+//! signal-free (same antennas, totals and noise stream, planted one-offs
+//! stripped) must flag *nothing*. And because the detector consumes only
+//! the series, its output is invariant under cluster relabeling and
+//! member permutation — the same metamorphic contract the clustering
+//! stages honour.
+
+use icn_repro::icn_synth::{
+    cluster_planted_hours, cluster_planted_hours_any, Antenna, Archetype, Dataset, PlantedHours,
+    StudyCalendar, SynthConfig,
+};
+use icn_repro::icn_testkit::{invert_permutation, permutation, set_f1};
+use icn_repro::prelude::*;
+
+/// Archetypes with planted signals strong enough to survive the
+/// cluster-median + majority-vote aggregation: the commuter/office
+/// archetypes carry the strike dip, the two stadium archetypes the
+/// shared fixture-night bursts.
+const SIGNAL_ARCHETYPES: [Archetype; 6] = [
+    Archetype::ParisMetro,
+    Archetype::ParisRail,
+    Archetype::ProvincialMetro,
+    Archetype::Workspace,
+    Archetype::ParisArena,
+    Archetype::ProvincialStadium,
+];
+
+fn fixture() -> (Dataset, StudyCalendar) {
+    (
+        Dataset::generate(SynthConfig::small()),
+        StudyCalendar::temporal_window(),
+    )
+}
+
+fn full_days() -> usize {
+    StudyCalendar::paper_period().num_days()
+}
+
+fn archetype_members(d: &Dataset, arch: Archetype) -> (Vec<&Antenna>, Vec<&[f64]>) {
+    let idx: Vec<usize> = (0..d.antennas.len())
+        .filter(|&i| d.antennas[i].archetype == arch)
+        .collect();
+    let members: Vec<&Antenna> = idx.iter().map(|&i| &d.antennas[i]).collect();
+    let rows: Vec<&[f64]> = idx.iter().map(|&i| d.indoor_totals.row(i)).collect();
+    (members, rows)
+}
+
+fn detect_archetype(
+    d: &Dataset,
+    w: &StudyCalendar,
+    arch: Archetype,
+) -> (Anomalies, PlantedHours, usize) {
+    let (members, rows) = archetype_members(d, arch);
+    assert!(!members.is_empty(), "{arch:?} has no antennas");
+    let s = icn_repro::icn_forecast::cluster_series(
+        0,
+        &members,
+        &rows,
+        &d.services,
+        full_days(),
+        w,
+        d.root_rng(),
+    );
+    let got = detect(&s.values, &DetectorConfig::default());
+    let want = cluster_planted_hours(&members, w, d.root_rng());
+    (got, want, members.len())
+}
+
+/// The headline pin: per cluster, the flagged hour set recovers the
+/// planted ground truth at **F1 ≥ 0.9** — over *every* archetype cluster
+/// of the population, not just the signal-bearing ones.
+///
+/// Scoring is asymmetric, matching what the cross-antenna median can
+/// possibly carry: **recall** is against the majority-vote labels (an
+/// anomaly planted at most member antennas must always be found) while
+/// **precision** is against the any-member union labels (a sub-majority
+/// fixture that moves the median is a real planted shift, so flagging it
+/// is not a false alarm — but flagging an hour *no* member plants is).
+#[test]
+fn detector_recovers_planted_hours_at_f1_090() {
+    let (d, w) = fixture();
+    for arch in Archetype::ALL {
+        let (members, rows) = archetype_members(&d, arch);
+        assert!(!members.is_empty(), "{arch:?} has no antennas");
+        let s = icn_repro::icn_forecast::cluster_series(
+            0,
+            &members,
+            &rows,
+            &d.services,
+            full_days(),
+            &w,
+            d.root_rng(),
+        );
+        let got = detect(&s.values, &DetectorConfig::default());
+        let majority = cluster_planted_hours(&members, &w, d.root_rng()).hours();
+        let union = cluster_planted_hours_any(&members, &w, d.root_rng()).hours();
+        let (precision, _, _) = set_f1(&got.flagged, &union);
+        // Recall is vacuous when nothing survives the majority vote.
+        let recall = if majority.is_empty() {
+            1.0
+        } else {
+            set_f1(&got.flagged, &majority).1
+        };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        assert!(
+            f1 >= 0.9 && precision >= 0.9 && recall >= 0.9,
+            "{arch:?}: F1 {f1:.3} (precision {precision:.3} vs {} union hours, \
+             recall {recall:.3} vs {} majority hours, {} flagged)",
+            union.len(),
+            majority.len(),
+            got.flagged.len()
+        );
+        if SIGNAL_ARCHETYPES.contains(&arch) {
+            assert!(
+                !majority.is_empty(),
+                "{arch:?}: expected majority-planted hours"
+            );
+        }
+    }
+}
+
+/// The strike is a *dip* and every commuter cluster must catch all of it:
+/// each planted strike hour is flagged with negative z.
+#[test]
+fn strike_dip_is_fully_recovered_on_commuter_clusters() {
+    let (d, w) = fixture();
+    let strike = w
+        .day_index(StudyCalendar::strike_day())
+        .expect("strike inside window");
+    for arch in [
+        Archetype::ParisMetro,
+        Archetype::ParisRail,
+        Archetype::ProvincialMetro,
+        Archetype::Workspace,
+    ] {
+        let (got, want, _) = detect_archetype(&d, &w, arch);
+        let dips = got.dips();
+        assert!(!want.dips.is_empty(), "{arch:?}: no planted dips");
+        for &t in &want.dips {
+            assert!(
+                dips.contains(&t),
+                "{arch:?}: planted strike hour {t} (day {}, {:02}:00) not flagged as dip",
+                t / 24,
+                t % 24
+            );
+        }
+        // Sanity: the planted dips are the strike day.
+        assert!(want.dips.iter().all(|&t| t / 24 == strike));
+    }
+}
+
+/// Every planted cluster-majority burst hour (the pinned city-wide event
+/// nights) is flagged with positive z on the event archetypes.
+#[test]
+fn event_bursts_are_fully_recovered_on_event_clusters() {
+    let (d, w) = fixture();
+    for arch in [Archetype::ParisArena, Archetype::ProvincialStadium] {
+        let (got, want, _) = detect_archetype(&d, &w, arch);
+        let bursts = got.bursts();
+        assert!(!want.bursts.is_empty(), "{arch:?}: no planted bursts");
+        for &t in &want.bursts {
+            assert!(
+                bursts.contains(&t),
+                "{arch:?}: planted burst hour {t} (day {}, {:02}:00) not flagged as burst",
+                t / 24,
+                t % 24
+            );
+        }
+    }
+}
+
+/// Signal-free control: re-synthesising the very same clusters with the
+/// planted one-offs stripped (same totals, same noise stream) must flag
+/// nothing anywhere — the detector's false-positive floor is zero on
+/// every cluster of the population.
+#[test]
+fn signal_free_resynthesis_flags_nothing() {
+    let (d, w) = fixture();
+    for arch in Archetype::ALL {
+        let (members, rows) = archetype_members(&d, arch);
+        if members.is_empty() {
+            continue;
+        }
+        let s = icn_repro::icn_forecast::cluster_series_signal_free(
+            0,
+            &members,
+            &rows,
+            &d.services,
+            full_days(),
+            &w,
+            d.root_rng(),
+        );
+        let got = detect(&s.values, &DetectorConfig::default());
+        assert!(
+            got.flagged.is_empty(),
+            "{arch:?}: {} hours flagged on the signal-free control (max |z| {:.2})",
+            got.flagged.len(),
+            got.scores.iter().fold(0.0f64, |m, z| m.max(z.abs()))
+        );
+    }
+}
+
+/// Metamorphic invariance: the detector consumes only the series, so its
+/// verdict is bit-identical under cluster relabeling (the id is carried,
+/// not used) and any permutation of the member antennas (the per-hour
+/// median is order-free).
+#[test]
+fn detection_is_invariant_under_relabel_and_member_permutation() {
+    let (d, w) = fixture();
+    let (members, rows) = archetype_members(&d, Archetype::ParisMetro);
+    let base = icn_repro::icn_forecast::cluster_series(
+        0,
+        &members,
+        &rows,
+        &d.services,
+        full_days(),
+        &w,
+        d.root_rng(),
+    );
+    let base_det = detect(&base.values, &DetectorConfig::default());
+    let base_truth = cluster_planted_hours(&members, &w, d.root_rng());
+
+    let mut rng = icn_repro::icn_stats::Rng::seed_from(0xF0_12EC);
+    let perm = permutation(&mut rng, members.len());
+    let inv = invert_permutation(&perm);
+    let p_members: Vec<&Antenna> = inv.iter().map(|&i| members[i]).collect();
+    let p_rows: Vec<&[f64]> = inv.iter().map(|&i| rows[i]).collect();
+    // A different cluster id stands in for an arbitrary relabeling.
+    let permuted = icn_repro::icn_forecast::cluster_series(
+        7,
+        &p_members,
+        &p_rows,
+        &d.services,
+        full_days(),
+        &w,
+        d.root_rng(),
+    );
+    assert_eq!(permuted.cluster, 7);
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+    assert_eq!(
+        bits(&base.values),
+        bits(&permuted.values),
+        "median series must be bit-identical under member permutation"
+    );
+    let perm_det = detect(&permuted.values, &DetectorConfig::default());
+    assert_eq!(base_det.flagged, perm_det.flagged);
+    assert_eq!(bits(&base_det.scores), bits(&perm_det.scores));
+    // The ground-truth oracle is permutation-invariant too (majority vote
+    // over an unordered member set).
+    let perm_truth = cluster_planted_hours(&p_members, &w, d.root_rng());
+    assert_eq!(base_truth, perm_truth);
+}
