@@ -74,11 +74,15 @@ fn thread_invariance_matrix() {
     // nearest-centroid assignment path (gated at 4096 rows) engages.
     let big = blobs(5000, 3, 0xB0B);
 
-    // Baseline: pinned single thread, default scan threshold.
+    // Baseline: pinned single thread, default scan threshold. Average
+    // linkage rides along to pin the non-Ward row-update path, which
+    // shares the tiled square-matrix build but not the lane-widened
+    // Lance–Williams loop.
     std::env::set_var("ICN_THREADS", "1");
     std::env::remove_var("ICN_SCAN_PAR_MIN");
     let cond_base = Condensed::from_rows(&m, Metric::SqEuclidean);
     let hist_base = fingerprint(&agglomerate_condensed(&cond_base, Linkage::Ward));
+    let avg_base = fingerprint(&agglomerate_condensed(&cond_base, Linkage::Average));
     let sw_cfg = SampledWardConfig {
         sample: 400,
         seed: 17,
@@ -107,6 +111,11 @@ fn thread_invariance_matrix() {
         assert_eq!(
             hist, hist_base,
             "merge history drifted at ICN_THREADS={threads}"
+        );
+        let avg = fingerprint(&agglomerate_condensed(&cond, Linkage::Average));
+        assert_eq!(
+            avg, avg_base,
+            "average-linkage history drifted at ICN_THREADS={threads}"
         );
         let sw = sampled_ward(&big, 5, &sw_cfg);
         assert_eq!(

@@ -44,29 +44,77 @@ pub fn rca(t: &Matrix) -> Matrix {
     assert!(total > 0.0, "rca: matrix has no traffic");
     let row_sums = t.row_sums();
     let col_sums = t.col_sums();
-    let mut out = Matrix::zeros(t.rows(), t.cols());
+    let m = t.cols();
+    let mut out = Matrix::zeros(t.rows(), m);
     for i in 0..t.rows() {
         let ti = row_sums[i];
         if ti <= 0.0 {
             continue; // dead antenna: RCA row stays zero
         }
-        for j in 0..t.cols() {
-            let tj = col_sums[j];
-            if tj <= 0.0 {
-                continue; // service unused anywhere: comparative share undefined, treat as 0
+        // 4-lane row transform: every element is independent and keeps
+        // the exact `(t_ij / ti) / (tj / total)` op order, so the widened
+        // loop (overlapping the per-lane divide chains) is bit-identical
+        // to the scalar one. A lane whose service total is zero computes
+        // a discarded value and skips the store ("unused anywhere" stays
+        // zero, as before).
+        let src = t.row(i);
+        let dst = out.row_mut(i);
+        let mut j = 0usize;
+        while j + 4 <= m {
+            let v0 = (src[j] / ti) / (col_sums[j] / total);
+            let v1 = (src[j + 1] / ti) / (col_sums[j + 1] / total);
+            let v2 = (src[j + 2] / ti) / (col_sums[j + 2] / total);
+            let v3 = (src[j + 3] / ti) / (col_sums[j + 3] / total);
+            if col_sums[j] > 0.0 {
+                dst[j] = v0;
             }
-            out.set(i, j, (t.get(i, j) / ti) / (tj / total));
+            if col_sums[j + 1] > 0.0 {
+                dst[j + 1] = v1;
+            }
+            if col_sums[j + 2] > 0.0 {
+                dst[j + 2] = v2;
+            }
+            if col_sums[j + 3] > 0.0 {
+                dst[j + 3] = v3;
+            }
+            j += 4;
+        }
+        while j < m {
+            if col_sums[j] > 0.0 {
+                dst[j] = (src[j] / ti) / (col_sums[j] / total);
+            }
+            j += 1;
         }
     }
     out
 }
 
 /// Symmetrises an RCA matrix into RSCA per Eq. (2): `(rca−1)/(rca+1)`.
+///
+/// Element-wise and lane-widened like [`rca`]: four independent divide
+/// chains per step, exact per-element ops, bit-identical to a scalar map.
 pub fn rsca_from_rca(rca: &Matrix) -> Matrix {
-    rca.map(|v| {
+    let mut out = Matrix::zeros(rca.rows(), rca.cols());
+    let sym = |v: f64| {
         debug_assert!(v >= 0.0, "rsca: negative RCA");
         (v - 1.0) / (v + 1.0)
-    })
+    };
+    for i in 0..rca.rows() {
+        let src = rca.row(i);
+        let dst = out.row_mut(i);
+        let mut sc = src.chunks_exact(4);
+        let mut dc = dst.chunks_exact_mut(4);
+        for (s, d) in sc.by_ref().zip(dc.by_ref()) {
+            d[0] = sym(s[0]);
+            d[1] = sym(s[1]);
+            d[2] = sym(s[2]);
+            d[3] = sym(s[3]);
+        }
+        for (s, d) in sc.remainder().iter().zip(dc.into_remainder()) {
+            *d = sym(*s);
+        }
+    }
+    out
 }
 
 /// One-step RSCA of a traffic matrix (Eq. 1 then Eq. 2).

@@ -12,6 +12,7 @@
 //! must post a lower MAE. `tests/forecast_signals.rs` pins that ordering.
 
 use crate::models::{self, EtsParams, ForestParams, Model};
+use icn_stats::par;
 
 /// Backtest configuration: training lengths (in hours) and horizon.
 #[derive(Clone, Debug)]
@@ -146,30 +147,47 @@ pub fn backtest_masked(
         actual_values.len(),
         "backtest: train/actual length mismatch"
     );
+    // Scorable origins and their kept (non-excluded) horizon offsets.
+    let scorable: Vec<(usize, Vec<usize>)> = cfg
+        .origins
+        .iter()
+        .map(|&origin| {
+            assert!(
+                origin + cfg.horizon <= actual_values.len(),
+                "backtest: origin {origin} + horizon {} exceeds series {}",
+                cfg.horizon,
+                actual_values.len()
+            );
+            let kept: Vec<usize> = (0..cfg.horizon)
+                .filter(|h| !excluded.contains(&(origin + h)))
+                .collect();
+            (origin, kept)
+        })
+        .filter(|(_, kept)| !kept.is_empty())
+        .collect();
+    // The model refits dominate the cost, so the (origin × model)
+    // forecast vectors are produced in parallel; each is a pure function
+    // of its truncated training slice. The error *accumulation* below
+    // stays serial in the original (origin, model) order — the flat f64
+    // `sums` chains are not reassociable — so the scores are bit-identical
+    // to the fully serial loop at any `ICN_THREADS`.
+    let n_models = Model::ALL.len();
+    let forecasts: Vec<Vec<f64>> = par::map_indexed(scorable.len() * n_models, |j| {
+        let (origin, _) = scorable[j / n_models];
+        let model = Model::ALL[j % n_models];
+        let train = &train_values[..origin];
+        models::forecast_with(model, train, ets, forest, start_dow, cfg.horizon)
+    });
     let mut sums = [(0.0f64, 0.0f64); 3]; // (mae, smape) per model
-    let mut scored_origins = 0usize;
+    let scored_origins = scorable.len();
     let mut f_kept: Vec<f64> = Vec::with_capacity(cfg.horizon);
     let mut a_kept: Vec<f64> = Vec::with_capacity(cfg.horizon);
-    for &origin in &cfg.origins {
-        assert!(
-            origin + cfg.horizon <= actual_values.len(),
-            "backtest: origin {origin} + horizon {} exceeds series {}",
-            cfg.horizon,
-            actual_values.len()
-        );
-        let kept: Vec<usize> = (0..cfg.horizon)
-            .filter(|h| !excluded.contains(&(origin + h)))
-            .collect();
-        if kept.is_empty() {
-            continue;
-        }
-        scored_origins += 1;
-        let train = &train_values[..origin];
-        for (i, model) in Model::ALL.into_iter().enumerate() {
-            let f = models::forecast_with(model, train, ets, forest, start_dow, cfg.horizon);
+    for (oi, (origin, kept)) in scorable.iter().enumerate() {
+        for i in 0..n_models {
+            let f = &forecasts[oi * n_models + i];
             f_kept.clear();
             a_kept.clear();
-            for &h in &kept {
+            for &h in kept {
                 f_kept.push(f[h]);
                 a_kept.push(actual_values[origin + h]);
             }
@@ -250,5 +268,81 @@ mod tests {
         let a = backtest(&v, &cfg, &EtsParams::default(), &ForestParams::default(), 0);
         let b = backtest(&v, &cfg, &EtsParams::default(), &ForestParams::default(), 0);
         assert_eq!(a, b);
+    }
+
+    /// Differential oracle: the parallel (origin × model) forecast fan-out
+    /// plus serial accumulation must reproduce the naive fully-serial
+    /// backtest loop **bit for bit** — including the masked variant, where
+    /// kept-hour filtering interleaves with the error sums.
+    #[test]
+    fn parallel_backtest_matches_serial_oracle_bitwise() {
+        fn serial_oracle(
+            train_values: &[f64],
+            actual_values: &[f64],
+            excluded: &[usize],
+            cfg: &BacktestConfig,
+            ets: &EtsParams,
+            forest: &ForestParams,
+            start_dow: usize,
+        ) -> BacktestScores {
+            let mut sums = [(0.0f64, 0.0f64); 3];
+            let mut scored = 0usize;
+            for &origin in &cfg.origins {
+                let kept: Vec<usize> = (0..cfg.horizon)
+                    .filter(|h| !excluded.contains(&(origin + h)))
+                    .collect();
+                if kept.is_empty() {
+                    continue;
+                }
+                scored += 1;
+                for (i, &model) in Model::ALL.iter().enumerate() {
+                    let f = models::forecast_with(
+                        model,
+                        &train_values[..origin],
+                        ets,
+                        forest,
+                        start_dow,
+                        cfg.horizon,
+                    );
+                    let f_kept: Vec<f64> = kept.iter().map(|&h| f[h]).collect();
+                    let a_kept: Vec<f64> =
+                        kept.iter().map(|&h| actual_values[origin + h]).collect();
+                    sums[i].0 += mae(&f_kept, &a_kept);
+                    sums[i].1 += smape(&f_kept, &a_kept);
+                }
+            }
+            let k = scored as f64;
+            let score = |i: usize| ModelScore {
+                mae: sums[i].0 / k,
+                smape: sums[i].1 / k,
+            };
+            BacktestScores {
+                naive: score(0),
+                ets: score(1),
+                forest: score(2),
+            }
+        }
+
+        let mut rng = Rng::seed_from(7);
+        let v: Vec<f64> = (0..504)
+            .map(|t| {
+                let how = t % 168;
+                (80.0 + (how as f64 * 0.21).sin() * 30.0) * (1.0 + 0.08 * rng.gaussian())
+            })
+            .collect();
+        let cfg = BacktestConfig::standard(v.len()).unwrap();
+        let ets = EtsParams::default();
+        let forest = ForestParams::default();
+        let bits = |s: BacktestScores| {
+            [s.naive, s.ets, s.forest].map(|m| (m.mae.to_bits(), m.smape.to_bits()))
+        };
+        // Plain backtest and a masked one with a few excluded hours
+        // straddling the latest origin's horizon.
+        let excluded = [481usize, 482, 490];
+        for exc in [&[][..], &excluded[..]] {
+            let fast = backtest_masked(&v, &v, exc, &cfg, &ets, &forest, 2);
+            let slow = serial_oracle(&v, &v, exc, &cfg, &ets, &forest, 2);
+            assert_eq!(bits(fast), bits(slow), "excluded={exc:?}");
+        }
     }
 }

@@ -20,8 +20,12 @@
 //!   and flag nothing on the signal-free control.
 //!
 //! Everything is deterministic and bit-identical at any `ICN_THREADS`:
-//! the only parallelism is order-preserving (`par::map_indexed` over
-//! member-series synthesis, per-tree forest fitting).
+//! all parallelism is order-preserving `par::map_indexed` — over
+//! member-series synthesis, per-tree forest fitting, the per-cluster
+//! model/detector work in [`forecast_series`], and the per-(origin ×
+//! model) refits inside [`backtest_masked`] (whose error accumulation
+//! stays serial in origin order, so scores never depend on the thread
+//! count).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -168,9 +172,13 @@ pub fn forecast_series(
 ) -> ForecastReport {
     let obs = icn_obs::global();
     let start_dow = dow_index(window.start().weekday());
-    let clusters: Vec<ClusterForecast> = all
-        .iter()
-        .map(|cs| {
+    // Clusters are independent: detector + three model fits + backtest per
+    // cluster run as one parallel job each (order-preserving map, so the
+    // report is bit-identical at any `ICN_THREADS`); the backtest itself
+    // fans its (origin × model) refits out further.
+    let clusters: Vec<ClusterForecast> = icn_stats::par::map_indexed(all.len(), |ci| {
+        let cs = &all[ci];
+        {
             let t0 = std::time::Instant::now();
             let n = cs.values.len();
             let forecastable = n >= 2 * cfg.ets.period && n >= PERIOD + cfg.forest.bins;
@@ -244,8 +252,8 @@ pub fn forecast_series(
                 anomalies,
                 busy_hour,
             }
-        })
-        .collect();
+        }
+    });
     let report = ForecastReport {
         clusters,
         horizon: cfg.horizon,

@@ -79,24 +79,38 @@ impl RandomForest {
             obs.add_counter("forest.training_rows", ts.len() as u64);
         }
 
-        // OOB vote accumulation.
-        let mut votes = vec![vec![0.0f64; ts.n_classes]; ts.len()];
-        let mut any = vec![false; ts.len()];
-        for (tree, oob) in &results {
-            for &r in oob {
-                let p = tree.predict_proba(ts.x.row(r));
-                for (v, &pi) in votes[r].iter_mut().zip(p) {
-                    *v += pi;
+        // OOB vote accumulation over one flat buffer (no per-row `Vec`s),
+        // filled in parallel by disjoint row blocks. Every block walks the
+        // trees in fit order and picks its rows out of each tree's OOB
+        // list (ascending by construction) with a binary-searched window,
+        // so each row's vote sum sees the exact tree-order additions of
+        // the serial loop — bit-identical at any `ICN_THREADS`.
+        let c = ts.n_classes;
+        let mut votes = vec![0.0f64; ts.len() * c];
+        let rows_per_chunk = ts.len().div_ceil(4 * par::thread_count()).max(64);
+        par::fill_chunks(&mut votes, rows_per_chunk * c, |range, slice| {
+            let (r0, r1) = (range.start / c, range.end / c);
+            for (tree, oob) in &results {
+                let lo = oob.partition_point(|&r| r < r0);
+                let hi = oob.partition_point(|&r| r < r1);
+                for &r in &oob[lo..hi] {
+                    let p = tree.predict_proba(ts.x.row(r));
+                    let row = &mut slice[(r - r0) * c..(r - r0 + 1) * c];
+                    for (v, &pi) in row.iter_mut().zip(p) {
+                        *v += pi;
+                    }
                 }
-                any[r] = true;
             }
-        }
+        });
         let mut correct = 0usize;
         let mut counted = 0usize;
         for r in 0..ts.len() {
-            if any[r] {
+            let row = &votes[r * c..(r + 1) * c];
+            // A row voted at least once iff it carries positive mass (each
+            // OOB visit adds a distribution with some positive entry).
+            if row.iter().any(|&v| v > 0.0) {
                 counted += 1;
-                if icn_stats::rank::argmax(&votes[r]) == ts.y[r] {
+                if icn_stats::rank::argmax(row) == ts.y[r] {
                     correct += 1;
                 }
             }

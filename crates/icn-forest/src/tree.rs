@@ -102,8 +102,14 @@ impl DecisionTree {
             n_classes: ts.n_classes,
             n_features: ts.num_features(),
         };
-        let mut scratch = rows.to_vec();
-        tree.grow(ts, &mut scratch, 0, cfg, rng);
+        let mut rows_scratch = rows.to_vec();
+        let mut scratch = FitScratch {
+            pairs: Vec::with_capacity(rows.len()),
+            left: vec![0.0; ts.n_classes],
+            right: vec![0.0; ts.n_classes],
+            part: Vec::with_capacity(rows.len()),
+        };
+        tree.grow(ts, &mut rows_scratch, 0, cfg, rng, &mut scratch);
         tree
     }
 
@@ -116,6 +122,7 @@ impl DecisionTree {
         depth: usize,
         cfg: &TreeConfig,
         rng: &mut Rng,
+        scratch: &mut FitScratch,
     ) -> usize {
         let counts = ts.class_counts(rows);
         let total: f64 = counts.iter().sum();
@@ -135,16 +142,19 @@ impl DecisionTree {
             return node_idx;
         }
 
-        let Some((feature, threshold)) = best_split(ts, rows, cfg, rng) else {
+        let Some((feature, threshold)) = best_split(ts, rows, &counts, cfg, rng, scratch) else {
             return node_idx;
         };
 
-        // Partition rows in place around the threshold.
-        let mid = partition(rows, |&r| ts.x.get(r, feature) <= threshold);
+        // Partition rows in place around the threshold (stable, via the
+        // reused scratch buffer).
+        let mid = partition_into(rows, &mut scratch.part, |&r| {
+            ts.x.get(r, feature) <= threshold
+        });
         debug_assert!(mid > 0 && mid < rows.len(), "degenerate split survived");
         let (left_rows, right_rows) = rows.split_at_mut(mid);
-        let left = self.grow(ts, left_rows, depth + 1, cfg, rng);
-        let right = self.grow(ts, right_rows, depth + 1, cfg, rng);
+        let left = self.grow(ts, left_rows, depth + 1, cfg, rng, scratch);
+        let right = self.grow(ts, right_rows, depth + 1, cfg, rng, scratch);
         let node = &mut self.nodes[node_idx];
         node.feature = feature;
         node.threshold = threshold;
@@ -199,14 +209,46 @@ impl DecisionTree {
     }
 }
 
+/// Reusable per-fit scratch buffers: one allocation set per tree instead
+/// of one per node (or per candidate feature, for `left`/`right`).
+struct FitScratch {
+    /// (value, label) pairs sorted per candidate feature.
+    pairs: Vec<(f64, usize)>,
+    /// Left-child class counts during the threshold scan.
+    left: Vec<f64>,
+    /// Right-child class counts during the threshold scan.
+    right: Vec<f64>,
+    /// Stable-partition buffer.
+    part: Vec<usize>,
+}
+
 /// Finds the impurity-minimising `(feature, threshold)` over a random
 /// feature subset, or `None` when no valid split exists (constant features
 /// or `min_samples_leaf` unsatisfiable).
+///
+/// `parent_counts` must be `ts.class_counts(rows)` (the caller already has
+/// it from the node's distribution).
+///
+/// The threshold scan is the fit's hot loop and is written for speed
+/// without changing a single result bit:
+///
+/// * the per-feature sort is `sort_unstable_by` — tie order among equal
+///   feature values is irrelevant because scores are only evaluated at
+///   *distinct-value* boundaries, where the left/right class counts are
+///   exact integers determined by the value multiset alone;
+/// * the left and right Gini impurities are fused into one lane-widened
+///   pass with four independent accumulator chains (`p_l`, `p_r` products
+///   into `sl`, `sr`); each side keeps the exact per-class op order of
+///   [`gini`], and the totals it would recompute (`n_left`, `n_right`) are
+///   exact small integers, so every score is bit-identical to the
+///   two-call form.
 fn best_split(
     ts: &TrainSet,
     rows: &[usize],
+    parent_counts: &[f64],
     cfg: &TreeConfig,
     rng: &mut Rng,
+    scratch: &mut FitScratch,
 ) -> Option<(usize, f64)> {
     let m = ts.num_features();
     let k = cfg.max_features.resolve(m);
@@ -216,22 +258,22 @@ fn best_split(
         rng.sample_indices(m, k)
     };
 
-    let parent_counts = ts.class_counts(rows);
     let n = rows.len() as f64;
-    let parent_gini = gini(&parent_counts);
+    let parent_gini = gini(parent_counts);
     let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
 
-    // Scratch: (value, label) pairs sorted per feature.
-    let mut pairs: Vec<(f64, usize)> = Vec::with_capacity(rows.len());
+    let FitScratch {
+        pairs, left, right, ..
+    } = scratch;
     for &f in &candidates {
         pairs.clear();
         pairs.extend(rows.iter().map(|&r| (ts.x.get(r, f), ts.y[r])));
-        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+        pairs.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
         if pairs[0].0 == pairs[pairs.len() - 1].0 {
             continue; // constant feature
         }
-        let mut left = vec![0.0f64; ts.n_classes];
-        let mut right = parent_counts.clone();
+        left.fill(0.0);
+        right.copy_from_slice(parent_counts);
         let mut n_left = 0.0f64;
         for w in 0..pairs.len() - 1 {
             let (v, y) = pairs[w];
@@ -247,7 +289,15 @@ fn best_split(
             {
                 continue;
             }
-            let score = (n_left / n) * gini(&left) + (n_right / n) * gini(&right);
+            // Fused two-sided Gini: independent accumulator lanes per side.
+            let (mut sl, mut sr) = (0.0f64, 0.0f64);
+            for c in 0..left.len() {
+                let pl = left[c] / n_left;
+                let pr = right[c] / n_right;
+                sl += pl * pl;
+                sr += pr * pr;
+            }
+            let score = (n_left / n) * (1.0 - sl) + (n_right / n) * (1.0 - sr);
             if score < parent_gini - 1e-12 && best.as_ref().is_none_or(|&(_, _, s)| score < s) {
                 // Midpoint threshold is robust to unseen values.
                 best = Some((f, 0.5 * (v + next_v), score));
@@ -257,10 +307,11 @@ fn best_split(
     best.map(|(f, t, _)| (f, t))
 }
 
-/// Stable in-place partition; returns the number of elements satisfying
-/// the predicate (moved to the front).
-fn partition<T: Copy>(xs: &mut [T], pred: impl Fn(&T) -> bool) -> usize {
-    let mut buf: Vec<T> = Vec::with_capacity(xs.len());
+/// Stable in-place partition using a caller-provided scratch buffer;
+/// returns the number of elements satisfying the predicate (moved to the
+/// front).
+fn partition_into<T: Copy>(xs: &mut [T], buf: &mut Vec<T>, pred: impl Fn(&T) -> bool) -> usize {
+    buf.clear();
     let mut k = 0usize;
     for &x in xs.iter() {
         if pred(&x) {
@@ -273,7 +324,7 @@ fn partition<T: Copy>(xs: &mut [T], pred: impl Fn(&T) -> bool) -> usize {
             buf.push(x);
         }
     }
-    xs.copy_from_slice(&buf);
+    xs.copy_from_slice(buf);
     k
 }
 
@@ -408,7 +459,7 @@ mod tests {
     #[test]
     fn partition_is_stable() {
         let mut xs = [5, 2, 8, 1, 9, 4];
-        let k = partition(&mut xs, |&x| x < 5);
+        let k = partition_into(&mut xs, &mut Vec::new(), |&x| x < 5);
         assert_eq!(k, 3);
         assert_eq!(&xs[..3], &[2, 1, 4]);
         assert_eq!(&xs[3..], &[5, 8, 9]);

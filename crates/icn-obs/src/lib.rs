@@ -64,7 +64,8 @@ pub use json::Json;
 pub use log::{Level, LogFilter, LogRecord};
 pub use registry::{Registry, Snapshot};
 pub use report::{
-    stage_for_counter, BenchReport, EnvInfo, StageReport, FORECAST_STAGE, PIPELINE_STAGES, SCHEMA,
+    pair_reports, stage_for_counter, BenchReport, BenchReportSet, EnvInfo, StageReport,
+    FORECAST_STAGE, PIPELINE_STAGES, SCHEMA, SET_SCHEMA,
 };
 pub use span::{current_handoff, Handoff, Span};
 pub use trace::{self_times, AttrValue, SpanData, SpanEvent};

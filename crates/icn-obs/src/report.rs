@@ -50,6 +50,12 @@ pub const SCHEMA: &str = "icn-obs/v2";
 /// The previous schema identifier; [`BenchReport::parse`] still reads it.
 pub const SCHEMA_V1: &str = "icn-obs/v1";
 
+/// Schema identifier for a multi-configuration report *set* — the file
+/// `icn <cmd> --threads-sweep 1,2 --metrics-out` writes: one
+/// [`BenchReport`] per worker-thread count, produced by a single
+/// invocation so every run shares the binary, dataset and machine state.
+pub const SET_SCHEMA: &str = "icn-bench-set/1";
+
 /// The five pipeline stages of `IcnStudy::run`, in execution order. The
 /// observability tests pin the stage set of a metered pipeline run to
 /// exactly this list.
@@ -341,7 +347,12 @@ impl BenchReport {
     /// Parses a report back from its JSON rendering, validating the schema
     /// tag (`icn-obs/v2` or the older `icn-obs/v1`) and required fields.
     pub fn parse(text: &str) -> Result<BenchReport, String> {
-        let doc = Json::parse(text)?;
+        BenchReport::from_doc(&Json::parse(text)?)
+    }
+
+    /// Parses a report from an already-decoded JSON document (one entry
+    /// of a [`BenchReportSet`], or a whole legacy single-report file).
+    fn from_doc(doc: &Json) -> Result<BenchReport, String> {
         let schema = doc.get("schema").and_then(Json::as_str);
         if schema != Some(SCHEMA) && schema != Some(SCHEMA_V1) {
             return Err(format!(
@@ -464,6 +475,100 @@ impl BenchReport {
     pub fn stage(&self, name: &str) -> Option<&StageReport> {
         self.stages.iter().find(|s| s.name == name)
     }
+}
+
+/// An ordered collection of reports from one invocation — one per
+/// worker-thread count when produced by `--threads-sweep`. The JSON
+/// rendering (`icn-bench-set/1`) wraps the individual `icn-obs/v2`
+/// documents verbatim:
+///
+/// ```json
+/// {"schema": "icn-bench-set/1", "reports": [{...}, {...}]}
+/// ```
+///
+/// [`BenchReportSet::parse`] also accepts a legacy single-report file and
+/// wraps it as a one-element set, so every consumer (`icn obs diff`,
+/// trajectory tooling) reads old `BENCH_pr*.json` baselines and new sweep
+/// files through one entry point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReportSet {
+    /// Member reports, in production order (ascending thread count for
+    /// `--threads-sweep` output).
+    pub reports: Vec<BenchReport>,
+}
+
+impl BenchReportSet {
+    /// Renders the set as a pretty-printed JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::str(SET_SCHEMA)),
+            (
+                "reports",
+                Json::Arr(self.reports.iter().map(BenchReport::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Writes the pretty JSON rendering to `path`.
+    pub fn write_to_file(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().to_pretty())
+    }
+
+    /// Parses a set file — or a legacy single report, returned as a
+    /// one-element set. A set with zero reports is rejected: it carries
+    /// no information and would silently pass every diff gate.
+    pub fn parse(text: &str) -> Result<BenchReportSet, String> {
+        let doc = Json::parse(text)?;
+        if doc.get("schema").and_then(Json::as_str) == Some(SET_SCHEMA) {
+            let mut reports = Vec::new();
+            for entry in doc
+                .get("reports")
+                .and_then(Json::as_arr)
+                .ok_or("report set missing reports array")?
+            {
+                reports.push(BenchReport::from_doc(entry)?);
+            }
+            if reports.is_empty() {
+                return Err("report set has no reports".into());
+            }
+            return Ok(BenchReportSet { reports });
+        }
+        Ok(BenchReportSet {
+            reports: vec![BenchReport::from_doc(&doc)?],
+        })
+    }
+
+    /// The member report recorded at the given worker-thread count.
+    pub fn by_threads(&self, threads: usize) -> Option<&BenchReport> {
+        self.reports.iter().find(|r| r.env.threads == threads)
+    }
+}
+
+/// Pairs a baseline set against a candidate set for diffing: when both
+/// sides are single reports the two are compared directly (the legacy
+/// `icn obs diff a.json b.json` contract); otherwise reports are matched
+/// on the (`env.threads`, `scale`) configuration key, in baseline order —
+/// so a multi-scale, multi-thread sweep diffs like-for-like, and a
+/// pre-sweep single baseline gates exactly its own configuration of a
+/// sweep file. Returns the matched pairs; configurations present on only
+/// one side are dropped — an empty result means the files have no
+/// comparable configuration.
+pub fn pair_reports<'a>(
+    a: &'a BenchReportSet,
+    b: &'a BenchReportSet,
+) -> Vec<(&'a BenchReport, &'a BenchReport)> {
+    if a.reports.len() == 1 && b.reports.len() == 1 {
+        return vec![(&a.reports[0], &b.reports[0])];
+    }
+    let matching = |base: &BenchReport| {
+        b.reports
+            .iter()
+            .find(|r| r.env.threads == base.env.threads && (r.scale - base.scale).abs() < 1e-12)
+    };
+    a.reports
+        .iter()
+        .filter_map(|base| matching(base).map(|cand| (base, cand)))
+        .collect()
 }
 
 /// Renders one histogram as its v2 JSON object. Quantiles are included
@@ -648,6 +753,77 @@ mod tests {
     fn parse_rejects_wrong_schema() {
         assert!(BenchReport::parse("{\"schema\": \"other/v9\"}").is_err());
         assert!(BenchReport::parse("not json").is_err());
+    }
+
+    fn report_at_threads(threads: usize) -> BenchReport {
+        let mut rep = BenchReport::build(&sample_snapshot(), "sweep", 1.0);
+        rep.env.threads = threads;
+        rep
+    }
+
+    #[test]
+    fn report_set_round_trips_and_indexes_by_threads() {
+        let set = BenchReportSet {
+            reports: vec![report_at_threads(1), report_at_threads(2)],
+        };
+        let back = BenchReportSet::parse(&set.to_json().to_pretty()).unwrap();
+        assert_eq!(back.reports.len(), 2);
+        assert_eq!(back, set);
+        assert_eq!(back.by_threads(2).unwrap().env.threads, 2);
+        assert!(back.by_threads(7).is_none());
+    }
+
+    #[test]
+    fn report_set_parse_accepts_legacy_single_reports() {
+        let single = report_at_threads(4);
+        let set = BenchReportSet::parse(&single.to_json().to_pretty()).unwrap();
+        assert_eq!(set.reports.len(), 1);
+        assert_eq!(set.reports[0], single);
+        // Empty sets and unknown schemas are rejected.
+        assert!(
+            BenchReportSet::parse("{\"schema\": \"icn-bench-set/1\", \"reports\": []}").is_err()
+        );
+        assert!(BenchReportSet::parse("{\"schema\": \"other/v9\"}").is_err());
+    }
+
+    #[test]
+    fn pairing_matches_on_threads_with_singleton_fallback() {
+        let set12 = BenchReportSet {
+            reports: vec![report_at_threads(1), report_at_threads(2)],
+        };
+        let set28 = BenchReportSet {
+            reports: vec![report_at_threads(2), report_at_threads(8)],
+        };
+        let pairs = pair_reports(&set12, &set28);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0.env.threads, 2);
+        assert_eq!(pairs[0].1.env.threads, 2);
+        // Two singletons pair directly even across thread counts — the
+        // legacy single-file diff contract.
+        let solo1 = BenchReportSet {
+            reports: vec![report_at_threads(1)],
+        };
+        let solo4 = BenchReportSet {
+            reports: vec![report_at_threads(4)],
+        };
+        assert_eq!(pair_reports(&solo1, &solo4).len(), 1);
+        // A singleton baseline picks its matching configuration out of a
+        // sweep candidate, and misses cleanly when absent.
+        let picked = pair_reports(&solo1, &set12);
+        assert_eq!(picked.len(), 1);
+        assert_eq!(picked[0].1.env.threads, 1);
+        assert!(pair_reports(&solo4, &set12).is_empty());
+        // The configuration key is (threads, scale): same thread count at
+        // a different scale is a different workload, never a pair.
+        let mut small = report_at_threads(1);
+        small.scale = 0.05;
+        small.env.scale = 0.05;
+        let mixed = BenchReportSet {
+            reports: vec![small, report_at_threads(1)],
+        };
+        let cross = pair_reports(&mixed, &set12);
+        assert_eq!(cross.len(), 1);
+        assert_eq!(cross[0].0.scale, 1.0);
     }
 
     #[test]

@@ -103,16 +103,24 @@ impl Drop for AdoptGuard {
 /// Captures the innermost open span on the current thread for cross-thread
 /// parenting. Returns `None` when the global registry is disabled (one
 /// relaxed load, no thread-local access) or when no span is open.
+///
+/// A worker thread that has adopted a [`Handoff`] but not opened any span
+/// of its own re-exports that adoption: nested parallel sections (a
+/// parallel model fit inside a parallel per-cluster loop) chain the
+/// dispatcher's span through every level instead of dropping to
+/// disconnected roots one level down.
 pub fn current_handoff() -> Option<Handoff> {
     if !crate::global().is_enabled() {
         return None;
     }
-    STACK.with(|stack| {
-        stack.borrow().last().map(|f| Handoff {
-            id: f.id,
-            path: f.path.clone(),
+    STACK
+        .with(|stack| {
+            stack.borrow().last().map(|f| Handoff {
+                id: f.id,
+                path: f.path.clone(),
+            })
         })
-    })
+        .or_else(|| ADOPTED.with(|a| a.borrow().clone()))
 }
 
 /// An RAII timer that records one [`SpanData`] into the global registry
@@ -378,6 +386,43 @@ mod tests {
         assert_eq!(step.parent, Some(worker.id));
         assert_ne!(worker.thread, stage.thread);
         // Top-level aggregation is unchanged: only "stage" is a root.
+        assert_eq!(
+            snap.span_tree.iter().filter(|s| s.parent.is_none()).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn handoff_chains_through_nested_dispatch() {
+        let _guard = LOCK.lock().unwrap();
+        let reg = crate::global();
+        reg.reset();
+        reg.enable();
+        {
+            let _stage = Span::enter("stage");
+            let outer = current_handoff().expect("span open");
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    // Outer worker adopts but opens no span of its own —
+                    // exactly what a dispatch-only parallel layer does.
+                    let _adopt = outer.adopt();
+                    let inner =
+                        current_handoff().expect("adoption must re-export as the current handoff");
+                    std::thread::scope(|scope2| {
+                        scope2.spawn(|| {
+                            let _adopt2 = inner.adopt();
+                            let _leaf = Span::enter("leaf");
+                        });
+                    });
+                });
+            });
+        }
+        reg.disable();
+        let snap = reg.snapshot();
+        reg.reset();
+        // Two levels of worker threads down, the leaf still roots to the
+        // dispatching stage instead of becoming a disconnected root.
+        assert!(snap.spans.contains_key("stage/leaf"));
         assert_eq!(
             snap.span_tree.iter().filter(|s| s.parent.is_none()).count(),
             1

@@ -13,7 +13,7 @@
 
 use crate::antennas::Antenna;
 use crate::calendar::StudyCalendar;
-use crate::services::Service;
+use crate::services::{Category, Service};
 use crate::temporal::{self, EventSchedule, TemplateKind};
 use icn_stats::{Matrix, Rng};
 
@@ -147,6 +147,62 @@ pub fn hourly_series_for_window(
     hourly_series(antenna, svc, window, scaled, root)
 }
 
+/// The modulation class of a service under one template: weight vectors
+/// are identical for all services sharing `(category, is-Waze)` because
+/// [`temporal::service_modulation`] inspects nothing else of the service.
+type WeightClass = (Category, bool);
+
+/// Shared core of the aggregate builders: sums the per-service series of
+/// one antenna, computing each weight-class's hourly weight vector and
+/// normaliser **once** instead of once per service, and hoisting the
+/// (service-independent) event schedule out of the per-service loop.
+///
+/// Bit-identical to summing [`hourly_series_for_window`] per service: the
+/// scaled total keeps the original `tot × days ÷ period` op order, the
+/// per-service measurement-noise stream is the same fork, and services
+/// accumulate into the output in catalog order with the same per-hour
+/// additions.
+fn aggregate_classed<F>(
+    antenna: &Antenna,
+    services: &[Service],
+    totals_row: &[f64],
+    full_period_days: usize,
+    window: &StudyCalendar,
+    root: &Rng,
+    weights_for: F,
+) -> Vec<f64>
+where
+    F: Fn(&Service) -> Vec<f64>,
+{
+    assert_eq!(services.len(), totals_row.len(), "row/services mismatch");
+    assert!(full_period_days > 0, "zero-length full period");
+    let mut agg = vec![0.0; window.num_hours()];
+    let mut classes: Vec<(WeightClass, Vec<f64>, f64)> = Vec::new();
+    for (svc, &tot) in services.iter().zip(totals_row) {
+        let key: WeightClass = (svc.category, svc.name == "Waze");
+        let ci = match classes.iter().position(|(k, _, _)| *k == key) {
+            Some(i) => i,
+            None => {
+                let w = weights_for(svc);
+                let sum: f64 = w.iter().sum();
+                classes.push((key, w, sum));
+                classes.len() - 1
+            }
+        };
+        let (_, w, sum) = &classes[ci];
+        if *sum <= 0.0 {
+            continue; // the per-service series would be all zeros
+        }
+        let total_mb = tot * window.num_days() as f64 / full_period_days as f64;
+        let mut rng = root.fork(0x700A_0000 ^ (antenna.id as u64) << 16 ^ hash_name(svc.name));
+        for (a, &x) in agg.iter_mut().zip(w) {
+            let clean = total_mb * x / *sum;
+            *a += (clean * (1.0 + HOURLY_NOISE_SIGMA * rng.gaussian())).max(0.0);
+        }
+    }
+    agg
+}
+
 /// Aggregate (all-service) hourly series of one antenna, given its totals
 /// row. Sums the per-service series; used by the Figure 10 harness.
 pub fn aggregate_hourly_series(
@@ -157,15 +213,17 @@ pub fn aggregate_hourly_series(
     window: &StudyCalendar,
     root: &Rng,
 ) -> Vec<f64> {
-    assert_eq!(services.len(), totals_row.len(), "row/services mismatch");
-    let mut agg = vec![0.0; window.num_hours()];
-    for (svc, &tot) in services.iter().zip(totals_row) {
-        let series = hourly_series_for_window(antenna, svc, tot, full_period_days, window, root);
-        for (a, s) in agg.iter_mut().zip(series) {
-            *a += s;
-        }
-    }
-    agg
+    let kind = antenna.archetype.template();
+    let schedule = event_schedule(antenna, window, root);
+    aggregate_classed(
+        antenna,
+        services,
+        totals_row,
+        full_period_days,
+        window,
+        root,
+        |svc| raw_weights(kind, &schedule, svc, window),
+    )
 }
 
 /// Counterfactual weights: signal-free calendar and an empty schedule.
@@ -231,16 +289,16 @@ pub fn aggregate_hourly_series_signal_free(
     window: &StudyCalendar,
     root: &Rng,
 ) -> Vec<f64> {
-    assert_eq!(services.len(), totals_row.len(), "row/services mismatch");
-    let mut agg = vec![0.0; window.num_hours()];
-    for (svc, &tot) in services.iter().zip(totals_row) {
-        let series =
-            hourly_series_for_window_signal_free(antenna, svc, tot, full_period_days, window, root);
-        for (a, s) in agg.iter_mut().zip(series) {
-            *a += s;
-        }
-    }
-    agg
+    let kind = antenna.archetype.template();
+    aggregate_classed(
+        antenna,
+        services,
+        totals_row,
+        full_period_days,
+        window,
+        root,
+        |svc| raw_weights_signal_free(kind, svc, window),
+    )
 }
 
 fn hash_name(name: &str) -> u64 {
@@ -403,9 +461,29 @@ mod tests {
                 *m += v;
             }
         }
-        for (x, y) in agg.iter().zip(&manual) {
-            assert!((x - y).abs() < 1e-9);
+        // The class-cached aggregate path must be *bit-identical* to the
+        // per-service sum, not merely close.
+        assert_eq!(agg, manual);
+    }
+
+    #[test]
+    fn aggregate_signal_free_is_sum_of_parts() {
+        let (ants, svcs, root) = small_pop();
+        let window = StudyCalendar::custom(Date::new(2023, 1, 9), 2);
+        let a = ants
+            .iter()
+            .find(|a| a.archetype == Archetype::ParisArena)
+            .unwrap_or(&ants[0]);
+        let row: Vec<f64> = (0..svcs.len()).map(|j| 250.0 + 3.0 * j as f64).collect();
+        let agg = aggregate_hourly_series_signal_free(a, &svcs, &row, 65, &window, &root);
+        let mut manual = vec![0.0; window.num_hours()];
+        for (svc, &tot) in svcs.iter().zip(&row) {
+            let s = hourly_series_for_window_signal_free(a, svc, tot, 65, &window, &root);
+            for (m, v) in manual.iter_mut().zip(s) {
+                *m += v;
+            }
         }
+        assert_eq!(agg, manual);
     }
 
     #[test]

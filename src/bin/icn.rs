@@ -37,28 +37,79 @@ fn main() {
     // `run` is the ergonomic alias for the full pipeline.
     let cmd = if cmd == "study" { "run" } else { cmd.as_str() };
     let opts = Opts::parse(&args[1..]);
+    let run = |o: &Opts| match cmd {
+        "generate" => cmd_generate(o),
+        "run" => cmd_study(o),
+        "explain" => cmd_explain(o),
+        "temporal" => cmd_temporal(o),
+        "forecast" => cmd_forecast(o),
+        "probe" => cmd_probe(o),
+        "ingest" => cmd_ingest(o),
+        "testkit" => cmd_testkit(o),
+        "help" | "--help" | "-h" => usage_and_exit(None),
+        other => usage_and_exit(Some(other)),
+    };
+    let build_report = |snap: &icn_repro::icn_obs::Snapshot| {
+        let mut report = BenchReport::build(snap, &format!("icn-{cmd}"), opts.scale);
+        if cmd == "ingest" {
+            report.env.chunk = Some(opts.chunk as u64);
+        }
+        report
+    };
+    if let Some(sweep) = &opts.threads_sweep {
+        // One invocation, one report per thread count: every run shares
+        // the binary and machine state, so the set is a clean scaling
+        // curve. The `ICN_THREADS` override is how `par::thread_count`
+        // and `EnvInfo::capture` both resolve worker counts, so each
+        // member report self-describes its configuration.
+        let Some(metrics_path) = &opts.metrics_out else {
+            eprintln!("--threads-sweep needs --metrics-out <path> for the report set");
+            std::process::exit(2);
+        };
+        let saved = std::env::var("ICN_THREADS").ok();
+        let obs = icn_repro::icn_obs::global();
+        obs.enable();
+        let mut reports = Vec::with_capacity(sweep.len());
+        let mut last_snap = None;
+        for &threads in sweep {
+            std::env::set_var("ICN_THREADS", threads.to_string());
+            obs.reset();
+            eprintln!("threads-sweep: running {cmd} with {threads} thread(s)...");
+            run(&opts);
+            let snap = obs.snapshot();
+            reports.push(build_report(&snap));
+            last_snap = Some(snap);
+        }
+        match saved {
+            Some(v) => std::env::set_var("ICN_THREADS", v),
+            None => std::env::remove_var("ICN_THREADS"),
+        }
+        let set = icn_repro::icn_obs::BenchReportSet { reports };
+        if let Err(e) = set.write_to_file(metrics_path) {
+            eprintln!("failed to write metrics to {metrics_path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "metrics set ({} reports) written to {metrics_path}",
+            set.reports.len()
+        );
+        if let (Some(path), Some(snap)) = (&opts.trace_out, &last_snap) {
+            if let Err(e) = icn_repro::icn_obs::write_chrome_trace(snap, path) {
+                eprintln!("failed to write trace to {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("chrome trace (last sweep run) written to {path}");
+        }
+        return;
+    }
     if opts.metrics_out.is_some() || opts.trace_out.is_some() {
         icn_repro::icn_obs::global().enable();
     }
-    match cmd {
-        "generate" => cmd_generate(&opts),
-        "run" => cmd_study(&opts),
-        "explain" => cmd_explain(&opts),
-        "temporal" => cmd_temporal(&opts),
-        "forecast" => cmd_forecast(&opts),
-        "probe" => cmd_probe(&opts),
-        "ingest" => cmd_ingest(&opts),
-        "testkit" => cmd_testkit(&opts),
-        "help" | "--help" | "-h" => usage_and_exit(None),
-        other => usage_and_exit(Some(other)),
-    }
+    run(&opts);
     if opts.metrics_out.is_some() || opts.trace_out.is_some() {
         let snap = icn_repro::icn_obs::global().snapshot();
         if let Some(path) = &opts.metrics_out {
-            let mut report = BenchReport::build(&snap, &format!("icn-{cmd}"), opts.scale);
-            if cmd == "ingest" {
-                report.env.chunk = Some(opts.chunk as u64);
-            }
+            let report = build_report(&snap);
             if let Err(e) = report.write_to_file(path) {
                 eprintln!("failed to write metrics to {path}: {e}");
                 std::process::exit(1);
@@ -78,7 +129,9 @@ fn main() {
 /// `icn obs <diff|top>` — report tooling; parses its own positional
 /// arguments (the common Opts flags do not apply here).
 fn cmd_obs(args: &[String]) {
-    fn load_report(path: &str) -> BenchReport {
+    // Every report file — legacy single `icn-obs/v2` documents and
+    // `icn-bench-set/1` sweeps alike — loads through the set parser.
+    fn load_set(path: &str) -> icn_repro::icn_obs::BenchReportSet {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) => {
@@ -86,7 +139,7 @@ fn cmd_obs(args: &[String]) {
                 std::process::exit(1);
             }
         };
-        match BenchReport::parse(&text) {
+        match icn_repro::icn_obs::BenchReportSet::parse(&text) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("cannot parse {path}: {e}");
@@ -171,11 +224,27 @@ fn cmd_obs(args: &[String]) {
                 eprintln!("usage: icn obs diff <baseline.json> <candidate.json> [thresholds]");
                 std::process::exit(2);
             };
-            let a = load_report(a_path);
-            let b = load_report(b_path);
-            let diff = icn_repro::icn_obs::diff_reports(&a, &b, &t);
-            print!("{}", diff.render());
-            if !diff.passed() {
+            let a = load_set(a_path);
+            let b = load_set(b_path);
+            let pairs = icn_repro::icn_obs::pair_reports(&a, &b);
+            if pairs.is_empty() {
+                eprintln!(
+                    "no comparable configuration: {a_path} (threads {:?}) vs {b_path} (threads {:?})",
+                    a.reports.iter().map(|r| r.env.threads).collect::<Vec<_>>(),
+                    b.reports.iter().map(|r| r.env.threads).collect::<Vec<_>>(),
+                );
+                std::process::exit(1);
+            }
+            let mut failed = false;
+            for (base, cand) in &pairs {
+                if pairs.len() > 1 {
+                    println!("== scale={} threads={} ==", base.scale, base.env.threads);
+                }
+                let diff = icn_repro::icn_obs::diff_reports(base, cand, &t);
+                print!("{}", diff.render());
+                failed |= !diff.passed();
+            }
+            if failed {
                 eprintln!("perf gate FAILED: {b_path} regressed against {a_path}");
                 std::process::exit(1);
             }
@@ -186,7 +255,16 @@ fn cmd_obs(args: &[String]) {
                 eprintln!("usage: icn obs top <report.json>");
                 std::process::exit(2);
             };
-            print!("{}", icn_repro::icn_obs::render_top(&load_report(path)));
+            let set = load_set(path);
+            for report in &set.reports {
+                if set.reports.len() > 1 {
+                    println!(
+                        "== scale={} threads={} ==",
+                        report.scale, report.env.threads
+                    );
+                }
+                print!("{}", icn_repro::icn_obs::render_top(report));
+            }
         }
         _ => {
             eprintln!("usage: icn obs <diff|top> ...");
@@ -210,6 +288,7 @@ struct Opts {
     golden_dir: Option<String>,
     metrics_out: Option<String>,
     trace_out: Option<String>,
+    threads_sweep: Option<Vec<usize>>,
     chunk: usize,
     lateness: u32,
     faults: Option<String>,
@@ -240,6 +319,7 @@ impl Opts {
             golden_dir: None,
             metrics_out: None,
             trace_out: None,
+            threads_sweep: None,
             chunk: 4096,
             lateness: 2,
             faults: None,
@@ -296,6 +376,34 @@ impl Opts {
                 }
                 "--trace-out" => {
                     o.trace_out = take(i).cloned();
+                    i += 2;
+                }
+                "--threads-sweep" => {
+                    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+                    let parsed: Option<Vec<usize>> = take(i).map(|v| {
+                        v.split(',')
+                            .filter_map(|part| match part.trim() {
+                                "max" => Some(hw),
+                                p => p.parse::<usize>().ok(),
+                            })
+                            .filter(|&n| n >= 1)
+                            .collect()
+                    });
+                    match parsed {
+                        Some(mut list) if !list.is_empty() => {
+                            // `1,max` on a single-core box collapses to
+                            // one configuration, not two identical runs.
+                            list.dedup();
+                            o.threads_sweep = Some(list);
+                        }
+                        _ => {
+                            eprintln!(
+                                "--threads-sweep wants a comma-separated list of thread \
+                                 counts (or max), e.g. 1,2 or 1,max"
+                            );
+                            std::process::exit(2);
+                        }
+                    }
                     i += 2;
                 }
                 "--chunk" => {
@@ -448,6 +556,8 @@ fn usage_and_exit(bad: Option<&str>) -> ! {
          --bless        regenerate golden snapshots instead of checking (testkit)\n  \
          --golden-dir <dir>  golden snapshot directory (testkit, default tests/golden)\n  \
          --metrics-out <path>  write an icn-obs/v2 benchmark report (JSON)\n  \
+         --threads-sweep <list>  re-run the command once per thread count (e.g. 1,2 or\n                 \
+         1,max) and write an icn-bench-set/1 report set to --metrics-out\n  \
          --trace-out <path>  write a Chrome trace-event JSON (chrome://tracing, Perfetto)\n  \
          --chunk <n>    records per source pull (ingest, default 4096)\n  \
          --lateness <h> hours a record may trail the watermark (ingest, default 2)\n  \

@@ -8,7 +8,7 @@
 //! report with stage3's wall tripled and the `shap.chunk_ns` histogram
 //! shifted four octaves up — the two metric kinds the gate must catch.
 
-use icn_repro::icn_obs::{diff_reports, BenchReport, DiffStatus, DiffThresholds};
+use icn_repro::icn_obs::{diff_reports, BenchReport, BenchReportSet, DiffStatus, DiffThresholds};
 use std::process::Command;
 
 fn load(name: &str) -> BenchReport {
@@ -87,4 +87,84 @@ fn cli_exit_codes_match_the_gate() {
         .output()
         .expect("spawn icn");
     assert_eq!(usage.status.code(), Some(2), "unknown obs subcommand");
+}
+
+/// `icn obs diff` pairs `icn-bench-set/1` files (from `--threads-sweep`)
+/// by thread count: a legacy single baseline gates the matching member of
+/// a sweep candidate, two sweeps diff pairwise, and files with no common
+/// configuration fail loudly instead of silently passing.
+#[test]
+fn cli_diff_pairs_sweep_sets_by_thread_count() {
+    let base = load("bench_smoke005.json");
+    let at_threads = |threads: usize| {
+        let mut r = base.clone();
+        r.env.threads = threads;
+        r
+    };
+    let dir = std::env::temp_dir().join("icn_obs_diff_sets");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let write = |name: &str, set: &BenchReportSet| {
+        let path = dir.join(name);
+        set.write_to_file(path.to_str().unwrap())
+            .expect("write set");
+        path
+    };
+    let sweep12 = write(
+        "sweep12.json",
+        &BenchReportSet {
+            reports: vec![at_threads(1), at_threads(2)],
+        },
+    );
+    let sweep2 = write(
+        "sweep2.json",
+        &BenchReportSet {
+            reports: vec![at_threads(2)],
+        },
+    );
+    let sweep8 = write(
+        "sweep8.json",
+        &BenchReportSet {
+            reports: vec![at_threads(8), at_threads(16)],
+        },
+    );
+    let golden = format!(
+        "{}/tests/golden/bench_smoke005.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let run = |a: &std::path::Path, b: &std::path::Path| {
+        Command::new(env!("CARGO_BIN_EXE_icn"))
+            .args(["obs", "diff"])
+            .arg(a)
+            .arg(b)
+            .output()
+            .expect("spawn icn")
+    };
+    // Single baseline vs sweep candidate: its thread count picks the
+    // matching member, and the self-identical walls pass.
+    let ok = run(std::path::Path::new(&golden), &sweep12);
+    assert!(
+        ok.status.success(),
+        "single-vs-set diff failed:\n{}{}",
+        String::from_utf8_lossy(&ok.stdout),
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    // Sweep vs sweep: only the shared threads=2 configuration is
+    // compared; the unmatched baseline member drops out.
+    let pairwise = run(&sweep12, &sweep2);
+    assert!(
+        pairwise.status.success(),
+        "set-vs-set diff failed:\n{}{}",
+        String::from_utf8_lossy(&pairwise.stdout),
+        String::from_utf8_lossy(&pairwise.stderr)
+    );
+    // Disjoint thread sets have nothing to compare — that is a gate
+    // failure, not a silent pass.
+    let disjoint = run(&sweep12, &sweep8);
+    assert_eq!(
+        disjoint.status.code(),
+        Some(1),
+        "disjoint sweeps must fail:\n{}",
+        String::from_utf8_lossy(&disjoint.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -136,6 +136,20 @@ fn k_sweep_computes_the_condensed_matrix_once() {
     // fix for the double computation (the span used to report 2 calls).
     let (calls, _) = snap.spans["stage2_cluster/condensed"];
     assert_eq!(calls, 1, "pairwise distances computed more than once");
+    // Regression guard for the sweep-point counter: when the sweep runs,
+    // `cluster.k_sweep_points` must be recorded inside the live stage-2
+    // span and land on that stage in the built report, with one point per
+    // swept k. (A report recorded *without* `--sweep` legitimately shows
+    // 0 — the counter reflects configuration, not a bug — so this is the
+    // configured-on case that bench recordings must use.)
+    let report = BenchReport::build(&snap, "k-sweep-test", ds.config.scale);
+    let s2 = report.stage("stage2_cluster").expect("stage2 present");
+    assert_eq!(
+        s2.counters.get("cluster.k_sweep_points").copied(),
+        Some(st.k_sweep.len() as u64),
+        "k_sweep_points must attribute to stage2 and count the swept ks"
+    );
+    assert!(s2.counters["cluster.k_sweep_points"] > 0);
 }
 
 #[test]
