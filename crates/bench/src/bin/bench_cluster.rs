@@ -34,6 +34,11 @@ use icn_obs::BenchReport;
 use icn_stats::{Matrix, Rng};
 use icn_synth::{Dataset, SynthConfig};
 
+// Count allocations so `--metrics-out` reports carry the `icn-obs/v3`
+// memory section (inert single-branch overhead while metering is off).
+#[global_allocator]
+static ALLOC: icn_obs::CountingAlloc = icn_obs::CountingAlloc::system();
+
 struct ClusterBenchOpts {
     scales: Vec<f64>,
     threads: Vec<Option<usize>>, // None = hardware max
@@ -306,8 +311,8 @@ fn main() {
     let wall = t0.elapsed().as_secs_f64() * 1e3;
     obs.set_gauge("cluster.large_n_rows", opts.large_n as f64);
     obs.set_gauge("cluster.large_n_sample", sw.sample.len() as f64);
-    obs.set_gauge("cluster.large_n_condensed_bytes", sw.condensed_bytes as f64);
-    obs.set_gauge("cluster.budget_bytes", budget_bytes as f64);
+    icn_obs::gauge_bytes("cluster.large_n_condensed_bytes", sw.condensed_bytes);
+    icn_obs::gauge_bytes("cluster.budget_bytes", budget_bytes);
     println!(
         "=== sampled large-N: n={} sample={} condensed={:.1} MB (budget {} MB) wall={wall:.1} ms ===",
         opts.large_n,

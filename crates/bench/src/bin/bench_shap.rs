@@ -18,6 +18,11 @@ use icn_core::{IcnStudy, StudyConfig};
 use icn_obs::BenchReport;
 use icn_synth::{Dataset, SynthConfig};
 
+// Count allocations so `--metrics-out` reports carry the `icn-obs/v3`
+// memory section (inert single-branch overhead while metering is off).
+#[global_allocator]
+static ALLOC: icn_obs::CountingAlloc = icn_obs::CountingAlloc::system();
+
 struct ShapBenchOpts {
     scales: Vec<f64>,
     threads: Vec<Option<usize>>, // None = hardware max

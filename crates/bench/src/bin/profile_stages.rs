@@ -12,6 +12,11 @@
 
 use icn_bench::{dataset, parse_opts, study, write_metrics};
 
+// Count allocations so `--metrics-out` reports carry the `icn-obs/v3`
+// memory section (inert single-branch overhead while metering is off).
+#[global_allocator]
+static ALLOC: icn_obs::CountingAlloc = icn_obs::CountingAlloc::system();
+
 fn main() {
     let opts = parse_opts();
     let obs = icn_obs::global();

@@ -80,7 +80,7 @@ impl Condensed {
             }
         });
         obs.add_counter("cluster.pairs", d.len() as u64);
-        obs.set_gauge("cluster.condensed_bytes", (d.len() * 8) as f64);
+        icn_obs::gauge_bytes("cluster.condensed_bytes", d.len() * 8);
         Condensed { n, d }
     }
 

@@ -67,6 +67,12 @@ pub fn chrome_trace(snapshot: &Snapshot) -> Json {
         if let Some(parent) = span.parent {
             args.push(("parent", Json::num(parent as f64)));
         }
+        // Allocation attribution from the counting allocator, when the
+        // producing binary counted (zero otherwise — omitted to keep
+        // uncounted traces byte-stable).
+        if span.alloc_bytes > 0 {
+            args.push(("alloc_bytes", Json::num(span.alloc_bytes as f64)));
+        }
         for (key, value) in &span.attrs {
             args.push((key.as_str(), value.to_json()));
         }
@@ -150,6 +156,9 @@ mod tests {
             thread: 0,
             start: Duration::from_micros(100),
             wall: Duration::from_micros(900),
+            alloc_bytes: 2048,
+            allocs: 2,
+            peak_growth_bytes: 2048,
             attrs: vec![("rows".into(), AttrValue::U64(64))],
             events: vec![SpanEvent {
                 name: "fitted".into(),
@@ -164,6 +173,9 @@ mod tests {
             thread: 3,
             start: Duration::from_micros(200),
             wall: Duration::from_micros(300),
+            alloc_bytes: 0,
+            allocs: 0,
+            peak_growth_bytes: 0,
             attrs: Vec::new(),
             events: Vec::new(),
         });
@@ -193,6 +205,20 @@ mod tests {
             .unwrap();
         let args = chunk.get("args").unwrap();
         assert_eq!(args.get("parent").and_then(Json::as_f64), Some(1.0));
+        // Zero allocation attribution is omitted; nonzero is exported.
+        assert!(args.get("alloc_bytes").is_none());
+        let surrogate = complete
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("stage3_surrogate"))
+            .unwrap();
+        assert_eq!(
+            surrogate
+                .get("args")
+                .unwrap()
+                .get("alloc_bytes")
+                .and_then(Json::as_f64),
+            Some(2048.0)
+        );
         assert_eq!(chunk.get("tid").and_then(Json::as_f64), Some(3.0));
         assert_eq!(chunk.get("ts").and_then(Json::as_f64), Some(200.0));
         assert_eq!(chunk.get("dur").and_then(Json::as_f64), Some(300.0));

@@ -1,5 +1,5 @@
-//! Report comparison (`icn obs diff`) and self-time treetable
-//! (`icn obs top`).
+//! Report comparison (`icn obs diff`), self-time treetable
+//! (`icn obs top`) and allocation treetable (`icn obs mem`).
 //!
 //! [`diff_reports`] compares two [`BenchReport`]s — a blessed baseline
 //! `a` and a candidate `b` — against per-metric thresholds and classifies
@@ -44,6 +44,15 @@ pub struct DiffThresholds {
     /// run that quietly starts materializing a bigger matrix fails even
     /// when the extra allocation happens to be fast.
     pub max_bytes_ratio: f64,
+    /// Maximum allowed `b/a` ratio for the allocator window peak in the
+    /// v3 `memory` section (default 1.5 — looser than the hand gauges
+    /// because the measured peak includes every transient the allocator
+    /// sees, but far tighter than the wall gates because allocation is
+    /// deterministic). Asymmetric like all gates: shrinkage passes.
+    /// When either report has no memory section the comparison is
+    /// informational, so v2 baselines keep diffing against v3
+    /// candidates.
+    pub max_peak_ratio: f64,
     /// When set, any counter value change fails (same-machine,
     /// same-seed determinism checks); by default counters are
     /// informational.
@@ -72,6 +81,7 @@ impl Default for DiffThresholds {
             max_hist_ratio: 2.0,
             min_hist_ns: 10_000,
             max_bytes_ratio: 1.2,
+            max_peak_ratio: 1.5,
             strict_counters: false,
             skip_missing: false,
             stage_wall_ratios: Vec::new(),
@@ -347,6 +357,46 @@ pub fn diff_reports(a: &BenchReport, b: &BenchReport, t: &DiffThresholds) -> Dif
         }
     }
 
+    // Allocator window peak (v3 memory section): the number
+    // `--mem-budget-mb` enforces at run time, gated across PRs here.
+    // Like every gate it is asymmetric — shrinkage passes. A report
+    // without a memory section (v1/v2 baseline, or a binary that did not
+    // count allocations) degrades to informational, so cross-version
+    // lineage diffs keep working.
+    match (&a.memory, &b.memory) {
+        (Some(ma), Some(mb)) if ma.peak_bytes > 0 => {
+            let base = ma.peak_bytes as f64;
+            let cand = mb.peak_bytes as f64;
+            let ratio = cand / base;
+            lines.push(DiffLine {
+                metric: "mem:allocator_peak_bytes".into(),
+                a: base,
+                b: cand,
+                ratio,
+                status: if ratio > t.max_peak_ratio {
+                    DiffStatus::Fail
+                } else {
+                    DiffStatus::Ok
+                },
+            });
+        }
+        (Some(ma), _) => lines.push(DiffLine {
+            metric: "mem:allocator_peak_bytes".into(),
+            a: ma.peak_bytes as f64,
+            b: b.memory.as_ref().map_or(f64::NAN, |m| m.peak_bytes as f64),
+            ratio: f64::NAN,
+            status: DiffStatus::Info,
+        }),
+        (None, Some(mb)) => lines.push(DiffLine {
+            metric: "mem:allocator_peak_bytes".into(),
+            a: f64::NAN,
+            b: mb.peak_bytes as f64,
+            ratio: f64::NAN,
+            status: DiffStatus::Info,
+        }),
+        (None, None) => {}
+    }
+
     for (name, &base) in &a.counters {
         let cand = b.counters.get(name).copied();
         let changed = cand != Some(base);
@@ -395,11 +445,22 @@ pub fn render_top(report: &BenchReport) -> String {
             .then(tb.2.cmp(&ta.2))
     });
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{:>8}  {:>12}  {:>12}  span",
-        "calls", "total_ms", "self_ms"
-    );
+    // When the report carries a v3 memory section, the treetable gains
+    // self/cumulative allocation columns next to the time columns.
+    let mem = report.memory.as_ref();
+    if mem.is_some() {
+        let _ = writeln!(
+            out,
+            "{:>8}  {:>12}  {:>12}  {:>14}  {:>14}  span",
+            "calls", "total_ms", "self_ms", "self_alloc_b", "cum_alloc_b"
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "{:>8}  {:>12}  {:>12}  span",
+            "calls", "total_ms", "self_ms"
+        );
+    }
     // Emit as a tree: walk paths depth-first using the path prefix.
     let mut ordered: Vec<&String> = Vec::new();
     fn push_children<'a>(
@@ -423,12 +484,119 @@ pub fn render_top(report: &BenchReport) -> String {
         let &(calls, total, own) = &times[path];
         let depth = path.matches('/').count();
         let leaf = path.rsplit('/').next().unwrap_or(path);
+        if let Some(m) = mem {
+            let self_b = m.spans.get(path).map_or(0, |a| a.bytes);
+            let _ = writeln!(
+                out,
+                "{:>8}  {:>12.3}  {:>12.3}  {:>14}  {:>14}  {}{}",
+                calls,
+                total.as_secs_f64() * 1e3,
+                own.as_secs_f64() * 1e3,
+                self_b,
+                cumulative_bytes(&m.spans, path),
+                "  ".repeat(depth),
+                leaf
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "{:>8}  {:>12.3}  {:>12.3}  {}{}",
+                calls,
+                total.as_secs_f64() * 1e3,
+                own.as_secs_f64() * 1e3,
+                "  ".repeat(depth),
+                leaf
+            );
+        }
+    }
+    out
+}
+
+/// Cumulative allocation bytes for a path: its own self bytes plus every
+/// descendant's (path-prefix sum). Valid at any thread count because the
+/// table stores *self* figures per path — cross-thread children carry
+/// their own rows, never double-counted in the dispatcher's.
+fn cumulative_bytes(
+    spans: &std::collections::BTreeMap<String, crate::SpanAlloc>,
+    path: &str,
+) -> u64 {
+    spans
+        .iter()
+        .filter(|(p, _)| {
+            p.as_str() == path
+                || (p.starts_with(path) && p.as_bytes().get(path.len()) == Some(&b'/'))
+        })
+        .map(|(_, a)| a.bytes)
+        .sum()
+}
+
+/// Renders the `icn obs mem` allocation treetable for a report: the
+/// allocator window summary followed by every span path as an indented
+/// tree with self bytes, cumulative bytes (self + descendants), self
+/// allocation count, and the path's largest single-occurrence peak
+/// contribution. Reports without a memory section (pre-v3, or produced
+/// by a binary without a counting allocator) render an explanatory line
+/// instead.
+pub fn render_mem(report: &BenchReport) -> String {
+    let Some(mem) = &report.memory else {
+        return "no memory section: report predates icn-obs/v3 or its \
+                producing binary did not count allocations\n"
+            .to_string();
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "allocator window: peak {} B, net live {} B, churn {} B ({} allocs / {} frees)",
+        mem.peak_bytes, mem.live_bytes, mem.total_alloc_bytes, mem.total_allocs, mem.total_frees
+    );
+    if let Some(hwm) = mem.vm_hwm_bytes {
+        let _ = writeln!(out, "process VmHWM: {hwm} B (whole lifetime, not windowed)");
+    }
+    if let Some(budget) = mem.budget_mb {
         let _ = writeln!(
             out,
-            "{:>8}  {:>12.3}  {:>12.3}  {}{}",
-            calls,
-            total.as_secs_f64() * 1e3,
-            own.as_secs_f64() * 1e3,
+            "budget: {budget} MiB -> {}",
+            mem.budget_verdict.as_deref().unwrap_or("unknown")
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:>14}  {:>14}  {:>8}  {:>14}  span",
+        "self_bytes", "cum_bytes", "allocs", "peak_growth_b"
+    );
+    // Same depth-first tree walk as `render_top`, ordered by cumulative
+    // bytes descending among siblings.
+    let mut ordered: Vec<&String> = Vec::new();
+    fn push_children<'a>(
+        parent: &str,
+        spans: &'a std::collections::BTreeMap<String, crate::SpanAlloc>,
+        ordered: &mut Vec<&'a String>,
+    ) {
+        let mut level: Vec<&String> = spans
+            .keys()
+            .filter(|path| match path.rsplit_once('/') {
+                Some((p, _)) => p == parent,
+                None => parent.is_empty(),
+            })
+            .collect();
+        level.sort_by_key(|path| std::cmp::Reverse(cumulative_bytes(spans, path)));
+        for path in level {
+            ordered.push(path);
+            push_children(path, spans, ordered);
+        }
+    }
+    push_children("", &mem.spans, &mut ordered);
+    for path in ordered {
+        let a = &mem.spans[path.as_str()];
+        let depth = path.matches('/').count();
+        let leaf = path.rsplit('/').next().unwrap_or(path);
+        let _ = writeln!(
+            out,
+            "{:>14}  {:>14}  {:>8}  {:>14}  {}{}",
+            a.bytes,
+            cumulative_bytes(&mem.spans, path),
+            a.allocs,
+            a.peak_growth_bytes,
             "  ".repeat(depth),
             leaf
         );
@@ -620,5 +788,124 @@ mod tests {
         let lines: Vec<&str> = table.lines().collect();
         assert!(lines[1].contains("stage3_surrogate"));
         assert!(lines[2].contains("  shap_batch"));
+    }
+
+    fn memory_with(peak: u64) -> crate::MemoryReport {
+        crate::MemoryReport {
+            live_bytes: 1024,
+            peak_bytes: peak,
+            total_alloc_bytes: peak * 2,
+            total_allocs: 10,
+            total_frees: 8,
+            vm_hwm_bytes: None,
+            budget_mb: None,
+            budget_verdict: None,
+            spans: std::collections::BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn allocator_peak_gates_growth_not_shrinkage() {
+        let mut a = report_with(100.0, 50_000, 1000.0);
+        a.memory = Some(memory_with(100 << 20));
+        // 1.4x growth: under the 1.5x default.
+        let mut b = report_with(100.0, 50_000, 1000.0);
+        b.memory = Some(memory_with(140 << 20));
+        assert!(diff_reports(&a, &b, &DiffThresholds::default()).passed());
+        // Shrinkage is a win, never a failure.
+        b.memory = Some(memory_with(10 << 20));
+        assert!(diff_reports(&a, &b, &DiffThresholds::default()).passed());
+        // 2.5x growth fails, even with identical walls and gauges.
+        b.memory = Some(memory_with(250 << 20));
+        let d = diff_reports(&a, &b, &DiffThresholds::default());
+        assert!(!d.passed());
+        assert!(d
+            .lines
+            .iter()
+            .any(|l| l.metric == "mem:allocator_peak_bytes" && l.status == DiffStatus::Fail));
+        // A looser explicit threshold admits it again.
+        let loose = DiffThresholds {
+            max_peak_ratio: 3.0,
+            ..DiffThresholds::default()
+        };
+        assert!(diff_reports(&a, &b, &loose).passed());
+    }
+
+    #[test]
+    fn missing_memory_section_is_informational_both_ways() {
+        // v2 baseline against a v3 candidate (and vice versa) must not
+        // fail the gate — cross-version lineage diffs degrade gracefully.
+        let plain = report_with(100.0, 50_000, 1000.0);
+        let mut counted = report_with(100.0, 50_000, 1000.0);
+        counted.memory = Some(memory_with(100 << 20));
+        for (base, cand) in [(&plain, &counted), (&counted, &plain)] {
+            let d = diff_reports(base, cand, &DiffThresholds::default());
+            assert!(d.passed(), "{}", d.render());
+            assert!(d
+                .lines
+                .iter()
+                .any(|l| l.metric == "mem:allocator_peak_bytes" && l.status == DiffStatus::Info));
+        }
+        // Neither side counted: no line at all.
+        let d = diff_reports(&plain, &plain, &DiffThresholds::default());
+        assert!(!d.lines.iter().any(|l| l.metric.starts_with("mem:")));
+    }
+
+    #[test]
+    fn mem_table_renders_summary_and_tree() {
+        let mut rep = report_with(100.0, 50_000, 1000.0);
+        let mut mem = memory_with(5000);
+        mem.budget_mb = Some(512);
+        mem.budget_verdict = Some("ok".into());
+        mem.spans.insert(
+            "stage3_surrogate".into(),
+            crate::SpanAlloc {
+                bytes: 1000,
+                allocs: 3,
+                peak_growth_bytes: 5000,
+            },
+        );
+        mem.spans.insert(
+            "stage3_surrogate/shap_batch".into(),
+            crate::SpanAlloc {
+                bytes: 250,
+                allocs: 2,
+                peak_growth_bytes: 250,
+            },
+        );
+        rep.memory = Some(mem);
+        let table = render_mem(&rep);
+        assert!(table.contains("peak 5000 B"));
+        assert!(table.contains("budget: 512 MiB -> ok"));
+        let lines: Vec<&str> = table.lines().collect();
+        let root = lines
+            .iter()
+            .find(|l| l.ends_with("stage3_surrogate"))
+            .unwrap();
+        // Cumulative = self (1000) + child (250).
+        assert!(root.contains("1250"));
+        assert!(table.contains("  shap_batch"));
+        // A report without a memory section explains itself.
+        let plain = report_with(100.0, 50_000, 1000.0);
+        assert!(render_mem(&plain).contains("no memory section"));
+    }
+
+    #[test]
+    fn top_table_gains_alloc_columns_with_memory() {
+        let mut rep = report_with(100.0, 50_000, 1000.0);
+        assert!(!render_top(&rep).contains("cum_alloc_b"));
+        let mut mem = memory_with(5000);
+        mem.spans.insert(
+            "stage3_surrogate".into(),
+            crate::SpanAlloc {
+                bytes: 4096,
+                allocs: 1,
+                peak_growth_bytes: 4096,
+            },
+        );
+        rep.memory = Some(mem);
+        let table = render_top(&rep);
+        assert!(table.contains("cum_alloc_b"));
+        assert!(table.contains("4096"));
     }
 }

@@ -18,14 +18,21 @@
 //!   load, so instrumented library code costs nothing unless a harness
 //!   opts in. Hot loops tally locally and flush once per call, so enabling
 //!   metrics can never perturb numeric results either.
-//! * Exporters — [`BenchReport`], a stable JSON schema (`icn-obs/v2`,
-//!   still reading `v1`) written to `BENCH_*.json` files, giving every
-//!   perf PR a machine-readable baseline to beat; and
+//! * [`mem`] — allocation accounting: [`CountingAlloc`], a counting
+//!   `#[global_allocator]` wrapper over `System` that harness binaries
+//!   install, tracking window live/peak bytes globally and attributing
+//!   allocation churn to the span open on the allocating thread. Gated
+//!   on the same single-flag contract as the registry.
+//! * Exporters — [`BenchReport`], a stable JSON schema (`icn-obs/v3`,
+//!   still reading `v1`/`v2`) written to `BENCH_*.json` files, giving
+//!   every perf PR a machine-readable baseline to beat; and
 //!   [`chrome::chrome_trace`], a Chrome trace-event export
 //!   (`chrome://tracing` / Perfetto) of the full span tree.
 //! * Tooling — [`diff::diff_reports`] compares two reports against
-//!   per-metric thresholds (the CI perf regression gate) and
-//!   [`diff::render_top`] prints a self-time treetable.
+//!   per-metric thresholds (the CI perf regression gate, including the
+//!   asymmetric peak-memory gate), [`diff::render_top`] prints a
+//!   self-time treetable and [`diff::render_mem`] the allocation
+//!   treetable behind `icn obs mem`.
 //!
 //! Typical harness usage:
 //!
@@ -44,7 +51,10 @@
 //! reg.reset();
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the counting global-allocator wrapper in `mem`
+// is the workspace's one sanctioned `unsafe` block and carries its own
+// scoped allow + SAFETY argument.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chrome;
@@ -52,25 +62,32 @@ pub mod diff;
 pub mod hist;
 pub mod json;
 pub mod log;
+pub mod mem;
 pub mod registry;
 pub mod report;
 pub mod span;
 pub mod trace;
 
 pub use chrome::{chrome_trace, write_chrome_trace};
-pub use diff::{diff_reports, render_top, DiffReport, DiffStatus, DiffThresholds};
+pub use diff::{diff_reports, render_mem, render_top, DiffReport, DiffStatus, DiffThresholds};
 pub use hist::Histogram;
 pub use json::Json;
 pub use log::{Level, LogFilter, LogRecord};
+pub use mem::{gauge_bytes, vm_hwm_bytes, CountingAlloc, MemStats};
 pub use registry::{Registry, Snapshot};
 pub use report::{
-    pair_reports, stage_for_counter, BenchReport, BenchReportSet, EnvInfo, StageReport,
-    FORECAST_STAGE, PIPELINE_STAGES, SCHEMA, SET_SCHEMA,
+    pair_reports, stage_for_counter, BenchReport, BenchReportSet, EnvInfo, MemoryReport, SpanAlloc,
+    StageReport, FORECAST_STAGE, PIPELINE_STAGES, SCHEMA, SET_SCHEMA,
 };
 pub use span::{current_handoff, Handoff, Span};
 pub use trace::{self_times, AttrValue, SpanData, SpanEvent};
 
 static GLOBAL: Registry = Registry::new();
+
+/// Serializes unit tests that touch the process-global allocation
+/// window (`mem` counters are process state, like the global registry).
+#[cfg(test)]
+pub(crate) static MEM_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 /// The process-global registry that library instrumentation reports to.
 /// Disabled (and therefore free) by default; harness binaries enable it

@@ -122,18 +122,32 @@ impl Registry {
 
     /// Starts collecting and anchors the trace epoch (if not already
     /// set). Previously collected data is kept; call [`Registry::reset`]
-    /// for a clean slate.
+    /// for a clean slate. On the process-global registry this also
+    /// starts allocation counting (see [`crate::mem`]) — private
+    /// registries never touch the process-wide allocator window.
     pub fn enable(&self) {
         {
             let mut inner = self.inner.lock().expect("icn-obs registry poisoned");
             inner.epoch.get_or_insert_with(Instant::now);
         }
+        if self.is_global() {
+            crate::mem::set_enabled(true);
+        }
         self.enabled.store(true, Ordering::SeqCst);
     }
 
-    /// Stops collecting (mutating calls become single-load no-ops again).
+    /// Stops collecting (mutating calls become single-load no-ops again,
+    /// and — on the global registry — the allocator counting branch goes
+    /// back to its disabled fast path).
     pub fn disable(&self) {
         self.enabled.store(false, Ordering::SeqCst);
+        if self.is_global() {
+            crate::mem::set_enabled(false);
+        }
+    }
+
+    fn is_global(&self) -> bool {
+        std::ptr::eq(self, crate::global())
     }
 
     /// Whether the registry is currently collecting.
@@ -144,12 +158,17 @@ impl Registry {
 
     /// Clears all collected data and the trace epoch (enabled state is
     /// unchanged; span ids keep growing so ids never repeat within a
-    /// process).
+    /// process). On the global registry this also zeroes the allocation
+    /// window ([`crate::mem::reset_window`]), so a threads-sweep loop
+    /// gets one clean byte window per member run.
     pub fn reset(&self) {
         let mut inner = self.inner.lock().expect("icn-obs registry poisoned");
         *inner = Inner::default();
         if self.is_enabled() {
             inner.epoch = Some(Instant::now());
+        }
+        if self.is_global() {
+            crate::mem::reset_window();
         }
     }
 
@@ -284,6 +303,9 @@ impl Registry {
             thread: 0,
             start: Duration::ZERO,
             wall,
+            alloc_bytes: 0,
+            allocs: 0,
+            peak_growth_bytes: 0,
             attrs: Vec::new(),
             events: Vec::new(),
         });

@@ -1,12 +1,12 @@
 //! Machine-readable performance reports (`BENCH_*.json`).
 //!
 //! A [`BenchReport`] freezes a [`crate::Registry`] snapshot into a stable
-//! JSON schema (`icn-obs/v2`) that the perf trajectory tooling can diff
+//! JSON schema (`icn-obs/v3`) that the perf trajectory tooling can diff
 //! across PRs:
 //!
 //! ```json
 //! {
-//!   "schema": "icn-obs/v2",
+//!   "schema": "icn-obs/v3",
 //!   "run_id": "all_experiments",
 //!   "scale": 1.0,
 //!   "env": {"os": "linux", "arch": "x86_64", "threads": 16, "unix_time": 0,
@@ -22,16 +22,31 @@
 //!                   "p50": 1920, "p90": 3584, "p99": 4096,
 //!                   "buckets": [[61, 10], [70, 54]]}],
 //!   "counters": {"cluster.merges": 4761},
-//!   "gauges": {"shap.samples_per_sec": 1234.5}
+//!   "gauges": {"shap.samples_per_sec": 1234.5},
+//!   "memory": {
+//!     "allocator": {"live_bytes": 104857, "peak_bytes": 412000000,
+//!                   "total_alloc_bytes": 900000000,
+//!                   "allocs": 120000, "frees": 119000},
+//!     "vm_hwm_bytes": 523000000,
+//!     "spans": [{"path": "stage2_cluster/condensed", "alloc_bytes": 4096,
+//!                "allocs": 1, "peak_growth_bytes": 4096}]
+//!   }
 //! }
 //! ```
 //!
-//! **Versioning.** `icn-obs/v2` is a strict superset of `icn-obs/v1`:
-//! every v1 field keeps its meaning and position, v2 adds the
-//! `histograms` section, per-span `self_ms`, and the `git_commit` /
-//! `scale` / `chunk` environment fields. [`BenchReport::parse`] reads
-//! both versions (v1 reports simply come back with no histograms), so the
-//! committed `BENCH_pr*.json` trajectory stays diffable end to end.
+//! **Versioning.** Each schema revision is a strict superset of the one
+//! before: v2 added the `histograms` section, per-span `self_ms`, and
+//! the `git_commit` / `scale` / `chunk` environment fields; v3 adds the
+//! optional `memory` section ([`MemoryReport`]) — the allocator window
+//! from [`crate::mem`], `VmHWM` where readable, the per-span *self*
+//! allocation table, and the `--mem-budget-mb` verdict when a budget was
+//! enforced. [`BenchReport::parse`] reads all three versions (older
+//! reports simply come back without the newer sections), so the
+//! committed `BENCH_pr*.json` trajectory stays diffable end to end. The
+//! `memory` section is emitted only when the run actually counted
+//! allocations (a [`crate::mem::CountingAlloc`] was installed and the
+//! window saw traffic) — reports from uncounted binaries are
+//! byte-compatible with v2 modulo the schema tag.
 //!
 //! Stages are the **top-level** spans of the run (nesting path without a
 //! `/`). Counters attach to stages by name prefix — see
@@ -45,9 +60,12 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Schema identifier embedded in every report this crate writes.
-pub const SCHEMA: &str = "icn-obs/v2";
+pub const SCHEMA: &str = "icn-obs/v3";
 
 /// The previous schema identifier; [`BenchReport::parse`] still reads it.
+pub const SCHEMA_V2: &str = "icn-obs/v2";
+
+/// The original schema identifier; [`BenchReport::parse`] still reads it.
 pub const SCHEMA_V1: &str = "icn-obs/v1";
 
 /// Schema identifier for a multi-configuration report *set* — the file
@@ -212,6 +230,59 @@ fn validate_hash(s: &str) -> Option<String> {
     }
 }
 
+/// Per-span *self* allocation attribution in a report's memory section —
+/// one row of the `icn obs mem` treetable. Cumulative figures are
+/// derived by summing self bytes over a path's subtree (path-prefix sum).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanAlloc {
+    /// Self allocation bytes (see [`crate::SpanData::alloc_bytes`]),
+    /// summed over all occurrences of the path.
+    pub bytes: u64,
+    /// Self allocation count, summed over all occurrences.
+    pub allocs: u64,
+    /// Largest single-occurrence peak contribution
+    /// ([`crate::SpanData::peak_growth_bytes`]) — max, not sum: peaks
+    /// are high-water marks.
+    pub peak_growth_bytes: u64,
+}
+
+/// The v3 `memory` section: the allocator window totals, optional OS
+/// high-water mark, the per-span allocation table, and — when the run
+/// enforced `--mem-budget-mb` — the budget and its verdict. Present only
+/// when the producing binary counted allocations (see [`crate::mem`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MemoryReport {
+    /// Net bytes allocated minus freed over the metered window (signed:
+    /// pre-window allocations freed inside the window drive it negative).
+    pub live_bytes: i64,
+    /// High-water mark of the window's net balance — the number the
+    /// `--max-peak-ratio` diff gate and `--mem-budget-mb` enforce.
+    pub peak_bytes: u64,
+    /// Cumulative bytes requested in the window (allocation churn).
+    pub total_alloc_bytes: u64,
+    /// Allocation count in the window.
+    pub total_allocs: u64,
+    /// Deallocation count in the window.
+    pub total_frees: u64,
+    /// `VmHWM` from `/proc/self/status`, when readable (Linux). Whole
+    /// process lifetime, not windowed — context, not a gate.
+    pub vm_hwm_bytes: Option<u64>,
+    /// The enforced memory budget in MiB, when the run had one.
+    pub budget_mb: Option<u64>,
+    /// `"ok"` or `"breached"`, when a budget was enforced.
+    pub budget_verdict: Option<String>,
+    /// Per-path self allocation attribution (threads-advisory — see
+    /// [`crate::mem`]; canonical at `ICN_THREADS=1`).
+    pub spans: BTreeMap<String, SpanAlloc>,
+}
+
+impl MemoryReport {
+    /// Whether the run breached its enforced budget.
+    pub fn breached(&self) -> bool {
+        self.budget_verdict.as_deref() == Some("breached")
+    }
+}
+
 /// A frozen, exportable run report. See the module docs for the schema.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchReport {
@@ -232,6 +303,9 @@ pub struct BenchReport {
     /// Last-write-wins gauges (throughputs such as `shap.samples_per_sec`
     /// and `forest.predict_rows_per_sec`).
     pub gauges: BTreeMap<String, f64>,
+    /// The v3 memory section; `None` when the producing binary did not
+    /// count allocations (or the report predates v3).
+    pub memory: Option<MemoryReport>,
 }
 
 impl BenchReport {
@@ -258,6 +332,34 @@ impl BenchReport {
         }
         let mut env = EnvInfo::capture();
         env.scale = scale;
+        // A memory section is meaningful only when the running binary
+        // installed a counting allocator and the window saw traffic;
+        // `allocs == 0` otherwise, and the section is omitted so reports
+        // from uncounted binaries stay v2-shaped.
+        let mem = crate::mem::stats();
+        let memory = (mem.allocs > 0).then(|| MemoryReport {
+            live_bytes: mem.live_bytes,
+            peak_bytes: mem.peak_bytes,
+            total_alloc_bytes: mem.total_alloc_bytes,
+            total_allocs: mem.allocs,
+            total_frees: mem.frees,
+            vm_hwm_bytes: crate::mem::vm_hwm_bytes(),
+            budget_mb: None,
+            budget_verdict: None,
+            spans: crate::trace::alloc_by_path(&snapshot.span_tree)
+                .into_iter()
+                .map(|(path, (bytes, allocs, peak))| {
+                    (
+                        path,
+                        SpanAlloc {
+                            bytes,
+                            allocs,
+                            peak_growth_bytes: peak,
+                        },
+                    )
+                })
+                .collect(),
+        });
         BenchReport {
             run_id: run_id.to_string(),
             scale,
@@ -267,6 +369,7 @@ impl BenchReport {
             histograms: snapshot.histograms.clone(),
             counters: snapshot.counters.clone(),
             gauges: snapshot.gauges.clone(),
+            memory,
         }
     }
 
@@ -318,7 +421,7 @@ impl BenchReport {
         if let Some(chunk) = self.env.chunk {
             env_fields.push(("chunk", Json::num(chunk as f64)));
         }
-        Json::obj(vec![
+        let mut fields = vec![
             ("schema", Json::str(SCHEMA)),
             ("run_id", Json::str(&self.run_id)),
             ("scale", Json::num(self.scale)),
@@ -336,7 +439,11 @@ impl BenchReport {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(mem) = &self.memory {
+            fields.push(("memory", memory_to_json(mem)));
+        }
+        Json::obj(fields)
     }
 
     /// Writes the pretty JSON rendering to `path`.
@@ -354,9 +461,9 @@ impl BenchReport {
     /// of a [`BenchReportSet`], or a whole legacy single-report file).
     fn from_doc(doc: &Json) -> Result<BenchReport, String> {
         let schema = doc.get("schema").and_then(Json::as_str);
-        if schema != Some(SCHEMA) && schema != Some(SCHEMA_V1) {
+        if schema != Some(SCHEMA) && schema != Some(SCHEMA_V2) && schema != Some(SCHEMA_V1) {
             return Err(format!(
-                "missing or unknown schema tag (want {SCHEMA} or {SCHEMA_V1})"
+                "missing or unknown schema tag (want {SCHEMA}, {SCHEMA_V2} or {SCHEMA_V1})"
             ));
         }
         let run_id = doc
@@ -459,6 +566,12 @@ impl BenchReport {
                 gauges.insert(k.clone(), v.as_f64().ok_or("non-numeric gauge")?);
             }
         }
+        // Absent in v1/v2 reports and in v3 reports from uncounted
+        // binaries — optional.
+        let memory = match doc.get("memory") {
+            Some(m) => Some(memory_from_json(m)?),
+            None => None,
+        };
         Ok(BenchReport {
             run_id,
             scale,
@@ -468,6 +581,7 @@ impl BenchReport {
             histograms,
             counters,
             gauges,
+            memory,
         })
     }
 
@@ -569,6 +683,84 @@ pub fn pair_reports<'a>(
         .iter()
         .filter_map(|base| matching(base).map(|cand| (base, cand)))
         .collect()
+}
+
+/// Renders the v3 `memory` section. All byte counts are JSON numbers —
+/// exact below 2^53, i.e. up to 8 PiB, far beyond any real window.
+fn memory_to_json(mem: &MemoryReport) -> Json {
+    let allocator = Json::obj(vec![
+        ("live_bytes", Json::num(mem.live_bytes as f64)),
+        ("peak_bytes", Json::num(mem.peak_bytes as f64)),
+        ("total_alloc_bytes", Json::num(mem.total_alloc_bytes as f64)),
+        ("allocs", Json::num(mem.total_allocs as f64)),
+        ("frees", Json::num(mem.total_frees as f64)),
+    ]);
+    let mut fields = vec![("allocator", allocator)];
+    if let Some(hwm) = mem.vm_hwm_bytes {
+        fields.push(("vm_hwm_bytes", Json::num(hwm as f64)));
+    }
+    if let Some(budget) = mem.budget_mb {
+        fields.push(("budget_mb", Json::num(budget as f64)));
+    }
+    if let Some(verdict) = &mem.budget_verdict {
+        fields.push(("budget_verdict", Json::str(verdict)));
+    }
+    let spans: Vec<Json> = mem
+        .spans
+        .iter()
+        .map(|(path, a)| {
+            Json::obj(vec![
+                ("path", Json::str(path)),
+                ("alloc_bytes", Json::num(a.bytes as f64)),
+                ("allocs", Json::num(a.allocs as f64)),
+                ("peak_growth_bytes", Json::num(a.peak_growth_bytes as f64)),
+            ])
+        })
+        .collect();
+    fields.push(("spans", Json::Arr(spans)));
+    Json::obj(fields)
+}
+
+fn memory_from_json(doc: &Json) -> Result<MemoryReport, String> {
+    let alloc = doc.get("allocator").ok_or("memory missing allocator")?;
+    let num = |d: &Json, key: &str| d.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    let mut spans = BTreeMap::new();
+    if let Some(items) = doc.get("spans").and_then(Json::as_arr) {
+        for s in items {
+            let path = s
+                .get("path")
+                .and_then(Json::as_str)
+                .ok_or("memory span missing path")?;
+            spans.insert(
+                path.to_string(),
+                SpanAlloc {
+                    bytes: num(s, "alloc_bytes") as u64,
+                    allocs: num(s, "allocs") as u64,
+                    peak_growth_bytes: num(s, "peak_growth_bytes") as u64,
+                },
+            );
+        }
+    }
+    Ok(MemoryReport {
+        live_bytes: num(alloc, "live_bytes") as i64,
+        peak_bytes: num(alloc, "peak_bytes") as u64,
+        total_alloc_bytes: num(alloc, "total_alloc_bytes") as u64,
+        total_allocs: num(alloc, "allocs") as u64,
+        total_frees: num(alloc, "frees") as u64,
+        vm_hwm_bytes: doc
+            .get("vm_hwm_bytes")
+            .and_then(Json::as_f64)
+            .map(|v| v as u64),
+        budget_mb: doc
+            .get("budget_mb")
+            .and_then(Json::as_f64)
+            .map(|v| v as u64),
+        budget_verdict: doc
+            .get("budget_verdict")
+            .and_then(Json::as_str)
+            .map(str::to_string),
+        spans,
+    })
 }
 
 /// Renders one histogram as its v2 JSON object. Quantiles are included
@@ -700,6 +892,65 @@ mod tests {
         // 20ms total, 5ms in the nested condensed span.
         let self_ms = s2.get("self_ms").and_then(Json::as_f64).unwrap();
         assert!((self_ms - 15.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn memory_section_builds_and_round_trips() {
+        // Drives the process-global allocation window → mem lock.
+        let _mem = crate::MEM_TEST_LOCK.lock().unwrap();
+        crate::mem::reset_window();
+        crate::mem::on_alloc(4096);
+        crate::mem::on_free(1024);
+        let mut rep = BenchReport::build(&sample_snapshot(), "mem", 1.0);
+        crate::mem::reset_window();
+        let m = rep.memory.as_mut().expect("window saw traffic");
+        assert_eq!(m.peak_bytes, 4096);
+        assert_eq!(m.live_bytes, 3072);
+        assert_eq!(m.total_alloc_bytes, 4096);
+        assert_eq!(m.total_allocs, 1);
+        assert_eq!(m.total_frees, 1);
+        if cfg!(target_os = "linux") {
+            assert!(m.vm_hwm_bytes.is_some());
+        }
+        // Every snapshot span path appears in the attribution table (all
+        // zeros here: record_span_parts carries no allocation data).
+        assert!(m.spans.contains_key("stage2_cluster/condensed"));
+        // Budget stamps survive the JSON round trip too.
+        m.budget_mb = Some(512);
+        m.budget_verdict = Some("ok".into());
+        let back = BenchReport::parse(&rep.to_json().to_pretty()).unwrap();
+        assert_eq!(back.memory, rep.memory);
+        assert!(!back.memory.unwrap().breached());
+    }
+
+    #[test]
+    fn memory_section_is_omitted_when_window_is_empty() {
+        let _mem = crate::MEM_TEST_LOCK.lock().unwrap();
+        crate::mem::reset_window();
+        let rep = BenchReport::build(&sample_snapshot(), "nomem", 1.0);
+        assert!(rep.memory.is_none());
+        // And the JSON carries no memory key at all — v2-shaped.
+        assert!(rep.to_json().get("memory").is_none());
+    }
+
+    #[test]
+    fn parse_accepts_v2_reports_without_memory() {
+        let v2 = r#"{
+          "schema": "icn-obs/v2",
+          "run_id": "prior",
+          "scale": 1.0,
+          "env": {"os": "linux", "arch": "x86_64", "threads": 2, "unix_time": 7,
+                  "scale": 1.0},
+          "stages": [{"name": "stage1_transform", "wall_ms": 12.0, "counters": {}}],
+          "spans": [{"path": "stage1_transform", "calls": 1, "wall_ms": 12.0,
+                     "self_ms": 12.0}],
+          "histograms": [],
+          "counters": {},
+          "gauges": {}
+        }"#;
+        let rep = BenchReport::parse(v2).unwrap();
+        assert_eq!(rep.run_id, "prior");
+        assert!(rep.memory.is_none());
     }
 
     #[test]

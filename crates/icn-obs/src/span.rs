@@ -42,6 +42,12 @@ use std::time::Instant;
 struct Frame {
     id: u64,
     path: String,
+    /// Allocation bytes attributed to already-dropped same-thread child
+    /// spans, accumulated so this span can report *self* attribution
+    /// (its own thread delta minus its children's).
+    child_alloc_bytes: u64,
+    /// Allocation count attributed to same-thread child spans.
+    child_allocs: u64,
 }
 
 thread_local! {
@@ -138,6 +144,15 @@ struct SpanState {
     name: String,
     path: String,
     start: Instant,
+    /// Thread-cumulative allocation counters at enter; the drop-time
+    /// difference is this span's allocation delta (self + same-thread
+    /// children). Zero-cost when no counting allocator is installed —
+    /// the counters just stay at zero.
+    bytes_at_enter: u64,
+    allocs_at_enter: u64,
+    /// Window peak at enter, so the drop can report how far the
+    /// process-wide high-water mark rose during the span.
+    peak_at_enter: u64,
     attrs: Vec<(String, AttrValue)>,
     events: Vec<SpanEvent>,
 }
@@ -167,9 +182,12 @@ impl Span {
             stack.push(Frame {
                 id,
                 path: path.clone(),
+                child_alloc_bytes: 0,
+                child_allocs: 0,
             });
             (parent, path)
         });
+        let (bytes_at_enter, allocs_at_enter) = crate::mem::thread_totals();
         Span {
             state: Some(SpanState {
                 registry,
@@ -178,6 +196,9 @@ impl Span {
                 name: name.to_string(),
                 path,
                 start: Instant::now(),
+                bytes_at_enter,
+                allocs_at_enter,
+                peak_at_enter: crate::mem::window_peak(),
                 attrs: Vec::new(),
                 events: Vec::new(),
             }),
@@ -215,13 +236,32 @@ impl Drop for Span {
             return;
         };
         let wall = state.start.elapsed();
-        STACK.with(|stack| {
+        // This thread's allocation delta over the span covers self plus
+        // same-thread children; subtracting the child frames' deltas
+        // leaves self attribution. Cross-thread (adopted) children keep
+        // their own deltas, so nothing is double-counted — subtree sums
+        // stay consistent at any thread count.
+        let (bytes_now, allocs_now) = crate::mem::thread_totals();
+        let delta_bytes = bytes_now.saturating_sub(state.bytes_at_enter);
+        let delta_allocs = allocs_now.saturating_sub(state.allocs_at_enter);
+        let peak_growth = crate::mem::window_peak().saturating_sub(state.peak_at_enter);
+        let (child_bytes, child_allocs) = STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             // Pop up to and including this span's frame; tolerates
             // out-of-order drops without panicking.
-            if let Some(pos) = stack.iter().rposition(|f| f.id == state.id) {
-                stack.truncate(pos);
+            let children = match stack.iter().rposition(|f| f.id == state.id) {
+                Some(pos) => {
+                    let own = (stack[pos].child_alloc_bytes, stack[pos].child_allocs);
+                    stack.truncate(pos);
+                    own
+                }
+                None => (0, 0),
+            };
+            if let Some(parent) = stack.last_mut() {
+                parent.child_alloc_bytes += delta_bytes;
+                parent.child_allocs += delta_allocs;
             }
+            children
         });
         state.registry.record_span(
             SpanData {
@@ -232,6 +272,9 @@ impl Drop for Span {
                 thread: thread_index(),
                 start: std::time::Duration::ZERO, // set from epoch by the registry
                 wall,
+                alloc_bytes: delta_bytes.saturating_sub(child_bytes),
+                allocs: delta_allocs.saturating_sub(child_allocs),
+                peak_growth_bytes: peak_growth,
                 attrs: state.attrs,
                 events: state.events,
             },
@@ -427,6 +470,75 @@ mod tests {
             snap.span_tree.iter().filter(|s| s.parent.is_none()).count(),
             1
         );
+    }
+
+    #[test]
+    fn alloc_deltas_attribute_self_vs_children() {
+        let _guard = LOCK.lock().unwrap();
+        // Also drives the process-global mem counters (always span LOCK
+        // first, then the mem lock — same order everywhere).
+        let _mem = crate::MEM_TEST_LOCK.lock().unwrap();
+        let reg = crate::global();
+        reg.reset();
+        reg.enable();
+        {
+            let _outer = Span::enter("outer");
+            crate::mem::on_alloc(1000); // outer self
+            {
+                let _inner = Span::enter("inner");
+                crate::mem::on_alloc(300); // inner self
+            }
+            crate::mem::on_alloc(50); // outer self, after the child closed
+        }
+        reg.disable();
+        let snap = reg.snapshot();
+        reg.reset();
+        let outer = snap.span_tree.iter().find(|s| s.path == "outer").unwrap();
+        let inner = snap
+            .span_tree
+            .iter()
+            .find(|s| s.path == "outer/inner")
+            .unwrap();
+        assert_eq!(inner.alloc_bytes, 300);
+        assert_eq!(inner.allocs, 1);
+        // The child's 300 bytes are subtracted from the parent's delta.
+        assert_eq!(outer.alloc_bytes, 1050);
+        assert_eq!(outer.allocs, 2);
+    }
+
+    #[test]
+    fn cross_thread_worker_spans_carry_their_own_deltas() {
+        let _guard = LOCK.lock().unwrap();
+        let _mem = crate::MEM_TEST_LOCK.lock().unwrap();
+        let reg = crate::global();
+        reg.reset();
+        reg.enable();
+        {
+            let _stage = Span::enter("stage");
+            crate::mem::on_alloc(500);
+            let handoff = current_handoff().expect("span open");
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    let _adopt = handoff.adopt();
+                    let _w = Span::enter("worker");
+                    crate::mem::on_alloc(200);
+                });
+            });
+        }
+        reg.disable();
+        let snap = reg.snapshot();
+        reg.reset();
+        let stage = snap.span_tree.iter().find(|s| s.path == "stage").unwrap();
+        let worker = snap
+            .span_tree
+            .iter()
+            .find(|s| s.path == "stage/worker")
+            .unwrap();
+        // The worker allocated on its own thread: its bytes show up under
+        // its own path and are NOT double-counted in the dispatcher's
+        // self figure (subtree sum = 700, exactly what was allocated).
+        assert_eq!(worker.alloc_bytes, 200);
+        assert_eq!(stage.alloc_bytes, 500);
     }
 
     #[test]

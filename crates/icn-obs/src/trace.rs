@@ -82,6 +82,19 @@ pub struct SpanData {
     pub start: Duration,
     /// Wall time of this occurrence.
     pub wall: Duration,
+    /// *Self* allocation bytes: bytes allocated on this span's thread
+    /// while it was open, minus the bytes attributed to same-thread
+    /// child spans. Zero unless a [`crate::mem::CountingAlloc`] is
+    /// installed and counting. Attribution is threads-advisory — see
+    /// the [`crate::mem`] module docs.
+    pub alloc_bytes: u64,
+    /// *Self* allocation count, same attribution rules as
+    /// [`SpanData::alloc_bytes`].
+    pub allocs: u64,
+    /// How far the process-wide allocation window peak rose while this
+    /// span was open (its peak contribution; zero when the high-water
+    /// mark was set elsewhere).
+    pub peak_growth_bytes: u64,
     /// Attached key = value attributes, in insertion order.
     pub attrs: Vec<(String, AttrValue)>,
     /// Point events recorded inside the span, in time order.
@@ -93,6 +106,26 @@ impl SpanData {
     pub fn attr(&self, key: &str) -> Option<&AttrValue> {
         self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
+}
+
+/// Aggregates per-occurrence *self* allocation attribution by span path:
+/// `path → (self bytes, self allocs, max peak growth)`. Because every
+/// occurrence carries self (not cumulative) figures — cross-thread
+/// children subtract nothing from their dispatcher — a path's cumulative
+/// bytes are simply the sum of self bytes over its subtree, which the
+/// treetable renderers compute by path prefix.
+pub fn alloc_by_path(
+    span_tree: &[SpanData],
+) -> std::collections::BTreeMap<String, (u64, u64, u64)> {
+    let mut out: std::collections::BTreeMap<String, (u64, u64, u64)> =
+        std::collections::BTreeMap::new();
+    for s in span_tree {
+        let e = out.entry(s.path.clone()).or_insert((0, 0, 0));
+        e.0 += s.alloc_bytes;
+        e.1 += s.allocs;
+        e.2 = e.2.max(s.peak_growth_bytes);
+    }
+    out
 }
 
 /// Computes per-path self time (total wall minus the wall of direct
@@ -150,20 +183,44 @@ mod tests {
         assert_eq!(t["p"].2, Duration::ZERO);
     }
 
-    #[test]
-    fn attr_lookup() {
-        let d = SpanData {
+    fn span_at(path: &str, alloc_bytes: u64, allocs: u64, peak: u64) -> SpanData {
+        SpanData {
             id: 1,
             parent: None,
-            name: "x".into(),
-            path: "x".into(),
+            name: path.rsplit('/').next().unwrap_or(path).into(),
+            path: path.into(),
             thread: 0,
             start: Duration::ZERO,
             wall: Duration::ZERO,
-            attrs: vec![("rows".into(), AttrValue::U64(9))],
+            alloc_bytes,
+            allocs,
+            peak_growth_bytes: peak,
+            attrs: Vec::new(),
             events: Vec::new(),
-        };
+        }
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let mut d = span_at("x", 0, 0, 0);
+        d.attrs = vec![("rows".into(), AttrValue::U64(9))];
         assert_eq!(d.attr("rows"), Some(&AttrValue::U64(9)));
         assert_eq!(d.attr("missing"), None);
+    }
+
+    #[test]
+    fn alloc_by_path_sums_self_and_maxes_peak_growth() {
+        let tree = vec![
+            span_at("a", 100, 2, 50),
+            span_at("a/b", 30, 1, 10),
+            span_at("a/b", 20, 1, 40),
+            span_at("c", 0, 0, 0),
+        ];
+        let agg = alloc_by_path(&tree);
+        assert_eq!(agg["a"], (100, 2, 50));
+        // Repeated occurrences sum bytes/allocs but keep the max peak
+        // growth — peaks are high-water marks, not additive.
+        assert_eq!(agg["a/b"], (50, 2, 40));
+        assert_eq!(agg["c"], (0, 0, 0));
     }
 }

@@ -11,19 +11,31 @@
 //! icn testkit  [--bless]                        # golden-snapshot check / regeneration
 //! icn obs diff a.json b.json                    # gate report b against baseline a
 //! icn obs top  report.json                      # self-time treetable of a report
+//! icn obs mem  report.json                      # allocation treetable of a v3 report
 //! ```
 //!
 //! `icn run` is an alias of `icn study`. `--metrics-out <path>` writes an
-//! `icn-obs/v2` BenchReport, `--trace-out <path>` a Chrome trace-event
+//! `icn-obs/v3` BenchReport, `--trace-out <path>` a Chrome trace-event
 //! JSON (open in `chrome://tracing` or Perfetto); either flag enables the
-//! observability registry for the run. `ICN_LOG=level[,target=level]`
-//! filters the structured event log and echoes matches to stderr.
+//! observability registry for the run. `--mem-budget-mb <n>` additionally
+//! enforces a ceiling on the allocator window peak — a breached budget
+//! exits with status 3 after the report (with its stamped verdict) is
+//! written. `icn obs mem report.json` prints the per-span allocation
+//! treetable of a v3 report. `ICN_LOG=level[,target=level]` filters the
+//! structured event log and echoes matches to stderr.
 //!
 //! Flags are parsed by hand (the workspace deliberately avoids extra
 //! dependencies); every subcommand is deterministic in `--seed`.
 
 use icn_repro::prelude::*;
 use std::io::Write as _;
+
+// The binary owns the process, so it installs the counting allocator:
+// metered runs then carry an allocator-measured `memory` section. While
+// the registry is disabled this is a single relaxed-load branch per
+// allocation (see `icn_obs::mem`), and outputs stay bit-identical.
+#[global_allocator]
+static ALLOC: icn_repro::icn_obs::CountingAlloc = icn_repro::icn_obs::CountingAlloc::system();
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,7 +66,48 @@ fn main() {
         if cmd == "ingest" {
             report.env.chunk = Some(opts.chunk as u64);
         }
+        // Stamp the enforced budget and its verdict into the memory
+        // section, so the report itself records whether the run fit.
+        if let (Some(mb), Some(mem)) = (opts.mem_budget_mb, report.memory.as_mut()) {
+            mem.budget_mb = Some(mb);
+            mem.budget_verdict = Some(
+                if mem.peak_bytes > mb.saturating_mul(1024 * 1024) {
+                    "breached"
+                } else {
+                    "ok"
+                }
+                .to_string(),
+            );
+        }
         report
+    };
+    // Reports whether the run fit its `--mem-budget-mb`; `false` means
+    // the caller must exit 3 (after every output file is written).
+    let check_budget = |report: &BenchReport| -> bool {
+        let Some(mb) = opts.mem_budget_mb else {
+            return true;
+        };
+        match &report.memory {
+            Some(mem) if mem.breached() => {
+                eprintln!(
+                    "memory budget BREACHED: allocator peak {} bytes > {mb} MiB \
+                     (threads={})",
+                    mem.peak_bytes, report.env.threads
+                );
+                false
+            }
+            Some(mem) => {
+                eprintln!(
+                    "memory budget ok: allocator peak {} bytes <= {mb} MiB (threads={})",
+                    mem.peak_bytes, report.env.threads
+                );
+                true
+            }
+            None => {
+                eprintln!("memory budget: no allocation data recorded; budget not enforced");
+                true
+            }
+        }
     };
     if let Some(sweep) = &opts.threads_sweep {
         // One invocation, one report per thread count: every run shares
@@ -71,13 +124,18 @@ fn main() {
         obs.enable();
         let mut reports = Vec::with_capacity(sweep.len());
         let mut last_snap = None;
+        let mut budget_ok = true;
         for &threads in sweep {
             std::env::set_var("ICN_THREADS", threads.to_string());
+            // Also zeroes the allocation window, so each sweep member
+            // gets — and is budget-checked against — its own peak.
             obs.reset();
             eprintln!("threads-sweep: running {cmd} with {threads} thread(s)...");
             run(&opts);
             let snap = obs.snapshot();
-            reports.push(build_report(&snap));
+            let report = build_report(&snap);
+            budget_ok &= check_budget(&report);
+            reports.push(report);
             last_snap = Some(snap);
         }
         match saved {
@@ -100,16 +158,23 @@ fn main() {
             }
             eprintln!("chrome trace (last sweep run) written to {path}");
         }
+        if !budget_ok {
+            std::process::exit(3);
+        }
         return;
     }
-    if opts.metrics_out.is_some() || opts.trace_out.is_some() {
+    // A memory budget needs the allocation window even without report or
+    // trace output, so it enables metering on its own.
+    let metered =
+        opts.metrics_out.is_some() || opts.trace_out.is_some() || opts.mem_budget_mb.is_some();
+    if metered {
         icn_repro::icn_obs::global().enable();
     }
     run(&opts);
-    if opts.metrics_out.is_some() || opts.trace_out.is_some() {
+    if metered {
         let snap = icn_repro::icn_obs::global().snapshot();
+        let report = build_report(&snap);
         if let Some(path) = &opts.metrics_out {
-            let report = build_report(&snap);
             if let Err(e) = report.write_to_file(path) {
                 eprintln!("failed to write metrics to {path}: {e}");
                 std::process::exit(1);
@@ -123,13 +188,18 @@ fn main() {
             }
             eprintln!("chrome trace written to {path}");
         }
+        // Enforced only after every requested output is on disk, so a
+        // breached run still leaves its report (verdict included) behind.
+        if !check_budget(&report) {
+            std::process::exit(3);
+        }
     }
 }
 
-/// `icn obs <diff|top>` — report tooling; parses its own positional
+/// `icn obs <diff|top|mem>` — report tooling; parses its own positional
 /// arguments (the common Opts flags do not apply here).
 fn cmd_obs(args: &[String]) {
-    // Every report file — legacy single `icn-obs/v2` documents and
+    // Every report file — legacy single `icn-obs/v1..v3` documents and
     // `icn-bench-set/1` sweeps alike — loads through the set parser.
     fn load_set(path: &str) -> icn_repro::icn_obs::BenchReportSet {
         let text = match std::fs::read_to_string(path) {
@@ -183,6 +253,12 @@ fn cmd_obs(args: &[String]) {
                         t.max_bytes_ratio = take(i)
                             .and_then(|v| v.parse().ok())
                             .unwrap_or(t.max_bytes_ratio);
+                        i += 2;
+                    }
+                    "--max-peak-ratio" => {
+                        t.max_peak_ratio = take(i)
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or(t.max_peak_ratio);
                         i += 2;
                     }
                     "--strict-counters" => {
@@ -266,8 +342,24 @@ fn cmd_obs(args: &[String]) {
                 print!("{}", icn_repro::icn_obs::render_top(report));
             }
         }
+        Some("mem") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: icn obs mem <report.json>");
+                std::process::exit(2);
+            };
+            let set = load_set(path);
+            for report in &set.reports {
+                if set.reports.len() > 1 {
+                    println!(
+                        "== scale={} threads={} ==",
+                        report.scale, report.env.threads
+                    );
+                }
+                print!("{}", icn_repro::icn_obs::render_mem(report));
+            }
+        }
         _ => {
-            eprintln!("usage: icn obs <diff|top> ...");
+            eprintln!("usage: icn obs <diff|top|mem> ...");
             std::process::exit(2);
         }
     }
@@ -288,6 +380,7 @@ struct Opts {
     golden_dir: Option<String>,
     metrics_out: Option<String>,
     trace_out: Option<String>,
+    mem_budget_mb: Option<u64>,
     threads_sweep: Option<Vec<usize>>,
     chunk: usize,
     lateness: u32,
@@ -319,6 +412,7 @@ impl Opts {
             golden_dir: None,
             metrics_out: None,
             trace_out: None,
+            mem_budget_mb: None,
             threads_sweep: None,
             chunk: 4096,
             lateness: 2,
@@ -376,6 +470,16 @@ impl Opts {
                 }
                 "--trace-out" => {
                     o.trace_out = take(i).cloned();
+                    i += 2;
+                }
+                "--mem-budget-mb" => {
+                    match take(i).and_then(|v| v.parse().ok()) {
+                        Some(mb) if mb > 0 => o.mem_budget_mb = Some(mb),
+                        _ => {
+                            eprintln!("--mem-budget-mb wants a positive integer mebibyte count");
+                            std::process::exit(2);
+                        }
+                    }
                     i += 2;
                 }
                 "--threads-sweep" => {
@@ -539,7 +643,8 @@ fn usage_and_exit(bad: Option<&str>) -> ! {
          forecast   per-cluster busy-hour forecasts, backtest and anomaly scan\n  \
          testkit    check pipeline golden snapshots (--bless to regenerate)\n  \
          obs diff   compare two BenchReports against per-metric thresholds\n  \
-         obs top    print a self-time treetable of a BenchReport\n\n\
+         obs top    print a self-time treetable of a BenchReport\n  \
+         obs mem    print the allocation treetable of an icn-obs/v3 BenchReport\n\n\
          FLAGS:\n  \
          --scale <f>    population scale, 1.0 = 4,762 antennas (default 0.1)\n  \
          --seed <u64>   master seed\n  \
@@ -555,7 +660,9 @@ fn usage_and_exit(bad: Option<&str>) -> ! {
          --out <dir>    export directory (generate)\n  \
          --bless        regenerate golden snapshots instead of checking (testkit)\n  \
          --golden-dir <dir>  golden snapshot directory (testkit, default tests/golden)\n  \
-         --metrics-out <path>  write an icn-obs/v2 benchmark report (JSON)\n  \
+         --metrics-out <path>  write an icn-obs/v3 benchmark report (JSON)\n  \
+         --mem-budget-mb <n>  enforce a ceiling on the run's allocator peak; a breach\n                 \
+         stamps the report verdict and exits with status 3\n  \
          --threads-sweep <list>  re-run the command once per thread count (e.g. 1,2 or\n                 \
          1,max) and write an icn-bench-set/1 report set to --metrics-out\n  \
          --trace-out <path>  write a Chrome trace-event JSON (chrome://tracing, Perfetto)\n  \
@@ -570,7 +677,9 @@ fn usage_and_exit(bad: Option<&str>) -> ! {
          --horizon <h>  forecast horizon in hours (forecast, default 24)\n  \
          --model <m>    headline forecast model: naive, ets or forest (forecast, default ets)\n  \
          --skip-missing       obs diff: stages absent from the candidate are skipped, not failed\n  \
-         --stage-wall-ratio <stage>=<r>  obs diff: per-stage wall-clock ratio override (repeatable)"
+         --stage-wall-ratio <stage>=<r>  obs diff: per-stage wall-clock ratio override (repeatable)\n  \
+         --max-peak-ratio <r>  obs diff: allowed growth of the allocator window peak\n                 \
+         (default 1.5; shrinkage always passes)"
     );
     std::process::exit(if bad.is_some() { 2 } else { 0 });
 }

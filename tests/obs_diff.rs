@@ -89,6 +89,109 @@ fn cli_exit_codes_match_the_gate() {
     assert_eq!(usage.status.code(), Some(2), "unknown obs subcommand");
 }
 
+/// The `icn-obs/v3` memory fixtures: `bench_mem_smoke.json` is a recorded
+/// metered `icn run --scale 0.05` (ICN_THREADS=1) and the regression
+/// fixture is the same report with the allocator peak (and VmHWM)
+/// doubled — everything else identical, so only the peak gate can fire.
+#[test]
+fn v3_memory_report_round_trips_and_self_diffs_clean() {
+    let a = load("bench_mem_smoke.json");
+    let mem = a
+        .memory
+        .as_ref()
+        .expect("v3 golden carries a memory section");
+    assert!(mem.peak_bytes > 0);
+    assert!(!mem.spans.is_empty(), "span attribution missing");
+    // Round trip through render + parse preserves the memory section.
+    let text = a.to_json().to_pretty();
+    let back = BenchReport::parse(&text).expect("re-parse rendered v3");
+    assert_eq!(back.memory, a.memory);
+    let report = diff_reports(&a, &a, &DiffThresholds::default());
+    assert!(report.passed(), "v3 self-diff failed:\n{}", report.render());
+}
+
+#[test]
+fn doctored_peak_fixture_fails_the_asymmetric_peak_gate() {
+    let a = load("bench_mem_smoke.json");
+    let b = load("bench_mem_regression_fixture.json");
+    let report = diff_reports(&a, &b, &DiffThresholds::default());
+    assert!(report.failures() > 0, "2x peak growth slipped through");
+    assert!(
+        report
+            .lines
+            .iter()
+            .any(|l| l.metric == "mem:allocator_peak_bytes" && l.status == DiffStatus::Fail),
+        "peak gate did not fire:\n{}",
+        report.render()
+    );
+    // Asymmetric: the same pair reversed is a shrinkage and passes.
+    let reversed = diff_reports(&b, &a, &DiffThresholds::default());
+    assert!(
+        reversed.passed(),
+        "peak shrinkage flagged:\n{}",
+        reversed.render()
+    );
+}
+
+/// v2 -> v3 is graceful: a baseline without a memory section diffs
+/// against a v3 candidate (and vice versa) as an informational line,
+/// never a failure — old blessed baselines keep gating wall and
+/// histograms unchanged.
+#[test]
+fn missing_memory_section_diffs_informationally() {
+    let v2 = load("bench_smoke005.json");
+    assert!(v2.memory.is_none(), "v2 golden grew a memory section");
+    let v3 = load("bench_mem_smoke.json");
+    let mut v3_stripped = v3.clone();
+    v3_stripped.memory = None;
+    // Identical walls, one side missing memory: informational, passing.
+    for (a, b) in [(&v3_stripped, &v3), (&v3, &v3_stripped)] {
+        let report = diff_reports(a, b, &DiffThresholds::default());
+        assert!(
+            report.passed(),
+            "one-sided memory diff failed:\n{}",
+            report.render()
+        );
+        assert!(
+            report
+                .lines
+                .iter()
+                .any(|l| l.metric == "mem:allocator_peak_bytes" && l.status == DiffStatus::Info),
+            "missing-section info line absent:\n{}",
+            report.render()
+        );
+    }
+}
+
+/// The CLI peak gate end to end: default threshold (1.5x) rejects the
+/// doctored 2x fixture with exit 1; `--max-peak-ratio 3` admits it.
+#[test]
+fn cli_max_peak_ratio_flag_gates_and_relaxes() {
+    let golden = format!("{}/tests/golden", env!("CARGO_MANIFEST_DIR"));
+    let run = |extra: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_icn"))
+            .args(["obs", "diff"])
+            .arg(format!("{golden}/bench_mem_smoke.json"))
+            .arg(format!("{golden}/bench_mem_regression_fixture.json"))
+            .args(extra)
+            .output()
+            .expect("spawn icn")
+    };
+    let strict = run(&[]);
+    assert_eq!(
+        strict.status.code(),
+        Some(1),
+        "2x peak must fail the default gate:\n{}",
+        String::from_utf8_lossy(&strict.stdout)
+    );
+    let relaxed = run(&["--max-peak-ratio", "3"]);
+    assert!(
+        relaxed.status.success(),
+        "relaxed peak gate still failed:\n{}",
+        String::from_utf8_lossy(&relaxed.stdout)
+    );
+}
+
 /// `icn obs diff` pairs `icn-bench-set/1` files (from `--threads-sweep`)
 /// by thread count: a legacy single baseline gates the matching member of
 /// a sweep candidate, two sweeps diff pairwise, and files with no common

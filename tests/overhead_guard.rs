@@ -2,13 +2,22 @@
 //! the registry must not perturb any numeric output (the pipeline stays
 //! bit-for-bit identical), and the disabled instrumentation path must not
 //! add measurable wall time.
+//!
+//! This binary also installs the counting allocator, so the bit-identity
+//! checks below now hold *with allocation tracking live*: enabling the
+//! registry turns counting on, and the metered run must still match the
+//! unmetered run bit for bit — attribution observes the pipeline, it
+//! never steers it.
 
-use icn_repro::icn_obs;
+use icn_repro::icn_obs::{self, mem};
 use icn_repro::prelude::*;
 
 mod common;
 use std::sync::Mutex;
 use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: icn_obs::CountingAlloc = icn_obs::CountingAlloc::system();
 
 static LOCK: Mutex<()> = Mutex::new(());
 
@@ -96,6 +105,39 @@ fn disabled_registry_records_nothing() {
         icn_obs::current_handoff().is_none(),
         "current_handoff must be None while disabled"
     );
+}
+
+/// The allocator side of the zero-overhead contract: while the registry
+/// is disabled the counting window is frozen — the whole pipeline can
+/// run without moving a single counter, because the disabled path is one
+/// relaxed load on a static flag.
+#[test]
+fn allocator_window_is_frozen_while_disabled() {
+    let _guard = LOCK.lock().unwrap();
+    let obs = icn_obs::global();
+    obs.disable();
+    obs.reset();
+    assert!(!mem::counting_enabled());
+
+    let before = mem::stats();
+    let (_ds, st) = study(7);
+    std::hint::black_box(&st);
+    let after = mem::stats();
+    assert_eq!(before.allocs, 0, "window not clean after reset");
+    assert_eq!(after.allocs, 0, "allocs counted while disabled");
+    assert_eq!(after.total_alloc_bytes, 0, "bytes counted while disabled");
+    assert_eq!(after.peak_bytes, 0, "peak moved while disabled");
+    assert_eq!(after.live_bytes, 0, "live balance moved while disabled");
+
+    // Enabling the registry opens the window: the same study now counts.
+    obs.enable();
+    let (_ds, st) = study(7);
+    std::hint::black_box(&st);
+    let counted = mem::stats();
+    obs.disable();
+    obs.reset();
+    assert!(counted.allocs > 0, "enabled window saw no allocations");
+    assert!(counted.peak_bytes > 0, "enabled window saw no peak");
 }
 
 /// Timing smoke check — inherently noisy, so not part of the default
